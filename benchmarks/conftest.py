@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The formatted
+output of each experiment is written to ``benchmarks/results/`` so that the
+numbers can be compared side by side with the published tables (see
+EXPERIMENTS.md), in addition to the timing statistics pytest-benchmark
+collects about the harness itself.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import TuningDatabase
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def tuning_db():
+    """One tuning database shared by every benchmark in the session.
+
+    The paper (section 3.3.1) stores local-search results per workload and CPU
+    so that models sharing convolution workloads do not repeat the search —
+    sharing the database across benchmarks exercises exactly that reuse.
+    """
+    return TuningDatabase()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a formatted experiment table and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")

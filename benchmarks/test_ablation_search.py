@@ -1,0 +1,112 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §5.
+
+* PBQP approximation vs exact dynamic programming (paper: >= 88 % of the DP
+  optimum where both are tractable, and only SSD needs the approximation).
+* Uniform split factor vs per-convolution factors (part of Table 3, measured
+  here directly as transform_elim vs global levels).
+* The register-blocking factor ``reg_n`` and ``unroll_ker`` knobs of the
+  schedule template (section 3.3.1's candidate dimensions).
+"""
+
+from conftest import write_result
+
+from repro.core import (
+    CompileConfig,
+    CostModelMeasurer,
+    GlobalSearch,
+    LocalSearch,
+    OptLevel,
+    compile_model,
+)
+from repro.costmodel import ConvCostModel
+from repro.graph import infer_shapes
+from repro.hardware import get_target
+from repro.models import get_model
+from repro.schedule import ConvSchedule, ConvWorkload
+
+
+def test_pbqp_vs_dp_quality(benchmark, tuning_db, results_dir):
+    """The PBQP approximation reaches >=88% of the DP result (section 3.3.2)."""
+    cpu = get_target("skylake")
+
+    def run_both():
+        outcomes = {}
+        for model_name in ("resnet-18", "resnet-34"):
+            search = LocalSearch(
+                CostModelMeasurer(cpu), cpu.name, database=tuning_db, top_k=6
+            )
+            ratios = {}
+            for method in ("dp", "pbqp"):
+                graph = get_model(model_name)
+                infer_shapes(graph)
+                result = GlobalSearch(cpu, search, method=method).run(graph)
+                ratios[method] = result.total_cost_s
+            outcomes[model_name] = ratios
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lines = ["PBQP approximation vs exact DP (objective seconds, lower is better)"]
+    for model_name, ratios in outcomes.items():
+        quality = ratios["dp"] / ratios["pbqp"]
+        lines.append(
+            f"  {model_name:<12s} dp={ratios['dp'] * 1e3:.3f} ms  "
+            f"pbqp={ratios['pbqp'] * 1e3:.3f} ms  dp/pbqp={quality:.3f}"
+        )
+        assert quality >= 0.88  # paper's reported bound
+    write_result(results_dir, "ablation_pbqp_vs_dp", "\n".join(lines))
+
+
+def test_uniform_vs_per_conv_split_factor(benchmark, tuning_db, results_dir):
+    """Per-CONV split factors (global search) beat one global factor (3.2 vs 3.3)."""
+    cpu = get_target("skylake")
+
+    def run_levels():
+        latencies = {}
+        for level in (OptLevel.TRANSFORM_ELIM, OptLevel.GLOBAL):
+            graph = get_model("resnet-50")
+            module = compile_model(
+                graph, cpu, CompileConfig(opt_level=level), tuning_database=tuning_db
+            )
+            latencies[level] = module.estimate_latency_ms()
+        return latencies
+
+    latencies = benchmark.pedantic(run_levels, rounds=1, iterations=1)
+    uniform = latencies[OptLevel.TRANSFORM_ELIM]
+    searched = latencies[OptLevel.GLOBAL]
+    write_result(
+        results_dir,
+        "ablation_uniform_vs_per_conv_split",
+        f"ResNet-50 on Skylake: uniform split {uniform:.2f} ms, "
+        f"per-conv (global search) {searched:.2f} ms "
+        f"({uniform / searched:.2f}x)",
+    )
+    assert searched < uniform
+
+
+def test_schedule_knob_sensitivity(benchmark, results_dir):
+    """reg_n amortizes kernel loads; unroll_ker helps small kernels (3.1.1)."""
+    cpu = get_target("skylake")
+    model = ConvCostModel(cpu)
+    workload = ConvWorkload(1, 64, 56, 56, 64, 3, 3, (1, 1), (1, 1))
+
+    def sweep():
+        rows = []
+        for reg_n in (1, 2, 4, 8, 16, 28):
+            schedule = ConvSchedule(16, 16, reg_n, True)
+            rows.append((reg_n, model.estimate(workload, schedule, 1).total_time_s))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["reg_n sweep for 64x56x56 3x3 conv (single thread, Skylake)"]
+    for reg_n, seconds in rows:
+        lines.append(f"  reg_n={reg_n:<3d} {seconds * 1e3:8.4f} ms")
+    times = dict(rows)
+    # Too little register blocking wastes FMA slots...
+    assert times[1] > times[8]
+    # ...and the schedule with unrolling beats the same without on 3x3 kernels.
+    with_unroll = model.estimate(workload, ConvSchedule(16, 16, 8, True), 1).total_time_s
+    without = model.estimate(workload, ConvSchedule(16, 16, 8, False), 1).total_time_s
+    assert with_unroll < without
+    lines.append(f"  unroll_ker True vs False at reg_n=8: "
+                 f"{with_unroll * 1e3:.4f} vs {without * 1e3:.4f} ms")
+    write_result(results_dir, "ablation_schedule_knobs", "\n".join(lines))

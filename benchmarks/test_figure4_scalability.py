@@ -1,0 +1,46 @@
+"""Figure 4: multi-thread scalability of NeoCPU vs the baselines.
+
+Reproduces the three panels — (a) ResNet-50 on 18-core Skylake, (b) VGG-19 on
+24-core EPYC, (c) Inception-v3 on 16-core Cortex-A72 — sweeping the thread
+count from 1 to all physical cores and reporting images/second for every
+stack, including NeoCPU parallelized with OpenMP vs its custom thread pool.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.evaluation import FIGURE4_CONFIGS, run_figure4
+
+
+@pytest.mark.parametrize("config", FIGURE4_CONFIGS, ids=[c[0] for c in FIGURE4_CONFIGS])
+def test_figure4_scalability(benchmark, tuning_db, results_dir, config):
+    result = benchmark.pedantic(
+        run_figure4,
+        kwargs={"label_model_target": config, "thread_step": 1, "tuning_db": tuning_db},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, f"figure{result.label}_{result.model}", result.format())
+
+    pool = result.curves["NeoCPU w/ thread pool"]
+    omp = result.curves["NeoCPU w/ OMP"]
+    max_threads = pool.threads[-1]
+
+    # Throughput increases with thread count for NeoCPU (no collapse).
+    assert pool.images_per_sec[-1] == max(pool.images_per_sec)
+    assert pool.speedup_at(max_threads) > 4.0
+
+    # The custom thread pool scales better than the same kernels under OpenMP
+    # (section 4.2.4), and better than every baseline stack.
+    assert pool.peak_throughput > omp.peak_throughput
+    assert pool.speedup_at(max_threads) > omp.speedup_at(max_threads)
+    for name, curve in result.curves.items():
+        if name.startswith("NeoCPU"):
+            continue
+        assert pool.peak_throughput > curve.peak_throughput, name
+
+    if result.label == "4c":
+        # MXNet/OpenBLAS scales worst on ARM (paper Figure 4c).
+        baselines = [c for n, c in result.curves.items() if not n.startswith("NeoCPU")]
+        worst = min(baselines, key=lambda c: c.speedup_at(max_threads))
+        assert worst.stack == "MXNet"

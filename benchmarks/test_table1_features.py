@@ -1,0 +1,19 @@
+"""Table 1: qualitative feature comparison (capability matrix)."""
+
+from conftest import write_result
+
+from repro.evaluation import format_table1, run_table1
+
+
+def test_table1_feature_matrix(benchmark, results_dir):
+    """Regenerate the Table 1 capability matrix and check NeoCPU's claims."""
+    table = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    assert table["NeoCPU"] == {
+        "op_level_opt": "yes",
+        "graph_level_opt": "yes",
+        "joint_opt": "yes",
+        "open_source": "yes",
+    }
+    assert table["OpenVINO"]["open_source"] == "no"
+    assert table["Glow"]["op_level_opt"] == "single core"
+    write_result(results_dir, "table1_features", format_table1())

@@ -1,0 +1,38 @@
+"""Table 2b: overall performance on the 24-core AMD EPYC target.
+
+Asserted shapes: NeoCPU is best on (nearly) all models, the gap over the best
+baseline is wider than on Intel (MKL-DNN is less tuned for AMD; paper:
+0.92-1.72x), OpenVINO's AMD outliers (ResNet-101/152, VGG, DenseNet-161/169/
+201) are orders of magnitude slower, and everything is slower than on the
+Skylake machine despite more cores (half-rate AVX2 FMA on Zen 1).
+"""
+
+from conftest import write_result
+
+from repro.evaluation import run_table2
+from repro.models import EVALUATION_MODELS
+
+
+def test_table2_amd_epyc(benchmark, tuning_db, results_dir):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={"target": "amd-epyc", "models": EVALUATION_MODELS,
+                "tuning_db": tuning_db},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "table2b_amd_epyc", result.format())
+
+    # Paper: NeoCPU is best for 14 of 15 models on AMD.
+    assert result.neocpu_wins() >= 13
+
+    speedups = result.speedups_vs_best_baseline()
+    assert all(value > 0.9 for value in speedups.values())
+
+    latencies = result.latencies_ms
+    # OpenVINO outliers on AMD (paper: 1711 ms for ResNet-101, 2515 ms for
+    # ResNet-152, 660-1113 ms for VGG) — at least an order of magnitude off.
+    for model in ("resnet-101", "resnet-152", "vgg-19", "densenet-161"):
+        assert latencies[model]["OpenVINO"] > 8 * latencies[model]["NeoCPU"]
+    # ResNet-50 and VGG-16 stay reasonable for OpenVINO (no pathology there).
+    assert latencies["resnet-50"]["OpenVINO"] < 5 * latencies["resnet-50"]["NeoCPU"]

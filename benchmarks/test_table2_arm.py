@@ -1,0 +1,43 @@
+"""Table 2c: overall performance on the 16-core ARM Cortex-A72 target.
+
+Asserted shapes: only two baselines exist (no OpenVINO on ARM), NeoCPU wins
+on every model by the largest margins of the three platforms (paper:
+2.05-3.45x over the best baseline), and TensorFlow/Eigen beats
+MXNet/OpenBLAS on ARM (the opposite of the x86 ordering).
+"""
+
+from conftest import write_result
+
+from repro.evaluation import run_table2
+from repro.models import EVALUATION_MODELS
+
+
+def test_table2_arm_cortex_a72(benchmark, tuning_db, results_dir):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={"target": "arm-cortex-a72", "models": EVALUATION_MODELS,
+                "tuning_db": tuning_db},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "table2c_arm_cortex_a72", result.format())
+
+    # No framework-agnostic baseline exists on ARM.
+    assert "OpenVINO" not in result.frameworks
+
+    # Paper: NeoCPU is best for all 15 models on ARM.
+    assert result.neocpu_wins() == len(EVALUATION_MODELS)
+
+    speedups = result.speedups_vs_best_baseline()
+    # The ARM baselines are far less optimized: sizeable wins everywhere.
+    assert all(value > 1.3 for value in speedups.values())
+    assert max(speedups.values()) > 2.0
+
+    latencies = result.latencies_ms
+    # TensorFlow outperforms MXNet on ARM (paper attributes MXNet's loss to
+    # OpenBLAS scalability, Figure 4c).
+    better = sum(
+        1 for model in EVALUATION_MODELS
+        if latencies[model]["TensorFlow"] < latencies[model]["MXNet"]
+    )
+    assert better >= len(EVALUATION_MODELS) - 2

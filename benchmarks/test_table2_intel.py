@@ -1,0 +1,43 @@
+"""Table 2a: overall performance on the 18-core Intel Skylake target.
+
+Regenerates the full 15-model x 4-stack latency grid.  The shapes asserted
+are the paper's headline claims for this sub-table: NeoCPU has the lowest
+latency on (nearly) every model, the advantage over the best baseline is
+modest (the x86 baselines are MKL-DNN-backed and well tuned), OpenVINO's VGG
+latencies are pathological, and TensorFlow's SSD latency is dominated by its
+branch handling.
+"""
+
+from conftest import write_result
+
+from repro.evaluation import run_table2
+from repro.models import EVALUATION_MODELS
+
+
+def test_table2_intel_skylake(benchmark, tuning_db, results_dir):
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={"target": "intel-skylake", "models": EVALUATION_MODELS,
+                "tuning_db": tuning_db},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "table2a_intel_skylake", result.format())
+
+    # Paper: NeoCPU is best for 13 of the 15 models on Intel.
+    assert result.neocpu_wins() >= 13
+
+    speedups = result.speedups_vs_best_baseline()
+    # Modest advantage over the best baseline on x86 (paper: 0.94-1.15x).
+    assert all(value > 0.9 for value in speedups.values())
+    assert min(speedups.values()) < 2.0
+
+    latencies = result.latencies_ms
+    # OpenVINO's VGG pathology (paper: ~138 ms vs ~12-21 ms for the others).
+    assert latencies["vgg-16"]["OpenVINO"] > 4 * latencies["vgg-16"]["NeoCPU"]
+    # TensorFlow SSD branching penalty (paper: 359 ms vs 31-43 ms).
+    assert latencies["ssd-resnet-50"]["TensorFlow"] > 5 * latencies["ssd-resnet-50"]["NeoCPU"]
+    # Latency grows with model depth within a family.
+    for stack in ("NeoCPU", "MXNet"):
+        assert latencies["resnet-152"][stack] > latencies["resnet-50"][stack] > latencies["resnet-18"][stack]
+        assert latencies["vgg-19"][stack] > latencies["vgg-11"][stack]

@@ -1,0 +1,47 @@
+"""Table 3: cumulative speedup of each optimization stage over the NCHW baseline.
+
+Reproduces the ablation on the Intel Skylake target for ResNet-50, VGG-19,
+DenseNet-201, Inception-v3 and SSD-ResNet-50: blocked-layout convolution
+("Layout Opt."), layout-transform elimination ("Transform Elim.") and the
+global scheme search ("Global Search"), each row cumulative.
+"""
+
+from conftest import write_result
+
+from repro.evaluation import PAPER_TABLE3_SPEEDUPS, TABLE3_MODELS, run_table3
+
+
+def test_table3_optimization_ablation(benchmark, tuning_db, results_dir):
+    result = benchmark.pedantic(
+        run_table3,
+        kwargs={"target": "intel-skylake", "models": TABLE3_MODELS,
+                "tuning_db": tuning_db},
+        rounds=1,
+        iterations=1,
+    )
+    speedups = result.speedups()
+
+    lines = [result.format(), "", "Paper reference speedups:"]
+    for label, per_model in PAPER_TABLE3_SPEEDUPS.items():
+        lines.append(f"  {label:<16s} " + "  ".join(
+            f"{model}={value:.2f}" for model, value in per_model.items()
+        ))
+    write_result(results_dir, "table3_ablation", "\n".join(lines))
+
+    for model in TABLE3_MODELS:
+        layout = speedups["Layout Opt."][model]
+        elim = speedups["Transform Elim."][model]
+        glob = speedups["Global Search"][model]
+        # The blocked layout alone is worth several-fold (paper: 4.1-8.3x).
+        assert layout > 2.5, f"{model}: layout speedup {layout:.2f} too small"
+        # Eliminating transforms never hurts and usually helps further.
+        assert elim >= layout * 0.95
+        # The global search gives the best end-to-end number.
+        assert glob >= elim * 0.99
+        assert glob == max(speedups[row][model] for row in speedups)
+
+    # Relative ordering from section 4.2.3: ResNet-50 gains more from the
+    # global search than VGG-19 (more complex structure, more room).
+    resnet_gain = speedups["Global Search"]["resnet-50"] / speedups["Transform Elim."]["resnet-50"]
+    vgg_gain = speedups["Global Search"]["vgg-19"] / speedups["Transform Elim."]["vgg-19"]
+    assert resnet_gain >= vgg_gain

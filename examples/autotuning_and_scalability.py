@@ -1,0 +1,61 @@
+"""Autotuning workflow and the thread-scalability study (Figure 4).
+
+Part 1 — local search anatomy (section 3.3.1): enumerate the candidate space
+of one real ResNet-50 convolution workload, rank it with the analytical cost
+model, and cross-check the top choice by actually timing the blocked numpy
+kernel on a scaled-down copy of the workload with the empirical measurer.
+
+Part 2 — scalability (section 4.2.4 / Figure 4a): sweep the thread count for
+ResNet-50 on the Skylake target and compare NeoCPU under its custom thread
+pool vs OpenMP vs the baseline stacks.
+
+Run with:  python examples/autotuning_and_scalability.py
+"""
+
+from repro.core import CostModelMeasurer, LocalSearch, NumpyMeasurer
+from repro.evaluation import FIGURE4_CONFIGS, run_figure4
+from repro.hardware import get_target
+from repro.schedule import ConvWorkload, candidate_count
+
+
+def local_search_demo():
+    cpu = get_target("skylake")
+    # conv4_x block of ResNet-50: 256 -> 256 channels, 14x14 feature map.
+    workload = ConvWorkload(1, 256, 14, 14, 256, 3, 3, (1, 1), (1, 1))
+    print(f"Workload: {workload.key()}")
+    print(f"Candidate space size (pruned): {candidate_count(workload)}")
+
+    search = LocalSearch(CostModelMeasurer(cpu), cpu.name, top_k=5)
+    records = search.tune(workload)
+    print("\nTop schedules by analytical cost (18 threads):")
+    for record in records:
+        print(f"  {record.schedule}   {record.cost_s * 1e6:8.1f} us")
+
+    # Empirical cross-check on a scaled-down copy (numpy timing, 1 thread).
+    small = ConvWorkload(1, 32, 14, 14, 32, 3, 3, (1, 1), (1, 1))
+    empirical = LocalSearch(NumpyMeasurer(repeats=2), cpu.name, top_k=3,
+                            max_block=16)
+    print("\nEmpirically measured (numpy) top schedules for a scaled-down copy:")
+    for record in empirical.tune(small):
+        print(f"  {record.schedule}   {record.cost_s * 1e3:8.2f} ms wall-clock")
+
+
+def scalability_demo():
+    print("\nFigure 4a: ResNet-50 throughput vs thread count on Intel Skylake")
+    result = run_figure4(FIGURE4_CONFIGS[0], thread_step=3)
+    print(result.format())
+    pool = result.curves["NeoCPU w/ thread pool"]
+    omp = result.curves["NeoCPU w/ OMP"]
+    threads = pool.threads[-1]
+    print(f"\nAt {threads} threads: thread pool {pool.images_per_sec[-1]:.1f} img/s "
+          f"vs OpenMP {omp.images_per_sec[-1]:.1f} img/s "
+          f"({pool.images_per_sec[-1] / omp.images_per_sec[-1]:.2f}x)")
+
+
+def main():
+    local_search_demo()
+    scalability_demo()
+
+
+if __name__ == "__main__":
+    main()

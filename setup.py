@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in ``pyproject.toml``; this file exists
+so that ``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (editable installs then go through ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

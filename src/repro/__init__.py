@@ -1,0 +1,20 @@
+"""repro — a from-scratch reproduction of NeoCPU (USENIX ATC 2019).
+
+"Optimizing CNN Model Inference on CPUs": operation- and graph-level joint
+optimization of CNN inference, implemented as a pure-Python stack — tensor
+layouts, an operator library, a computation-graph IR with optimization
+passes, a convolution schedule template with local (per-operation) and global
+(whole-graph) search, an analytical CPU cost model, a runtime executor with a
+custom thread pool, the paper's model zoo, and calibrated baseline framework
+models used by the evaluation harness.
+
+Public entry points:
+
+* :func:`repro.models.get_model` — build any of the 15 evaluation models.
+* :func:`repro.core.compile_model` — run the NeoCPU optimization pipeline.
+* :mod:`repro.evaluation` — regenerate the paper's tables and figures.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,27 @@
+"""Baseline inference stacks (MXNet, TensorFlow, OpenVINO) as cost-model profiles."""
+
+from .frameworks import BaselineResult, estimate_baseline_latency, prepare_baseline_graph
+from .profiles import (
+    MXNET_MKLDNN,
+    MXNET_OPENBLAS,
+    NEOCPU_PROFILE,
+    OPENVINO,
+    TENSORFLOW_EIGEN,
+    TENSORFLOW_NGRAPH,
+    FrameworkProfile,
+    baseline_profiles_for,
+)
+
+__all__ = [
+    "BaselineResult",
+    "FrameworkProfile",
+    "MXNET_MKLDNN",
+    "MXNET_OPENBLAS",
+    "NEOCPU_PROFILE",
+    "OPENVINO",
+    "TENSORFLOW_EIGEN",
+    "TENSORFLOW_NGRAPH",
+    "baseline_profiles_for",
+    "estimate_baseline_latency",
+    "prepare_baseline_graph",
+]

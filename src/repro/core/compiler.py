@@ -1,0 +1,177 @@
+"""The NeoCPU compilation pipeline.
+
+``compile_model`` stitches together everything below it, in the same order
+the paper describes:
+
+1. generic graph optimizations inherited from the base stack — inference
+   simplification, constant pre-computation (section 3, intro);
+2. operation-level optimization — a schedule per convolution, from a manual
+   default, the local search, or the global search depending on the
+   optimization level (sections 3.1, 3.3);
+3. graph-level layout management — AlterOpLayout assigns blocked layouts and
+   inserts LayoutTransform nodes, EliminateLayoutTransforms removes redundant
+   ones, weights are pre-transformed at compile time (section 3.2);
+4. operation fusion and a final constant-folding sweep;
+5. packaging into a :class:`~repro.runtime.module.CompiledModule`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..costmodel.graph_cost import conv_workload_from_node
+from ..graph.graph import Graph
+from ..graph.passes import (
+    AlterOpLayout,
+    EliminateLayoutTransforms,
+    FoldConstants,
+    FuseOps,
+    PassManager,
+    SimplifyInference,
+)
+from ..graph.shape_infer import infer_shapes
+from ..hardware.cpu import CPUSpec
+from ..hardware.presets import get_target
+from ..runtime.executor import initialize_parameters
+from ..runtime.module import CompiledModule
+from ..schedule.template import ConvSchedule, default_schedule
+from .config import CompileConfig, OptLevel
+from .global_search import GlobalSearch
+from .local_search import CostModelMeasurer, LocalSearch
+from .tuning_db import TuningDatabase
+
+__all__ = ["compile_model", "select_schedules"]
+
+
+def _local_search(cpu: CPUSpec, config: CompileConfig,
+                  database: Optional[TuningDatabase]) -> LocalSearch:
+    measurer = CostModelMeasurer(
+        cpu, num_threads=config.num_threads or cpu.num_cores,
+        threading=config.threading,
+    )
+    return LocalSearch(
+        measurer,
+        cpu_name=cpu.name,
+        database=database,
+        max_block=config.max_block,
+        top_k=config.search_top_k,
+    )
+
+
+def select_schedules(
+    graph: Graph,
+    cpu: CPUSpec,
+    config: CompileConfig,
+    database: Optional[TuningDatabase] = None,
+) -> Dict[str, ConvSchedule]:
+    """Choose a schedule for every conv2d node according to the opt level.
+
+    Returns an empty mapping for the ``baseline`` level (convolutions stay in
+    the default NCHW layout).
+    """
+    if config.opt_level == OptLevel.BASELINE:
+        return {}
+
+    conv_nodes = graph.op_nodes("conv2d")
+
+    if config.opt_level in (OptLevel.LAYOUT, OptLevel.TRANSFORM_ELIM):
+        # Manually-picked schedules with one global split factor (section 3.2,
+        # and the "Layout Opt." / "Transform Elim." rows of Table 3).  The two
+        # levels differ only in whether the transforms around each CONV are
+        # hoisted out and elided (handled by the pass pipeline), not in the
+        # schedules themselves.
+        split = config.fixed_split_factor or cpu.simd_lanes_fp32
+        schedules = {}
+        for node in conv_nodes:
+            workload = conv_workload_from_node(node)
+            schedules[node.name] = default_schedule(workload, simd_lanes=split)
+        return schedules
+
+    searcher = _local_search(cpu, config, database)
+
+    # OptLevel.GLOBAL: joint local + global search.
+    global_search = GlobalSearch(
+        cpu,
+        searcher,
+        num_threads=config.num_threads or cpu.num_cores,
+        method=config.global_search_method,
+    )
+    result = global_search.run(graph)
+    # Stash the method used so the compiler can report it.
+    config.__dict__["_last_search_method"] = result.method
+    return result.schedules
+
+
+def compile_model(
+    graph: Graph,
+    target: "CPUSpec | str",
+    config: Optional[CompileConfig] = None,
+    params: Optional[Mapping[str, np.ndarray]] = None,
+    tuning_database: Optional[TuningDatabase] = None,
+) -> CompiledModule:
+    """Optimize ``graph`` for ``target`` and return a compiled module.
+
+    Args:
+        graph: the model graph (mutated in place by the passes).
+        target: a :class:`CPUSpec` or one of the preset target aliases
+            (``"skylake"``, ``"epyc"``, ``"arm"`` ...).
+        config: compilation options; defaults to the full NeoCPU pipeline.
+        params: optional concrete parameter values.  When provided they are
+            bound before compilation so that constant folding can pre-compute
+            weight layout transforms and folded batch-norm parameters.
+        tuning_database: shared tuning database (reused across models and
+            compilations to avoid repeated local searches).
+
+    Returns:
+        A :class:`CompiledModule` ready for execution and latency estimation.
+    """
+    cpu = target if isinstance(target, CPUSpec) else get_target(target)
+    config = config if config is not None else CompileConfig()
+
+    infer_shapes(graph)
+    if params:
+        initialize_parameters(graph, params)
+
+    # Stage 1: generic simplifications inherited from the base stack.
+    pre = PassManager()
+    pre.add(SimplifyInference())
+    if config.fold_constants:
+        pre.add(FoldConstants())
+    graph = pre.run(graph)
+
+    # Stage 2: operation-level schedule selection.
+    schedules = select_schedules(graph, cpu, config, tuning_database)
+
+    # Stage 3: graph-level layout management.
+    post = PassManager()
+    if schedules:
+        hoist = config.opt_level != OptLevel.LAYOUT
+        post.add(AlterOpLayout(schedules, hoist_transforms=hoist))
+        if hoist:
+            post.add(EliminateLayoutTransforms())
+    if config.fuse_ops:
+        post.add(FuseOps())
+    if config.fold_constants:
+        post.add(FoldConstants())
+    graph = post.run(graph)
+    infer_shapes(graph)
+
+    search_method = config.__dict__.pop("_last_search_method", None)
+    if search_method is None:
+        search_method = {
+            OptLevel.BASELINE: "none",
+            OptLevel.LAYOUT: "manual",
+            OptLevel.TRANSFORM_ELIM: "manual",
+            OptLevel.GLOBAL: config.global_search_method,
+        }[config.opt_level]
+
+    return CompiledModule(
+        graph=graph,
+        cpu=cpu,
+        config=config,
+        schedules=schedules,
+        search_method=search_method,
+        pass_report="\n".join([pre.report(), post.report()]),
+    )

@@ -1,0 +1,84 @@
+"""Compilation configuration.
+
+The optimization levels correspond to the cumulative rows of Table 3 of the
+paper, which is how the ablation benchmark drives the compiler:
+
+* ``baseline`` — default NCHW data layout everywhere, no blocked convolution
+  (but with the generic graph optimizations inherited from the base stack:
+  operation fusion, inference simplification, constant pre-computation);
+* ``layout`` — each convolution individually executes in ``NCHW[x]c`` with a
+  well-chosen schedule, but transforms its input/output from/to the default
+  layout locally ("Layout Opt." row);
+* ``transform_elim`` — blocked layouts flow across operators; a single global
+  split factor is used so no transforms are needed between convolutions
+  ("Transform Elim." row);
+* ``global`` — per-convolution schemes from the local search combined by the
+  global search (DP or PBQP), trading transform cost against kernel speed
+  ("Global Search" row, i.e. full NeoCPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..costmodel.parallel import THREAD_POOL, ThreadingModel
+
+__all__ = ["OptLevel", "CompileConfig"]
+
+
+class OptLevel:
+    """Named optimization levels (Table 3 rows)."""
+
+    BASELINE = "baseline"
+    LAYOUT = "layout"
+    TRANSFORM_ELIM = "transform_elim"
+    GLOBAL = "global"
+
+    ALL = (BASELINE, LAYOUT, TRANSFORM_ELIM, GLOBAL)
+
+
+@dataclass
+class CompileConfig:
+    """Options controlling the NeoCPU compilation pipeline.
+
+    Attributes:
+        opt_level: one of :class:`OptLevel` (default: full global search).
+        num_threads: threads used for execution-time estimates during tuning
+            and in the final latency report; defaults to all physical cores.
+        threading: fork/join model of the runtime (custom thread pool by
+            default; pass :data:`repro.costmodel.OPENMP` for the Figure 4
+            comparison).
+        global_search_method: ``"auto"``, ``"dp"`` or ``"pbqp"``.
+        search_top_k: candidate schemes kept per CONV for the global search.
+        max_block: prune channel-block candidates above this size during the
+            local search.
+        fixed_split_factor: split factor used by the ``transform_elim`` level
+            (``None`` means the SIMD lane count of the target).
+        fuse_ops: run the operator fusion pass.
+        fold_constants: run compile-time constant folding (requires bound
+            parameter values to have an effect).
+        per_op_overhead_s: framework overhead per executed operator used in
+            latency estimates (NeoCPU's compiled module has very little).
+    """
+
+    opt_level: str = OptLevel.GLOBAL
+    num_threads: Optional[int] = None
+    threading: ThreadingModel = field(default_factory=lambda: THREAD_POOL)
+    global_search_method: str = "auto"
+    search_top_k: int = 8
+    max_block: Optional[int] = 64
+    fixed_split_factor: Optional[int] = None
+    fuse_ops: bool = True
+    fold_constants: bool = True
+    per_op_overhead_s: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.opt_level not in OptLevel.ALL:
+            raise ValueError(
+                f"unknown opt_level {self.opt_level!r}; expected one of {OptLevel.ALL}"
+            )
+        if self.global_search_method not in ("auto", "dp", "pbqp"):
+            raise ValueError(
+                f"unknown global_search_method {self.global_search_method!r}"
+            )

@@ -1,0 +1,365 @@
+"""Global (whole-graph) optimization scheme search — section 3.3.2.
+
+The local search (section 3.3.1) produces, for every CONV workload, a list of
+candidate schemes with their execution times.  Greedily picking each CONV's
+local optimum can force layout transformations between CONVs whose block
+sizes disagree; the global search instead minimizes
+
+``sum_i exec_time(CONV_i, scheme_i) + sum_(i,j) transform_time(scheme_i, scheme_j)``
+
+over all assignments of schemes to CONVs, where the second sum runs over the
+layout-dependency edges of the model (CONV feeding CONV through
+layout-preserving operators, and CONVs joined by Elementwise_Add/Concat which
+require identical layouts).
+
+Two solvers are provided, matching the paper:
+
+* :class:`DynamicProgrammingSearch` — Algorithm 2: exact for chain/tree-shaped
+  dependency structures (VGG, plain CNNs) and the standard choice for the
+  evaluation models;
+* the PBQP reduction (:mod:`repro.core.pbqp`) — the approximation used when
+  the dependency structure is too entangled (SSD), guaranteed by the paper to
+  reach at least ~88 % of the DP optimum where both are tractable.
+
+:class:`GlobalSearch` is the user-facing facade that extracts the CONV
+dependency graph from a model graph, invokes the local search for every
+workload, picks a solver (``"auto"``/``"dp"``/``"pbqp"``) and returns the
+per-CONV schedule assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..costmodel.transform_cost import layout_transform_time
+from ..graph.graph import Graph
+from ..graph.node import Node
+from ..hardware.cpu import CPUSpec
+from ..schedule.template import ConvSchedule
+from ..schedule.workload import ConvWorkload
+from .local_search import LocalSearch
+from .pbqp import PBQPProblem, solve_pbqp
+from .tuning_db import TuningRecord
+
+__all__ = [
+    "ConvCandidate",
+    "ConvDependencyGraph",
+    "DependencyEdge",
+    "extract_dependency_graph",
+    "DynamicProgrammingSearch",
+    "GlobalSearch",
+    "GlobalSearchResult",
+]
+
+#: Operators that pass a feature map through while preserving (tolerating) the
+#: blocked layout chosen by the upstream convolution.
+_LAYOUT_PRESERVING_OPS = {
+    "relu",
+    "sigmoid",
+    "bias_add",
+    "scale_shift",
+    "batch_norm",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "dropout",
+    "elemwise_add",
+    "concat",
+}
+
+
+@dataclass
+class ConvCandidate:
+    """One candidate scheme of one CONV node."""
+
+    schedule: ConvSchedule
+    exec_time_s: float
+
+
+@dataclass
+class DependencyEdge:
+    """A layout dependency between two CONV nodes.
+
+    ``kind`` is ``"dataflow"`` when ``dst`` consumes ``src``'s output (the
+    transform, if any, happens on that tensor) or ``"sibling"`` when the two
+    CONVs feed the same Elementwise_Add/Concat and therefore must agree on a
+    layout (one of them pays a transform otherwise).
+    """
+
+    src: str
+    dst: str
+    tensor_bytes: int
+    kind: str = "dataflow"
+
+
+@dataclass
+class ConvDependencyGraph:
+    """Candidates and layout-dependency edges extracted from a model graph."""
+
+    candidates: Dict[str, List[ConvCandidate]] = field(default_factory=dict)
+    edges: List[DependencyEdge] = field(default_factory=list)
+    topo_order: List[str] = field(default_factory=list)
+
+    def predecessors(self, name: str) -> List[DependencyEdge]:
+        return [edge for edge in self.edges if edge.dst == name]
+
+    def total_cost(self, assignment: Dict[str, ConvSchedule], cpu: CPUSpec,
+                   num_threads: int) -> float:
+        """True objective value of an assignment (for solver comparison)."""
+        total = 0.0
+        for name, candidates in self.candidates.items():
+            schedule = assignment[name]
+            match = next(
+                (c for c in candidates if c.schedule == schedule), None
+            )
+            if match is None:
+                raise KeyError(f"assignment for {name} is not a known candidate")
+            total += match.exec_time_s
+        for edge in self.edges:
+            src_schedule = assignment[edge.src]
+            dst_schedule = assignment[edge.dst]
+            total += _edge_transform_cost(
+                edge, src_schedule, dst_schedule, cpu, num_threads
+            )
+        return total
+
+
+def _edge_transform_cost(
+    edge: DependencyEdge,
+    src_schedule: ConvSchedule,
+    dst_schedule: ConvSchedule,
+    cpu: CPUSpec,
+    num_threads: int,
+) -> float:
+    """Layout-transformation cost implied by a pair of schemes on an edge."""
+    if edge.kind == "dataflow":
+        mismatch = src_schedule.oc_bn != dst_schedule.ic_bn
+    else:  # sibling: the joined outputs must share the same blocking
+        mismatch = src_schedule.oc_bn != dst_schedule.oc_bn
+    if not mismatch:
+        return 0.0
+    return layout_transform_time(edge.tensor_bytes, cpu, num_threads)
+
+
+# --------------------------------------------------------------------------- #
+# dependency-graph extraction
+# --------------------------------------------------------------------------- #
+def _upstream_convs(node: Node, visited: Optional[Set[int]] = None) -> List[Node]:
+    """CONV producers reachable from ``node`` through layout-preserving ops."""
+    visited = visited if visited is not None else set()
+    result: List[Node] = []
+    for producer in node.inputs:
+        if id(producer) in visited:
+            continue
+        visited.add(id(producer))
+        if producer.is_constant or producer.is_input:
+            continue
+        if producer.is_op_type("conv2d"):
+            result.append(producer)
+        elif producer.is_op and producer.op in _LAYOUT_PRESERVING_OPS:
+            result.extend(_upstream_convs(producer, visited))
+        # Layout-dependent ops (flatten, dense, ...) break the blocked flow,
+        # so dependencies do not propagate through them.
+    return result
+
+
+def extract_dependency_graph(
+    graph: Graph,
+    local_search: LocalSearch,
+) -> ConvDependencyGraph:
+    """Build the CONV dependency graph of a model and tune every workload."""
+    from ..costmodel.graph_cost import conv_workload_from_node
+
+    dep = ConvDependencyGraph()
+    conv_nodes = graph.op_nodes("conv2d")
+    for node in conv_nodes:
+        workload = conv_workload_from_node(node)
+        records: Sequence[TuningRecord] = local_search.tune(workload)
+        dep.candidates[node.name] = [
+            ConvCandidate(record.schedule, record.cost_s) for record in records
+        ]
+        dep.topo_order.append(node.name)
+
+    # Dataflow edges: consumer conv <- producer conv through preserving ops.
+    for node in conv_nodes:
+        producers = _upstream_convs(node)
+        input_bytes = node.inputs[0].spec.nbytes if node.inputs[0].spec else 0
+        for producer in producers:
+            dep.edges.append(
+                DependencyEdge(
+                    src=producer.name,
+                    dst=node.name,
+                    tensor_bytes=input_bytes,
+                    kind="dataflow",
+                )
+            )
+
+    # Sibling edges: convs joined by elemwise_add / concat must agree.
+    for join in graph.op_nodes("elemwise_add") + graph.op_nodes("concat"):
+        producers = _upstream_convs(join)
+        tensor_bytes = join.spec.nbytes if join.spec else 0
+        for i in range(1, len(producers)):
+            dep.edges.append(
+                DependencyEdge(
+                    src=producers[0].name,
+                    dst=producers[i].name,
+                    tensor_bytes=tensor_bytes,
+                    kind="sibling",
+                )
+            )
+    return dep
+
+
+# --------------------------------------------------------------------------- #
+# dynamic programming (Algorithm 2)
+# --------------------------------------------------------------------------- #
+class DynamicProgrammingSearch:
+    """Algorithm 2 of the paper.
+
+    Exact on chain/tree-shaped dependency graphs; on graphs with shared
+    producers the per-consumer argmin choices may conflict, in which case the
+    first (topologically earliest) consumer's choice wins — the same
+    simplification the paper motivates before falling back to PBQP.
+    """
+
+    def __init__(self, cpu: CPUSpec, num_threads: int) -> None:
+        self.cpu = cpu
+        self.num_threads = num_threads
+
+    def solve(self, dep: ConvDependencyGraph) -> Dict[str, ConvSchedule]:
+        best_cost: Dict[str, List[float]] = {}
+        #: choice[(src, dst)][j] = index of src's scheme chosen when dst uses j
+        choice: Dict[Tuple[str, str], List[int]] = {}
+
+        for name in dep.topo_order:
+            candidates = dep.candidates[name]
+            costs = [candidate.exec_time_s for candidate in candidates]
+            for edge in dep.predecessors(name):
+                if edge.src not in best_cost:
+                    continue  # sibling edge pointing forward; handled below
+                pred_candidates = dep.candidates[edge.src]
+                pred_costs = best_cost[edge.src]
+                edge_choice: List[int] = []
+                for j, candidate in enumerate(candidates):
+                    options = [
+                        pred_costs[k]
+                        + _edge_transform_cost(
+                            edge,
+                            pred_candidates[k].schedule,
+                            candidate.schedule,
+                            self.cpu,
+                            self.num_threads,
+                        )
+                        for k in range(len(pred_candidates))
+                    ]
+                    best_k = min(range(len(options)), key=options.__getitem__)
+                    edge_choice.append(best_k)
+                    costs[j] += options[best_k]
+                choice[(edge.src, name)] = edge_choice
+            best_cost[name] = costs
+
+        # Backtrack: fix sinks first, then propagate predecessor choices.
+        assignment: Dict[str, int] = {}
+        for name in reversed(dep.topo_order):
+            if name not in assignment:
+                costs = best_cost[name]
+                assignment[name] = min(range(len(costs)), key=costs.__getitem__)
+            j = assignment[name]
+            for edge in dep.predecessors(name):
+                key = (edge.src, name)
+                if key in choice and edge.src not in assignment:
+                    assignment[edge.src] = choice[key][j]
+
+        return {
+            name: dep.candidates[name][index].schedule
+            for name, index in assignment.items()
+        }
+
+
+# --------------------------------------------------------------------------- #
+# facade
+# --------------------------------------------------------------------------- #
+@dataclass
+class GlobalSearchResult:
+    """Outcome of the global search."""
+
+    schedules: Dict[str, ConvSchedule]
+    total_cost_s: float
+    method: str
+    num_convs: int
+    num_edges: int
+
+
+class GlobalSearch:
+    """Extract the dependency graph, tune workloads, and pick an assignment."""
+
+    #: Above this many (conv, conv) edges the DP's shared-producer conflicts
+    #: pile up and the PBQP reduction is used instead (the paper switches when
+    #: DP exceeds a 5-minute budget; edge count is our tractability proxy).
+    PBQP_EDGE_THRESHOLD = 400
+
+    def __init__(
+        self,
+        cpu: CPUSpec,
+        local_search: LocalSearch,
+        num_threads: Optional[int] = None,
+        method: str = "auto",
+    ) -> None:
+        if method not in ("auto", "dp", "pbqp"):
+            raise ValueError(f"unknown global search method {method!r}")
+        self.cpu = cpu
+        self.local_search = local_search
+        self.num_threads = num_threads if num_threads is not None else cpu.num_cores
+        self.method = method
+
+    # ------------------------------------------------------------------ #
+    def _build_pbqp(self, dep: ConvDependencyGraph) -> PBQPProblem:
+        problem = PBQPProblem()
+        for name, candidates in dep.candidates.items():
+            problem.add_node(name, [c.exec_time_s for c in candidates])
+        for edge in dep.edges:
+            src_candidates = dep.candidates[edge.src]
+            dst_candidates = dep.candidates[edge.dst]
+            matrix = [
+                [
+                    _edge_transform_cost(
+                        edge, src.schedule, dst.schedule, self.cpu, self.num_threads
+                    )
+                    for dst in dst_candidates
+                ]
+                for src in src_candidates
+            ]
+            problem.add_edge(edge.src, edge.dst, matrix)
+        return problem
+
+    def _choose_method(self, dep: ConvDependencyGraph) -> str:
+        if self.method != "auto":
+            return self.method
+        if len(dep.edges) > self.PBQP_EDGE_THRESHOLD:
+            return "pbqp"
+        return "dp"
+
+    def run(self, graph: Graph) -> GlobalSearchResult:
+        """Run local + global search for ``graph`` and return the assignment."""
+        dep = extract_dependency_graph(graph, self.local_search)
+        if not dep.candidates:
+            return GlobalSearchResult({}, 0.0, "none", 0, 0)
+        method = self._choose_method(dep)
+        if method == "dp":
+            schedules = DynamicProgrammingSearch(self.cpu, self.num_threads).solve(dep)
+        else:
+            problem = self._build_pbqp(dep)
+            solution = solve_pbqp(problem)
+            schedules = {
+                name: dep.candidates[name][solution.choice(name)].schedule
+                for name in dep.candidates
+            }
+        total = dep.total_cost(schedules, self.cpu, self.num_threads)
+        return GlobalSearchResult(
+            schedules=schedules,
+            total_cost_s=total,
+            method=method,
+            num_convs=len(dep.candidates),
+            num_edges=len(dep.edges),
+        )

@@ -1,0 +1,176 @@
+"""Local (per-operation) optimization scheme search — section 3.3.1.
+
+For each convolution workload the search walks the candidate space of
+``(ic_bn, oc_bn, reg_n, unroll_ker)`` tuples (section 3.3.1 steps 1-4),
+obtains the cost of each candidate from a *measurer*, and returns the
+candidates ordered by ascending cost.
+
+Two measurers are provided:
+
+* :class:`CostModelMeasurer` — evaluates the analytical cost model; this is
+  the default and the substitute for running each candidate on the paper's
+  hardware (fast enough to tune all 15 models in seconds);
+* :class:`NumpyMeasurer` — actually executes the blocked numpy kernel several
+  times and averages wall-clock time, i.e. the honest-to-goodness empirical
+  search of the paper, practical here for small workloads and used by tests
+  to demonstrate that the machinery really measures and ranks schedules.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..costmodel.conv_cost import ConvCostModel
+from ..costmodel.parallel import THREAD_POOL, ThreadingModel
+from ..hardware.cpu import CPUSpec
+from ..ops.blocked_conv import conv2d_nchwc, prepack_weights
+from ..schedule.candidates import DEFAULT_REG_N_CANDIDATES, generate_candidates
+from ..schedule.template import ConvSchedule, validate_schedule
+from ..schedule.workload import ConvWorkload
+from ..tensor.transform import to_blocked_nchwc
+from .tuning_db import TuningDatabase, TuningRecord
+
+__all__ = [
+    "Measurer",
+    "CostModelMeasurer",
+    "NumpyMeasurer",
+    "LocalSearch",
+]
+
+
+class Measurer(Protocol):
+    """Anything that can attach a cost to a (workload, schedule) pair."""
+
+    def measure(self, workload: ConvWorkload, schedule: ConvSchedule) -> float:
+        """Return the cost (seconds; lower is better) of one candidate."""
+        ...
+
+
+@dataclass
+class CostModelMeasurer:
+    """Evaluate candidates with the analytical cost model."""
+
+    cpu: CPUSpec
+    num_threads: Optional[int] = None
+    threading: ThreadingModel = THREAD_POOL
+
+    def __post_init__(self) -> None:
+        self._model = ConvCostModel(self.cpu, self.threading)
+
+    def measure(self, workload: ConvWorkload, schedule: ConvSchedule) -> float:
+        threads = self.num_threads if self.num_threads is not None else self.cpu.num_cores
+        return self._model.estimate(workload, schedule, threads).total_time_s
+
+
+@dataclass
+class NumpyMeasurer:
+    """Time the functional blocked kernel on real data.
+
+    Mirrors the paper's methodology ("each of which will be run multiple times
+    for averaging to cancel out the possible variance"): ``repeats`` timed runs
+    after one warm-up, returning the mean.
+    """
+
+    repeats: int = 3
+    seed: int = 0
+
+    def measure(self, workload: ConvWorkload, schedule: ConvSchedule) -> float:
+        rng = np.random.default_rng(self.seed)
+        data = rng.standard_normal(workload.input_shape).astype(np.float32)
+        weight = rng.standard_normal(workload.weight_shape).astype(np.float32)
+        data_blocked = to_blocked_nchwc(data, schedule.ic_bn)
+        weight_packed = prepack_weights(weight, schedule)
+        # Warm-up run (page in buffers, JIT-free but still fair).
+        conv2d_nchwc(data_blocked, weight_packed, workload, schedule)
+        elapsed = 0.0
+        for _ in range(self.repeats):
+            start = time.perf_counter()
+            conv2d_nchwc(data_blocked, weight_packed, workload, schedule)
+            elapsed += time.perf_counter() - start
+        return elapsed / self.repeats
+
+
+class LocalSearch:
+    """Grid search over the per-convolution candidate space."""
+
+    def __init__(
+        self,
+        measurer: Measurer,
+        cpu_name: str,
+        database: Optional[TuningDatabase] = None,
+        reg_n_candidates: Sequence[int] = DEFAULT_REG_N_CANDIDATES,
+        max_block: Optional[int] = 64,
+        top_k: int = 8,
+    ) -> None:
+        """
+        Args:
+            measurer: cost provider for candidates.
+            cpu_name: name under which results are stored in the database.
+            database: tuning database to consult/update (created if omitted).
+            reg_n_candidates: register-blocking candidates (paper default
+                ``[32, 16, 8, 4, 2]``).
+            max_block: prune channel-block candidates above this size.
+            top_k: how many candidates to keep per workload (the global search
+                only needs the best few schemes per CONV).
+        """
+        self.measurer = measurer
+        self.cpu_name = cpu_name
+        self.database = database if database is not None else TuningDatabase()
+        self.reg_n_candidates = tuple(reg_n_candidates)
+        self.max_block = max_block
+        self.top_k = top_k
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    def candidates(self, workload: ConvWorkload) -> Iterable[ConvSchedule]:
+        return generate_candidates(
+            workload,
+            reg_n_candidates=self.reg_n_candidates,
+            max_block=self.max_block,
+        )
+
+    def tune(self, workload: ConvWorkload, force: bool = False) -> List[TuningRecord]:
+        """Search one workload, returning candidates sorted by ascending cost.
+
+        Results are cached in the tuning database; pass ``force=True`` to
+        re-run the search even when a cached entry exists.
+        """
+        if not force:
+            cached = self.database.get(workload, self.cpu_name)
+            if cached:
+                return cached
+
+        records: List[TuningRecord] = []
+        for schedule in self.candidates(workload):
+            try:
+                validate_schedule(schedule, workload)
+            except ValueError:
+                continue
+            cost = self.measurer.measure(workload, schedule)
+            records.append(TuningRecord(schedule=schedule, cost_s=cost))
+        if not records:
+            raise RuntimeError(f"no valid schedule candidates for workload {workload}")
+        records.sort(key=lambda record: record.cost_s)
+        kept = records[: self.top_k]
+        self.database.put(workload, self.cpu_name, kept)
+        return kept
+
+    def best(self, workload: ConvWorkload) -> TuningRecord:
+        """The single best schedule for a workload (tuning if necessary)."""
+        return self.tune(workload)[0]
+
+    def tune_all(self, workloads: Sequence[ConvWorkload]) -> TuningDatabase:
+        """Tune a collection of workloads (deduplicated) and return the DB."""
+        seen = set()
+        for workload in workloads:
+            key = workload.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            self.tune(workload)
+        return self.database

@@ -1,0 +1,110 @@
+"""Tuning database.
+
+Section 3.3.1: "we can maintain a database to store the results for every
+convolution workload (defined by the feature map and convolution kernel
+sizes) on every CPU type to prevent repeating search for the same convolution
+in different models."  ResNet-50 and SSD-ResNet-50 share most of their conv
+workloads, as do the members of each model family, so the database pays off
+immediately when compiling the full evaluation suite.
+
+Records are keyed by ``(workload key, cpu name)`` and store the candidate
+schedules in ascending order of estimated/measured cost.  The database can be
+persisted to JSON so that the examples and benchmarks can reuse one another's
+tuning effort.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..schedule.template import ConvSchedule
+from ..schedule.workload import ConvWorkload
+
+__all__ = ["TuningRecord", "TuningDatabase"]
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One (schedule, cost) result of the local search."""
+
+    schedule: ConvSchedule
+    cost_s: float
+
+    def to_dict(self) -> dict:
+        return {"schedule": self.schedule.to_dict(), "cost_s": self.cost_s}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TuningRecord":
+        return cls(ConvSchedule.from_dict(data["schedule"]), float(data["cost_s"]))
+
+
+@dataclass
+class TuningDatabase:
+    """In-memory (optionally JSON-backed) store of local-search results."""
+
+    records: Dict[Tuple[str, str], List[TuningRecord]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _key(workload: ConvWorkload, cpu_name: str) -> Tuple[str, str]:
+        return (workload.key(), cpu_name)
+
+    def put(
+        self,
+        workload: ConvWorkload,
+        cpu_name: str,
+        records: List[TuningRecord],
+    ) -> None:
+        """Store search results (sorted by ascending cost)."""
+        ordered = sorted(records, key=lambda record: record.cost_s)
+        self.records[self._key(workload, cpu_name)] = ordered
+
+    def get(
+        self, workload: ConvWorkload, cpu_name: str
+    ) -> Optional[List[TuningRecord]]:
+        """All stored candidates for a workload, best first, or ``None``."""
+        return self.records.get(self._key(workload, cpu_name))
+
+    def best(self, workload: ConvWorkload, cpu_name: str) -> Optional[TuningRecord]:
+        """The single best stored schedule, or ``None`` when never tuned."""
+        records = self.get(workload, cpu_name)
+        return records[0] if records else None
+
+    def __contains__(self, key: Tuple[ConvWorkload, str]) -> bool:
+        workload, cpu_name = key
+        return self._key(workload, cpu_name) in self.records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: "str | Path") -> None:
+        """Serialize the database to a JSON file."""
+        payload = {
+            "|".join(key): [record.to_dict() for record in records]
+            for key, records in self.records.items()
+        }
+        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "TuningDatabase":
+        """Load a database previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        database = cls()
+        for key_str, record_dicts in payload.items():
+            workload_key, cpu_name = key_str.split("|")
+            database.records[(workload_key, cpu_name)] = [
+                TuningRecord.from_dict(d) for d in record_dicts
+            ]
+        return database
+
+    def merge(self, other: "TuningDatabase") -> None:
+        """Merge another database into this one (other wins on conflicts)."""
+        self.records.update(other.records)

@@ -1,0 +1,96 @@
+"""Formatting helpers shared by the evaluation harness.
+
+The benchmarks print tables in roughly the same arrangement as the paper so
+that a side-by-side comparison with the published numbers is easy; the
+EXPERIMENTS.md file records that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_latency_table", "speedup_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_latency_table(
+    latencies_ms: Mapping[str, Mapping[str, float]],
+    frameworks: Sequence[str],
+    title: str = "",
+    best_marker: str = " *",
+) -> str:
+    """Render a {model: {framework: latency_ms}} mapping, marking the best.
+
+    Mirrors Table 2 of the paper: one row per framework, one column per
+    model, best (lowest) latency of each column marked.
+    """
+    models = list(latencies_ms)
+    headers = ["Unit: ms"] + models
+    rows: List[List[str]] = []
+    best_per_model: Dict[str, Optional[str]] = {}
+    for model in models:
+        entries = {
+            fw: latencies_ms[model][fw]
+            for fw in frameworks
+            if latencies_ms[model].get(fw) is not None
+            and latencies_ms[model][fw] != float("inf")
+        }
+        best_per_model[model] = min(entries, key=entries.get) if entries else None
+    for framework in frameworks:
+        row = [framework]
+        for model in models:
+            value = latencies_ms[model].get(framework)
+            if value is None or value == float("inf"):
+                row.append("n/a")
+                continue
+            marker = best_marker if best_per_model[model] == framework else ""
+            row.append(f"{value:.2f}{marker}")
+        rows.append(row)
+    return format_table(headers, rows, title)
+
+
+def speedup_summary(
+    latencies_ms: Mapping[str, Mapping[str, float]],
+    ours: str,
+    exclude_models: Sequence[str] = (),
+) -> Dict[str, float]:
+    """Per-model speedup of ``ours`` relative to the best *other* framework.
+
+    Values above 1.0 mean ``ours`` is faster than every baseline on that
+    model (the paper summarizes these as "0.94-1.15x on Intel, 0.92-1.72x on
+    AMD, 2.05-3.45x on ARM").
+    """
+    result: Dict[str, float] = {}
+    for model, per_framework in latencies_ms.items():
+        if model in exclude_models:
+            continue
+        ours_value = per_framework.get(ours)
+        others = [
+            value
+            for name, value in per_framework.items()
+            if name != ours and value is not None and value != float("inf")
+        ]
+        if ours_value is None or not others:
+            continue
+        result[model] = min(others) / ours_value
+    return result

@@ -1,0 +1,59 @@
+"""Table 1: qualitative feature comparison of NeoCPU and existing works.
+
+Table 1 of the paper is not a measurement but a capability matrix
+(operation-level optimization, graph-level optimization, joint optimization,
+open source).  It is reproduced here as structured data so the benchmark can
+print it alongside the measured tables and so tests can assert the claims we
+actually implement (NeoCPU: all four).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .reporting import format_table
+
+__all__ = ["FeatureRow", "TABLE1_ROWS", "run_table1"]
+
+
+@dataclass(frozen=True)
+class FeatureRow:
+    """One row of the capability matrix."""
+
+    system: str
+    op_level: str
+    graph_level: str
+    joint: str
+    open_source: str
+
+
+TABLE1_ROWS: Tuple[FeatureRow, ...] = (
+    FeatureRow("NeoCPU", "yes", "yes", "yes", "yes"),
+    FeatureRow("MXNet / TensorFlow", "3rd party", "limited", "no", "yes"),
+    FeatureRow("OpenVINO", "3rd party", "limited", "unknown", "no"),
+    FeatureRow("Original TVM", "incomplete", "yes", "no", "yes"),
+    FeatureRow("Glow", "single core", "yes", "no", "yes"),
+)
+
+
+def run_table1() -> Dict[str, Dict[str, str]]:
+    """Return the capability matrix as nested dictionaries."""
+    return {
+        row.system: {
+            "op_level_opt": row.op_level,
+            "graph_level_opt": row.graph_level,
+            "joint_opt": row.joint,
+            "open_source": row.open_source,
+        }
+        for row in TABLE1_ROWS
+    }
+
+
+def format_table1() -> str:
+    headers = ["System", "Op-level opt", "Graph-level opt", "Joint opt", "Open-source"]
+    rows: List[List[str]] = [
+        [row.system, row.op_level, row.graph_level, row.joint, row.open_source]
+        for row in TABLE1_ROWS
+    ]
+    return format_table(headers, rows, "Table 1: side-by-side feature comparison")

@@ -1,0 +1,117 @@
+"""Table 3: cumulative speedup of each optimization over the NCHW baseline.
+
+The paper reports, for ResNet-50, VGG-19, DenseNet-201, Inception-v3 and
+SSD-ResNet-50 on the Intel Skylake machine, the speedup obtained by applying
+(1) the blocked layout optimization of CONV, (2) layout-transformation
+elimination, and (3) the global scheme search, each row including all
+optimizations above it.  ``run_table3`` regenerates the same grid by
+compiling every model at the four optimization levels of
+:class:`~repro.core.config.OptLevel` and comparing estimated latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.compiler import compile_model
+from ..core.config import CompileConfig, OptLevel
+from ..core.tuning_db import TuningDatabase
+from ..hardware.cpu import CPUSpec
+from ..hardware.presets import get_target
+from ..models.zoo import get_model
+from .reporting import format_table
+
+__all__ = ["Table3Result", "run_table3", "TABLE3_MODELS", "PAPER_TABLE3_SPEEDUPS"]
+
+#: The five representative models of Table 3 (one per family).
+TABLE3_MODELS = (
+    "resnet-50",
+    "vgg-19",
+    "densenet-201",
+    "inception-v3",
+    "ssd-resnet-50",
+)
+
+#: Row labels in paper order, mapped to the compiler's optimization levels.
+ROW_LEVELS = (
+    ("Baseline", OptLevel.BASELINE),
+    ("Layout Opt.", OptLevel.LAYOUT),
+    ("Transform Elim.", OptLevel.TRANSFORM_ELIM),
+    ("Global Search", OptLevel.GLOBAL),
+)
+
+#: Published Table 3 speedups, for EXPERIMENTS.md and shape-checking tests.
+PAPER_TABLE3_SPEEDUPS: Dict[str, Dict[str, float]] = {
+    "Layout Opt.": {
+        "resnet-50": 5.34, "vgg-19": 8.33, "densenet-201": 4.08,
+        "inception-v3": 7.41, "ssd-resnet-50": 6.34,
+    },
+    "Transform Elim.": {
+        "resnet-50": 8.22, "vgg-19": 9.33, "densenet-201": 5.51,
+        "inception-v3": 9.11, "ssd-resnet-50": 9.32,
+    },
+    "Global Search": {
+        "resnet-50": 12.25, "vgg-19": 10.54, "densenet-201": 6.89,
+        "inception-v3": 11.85, "ssd-resnet-50": 12.49,
+    },
+}
+
+
+@dataclass
+class Table3Result:
+    """Reproduced Table 3."""
+
+    cpu: str
+    num_threads: int
+    #: latencies_ms[row_label][model]
+    latencies_ms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def speedups(self) -> Dict[str, Dict[str, float]]:
+        """Cumulative speedup of each row over the baseline row."""
+        baseline = self.latencies_ms["Baseline"]
+        result: Dict[str, Dict[str, float]] = {}
+        for label, per_model in self.latencies_ms.items():
+            result[label] = {
+                model: baseline[model] / latency for model, latency in per_model.items()
+            }
+        return result
+
+    def format(self) -> str:
+        models = list(next(iter(self.latencies_ms.values())))
+        speedups = self.speedups()
+        headers = ["Speedup"] + models
+        rows: List[List[str]] = []
+        for label in self.latencies_ms:
+            rows.append(
+                [label] + [f"{speedups[label][model]:.2f}" for model in models]
+            )
+        title = (
+            f"Table 3: individual optimization speedup over the NCHW baseline "
+            f"({self.cpu}, {self.num_threads} threads)"
+        )
+        return format_table(headers, rows, title)
+
+
+def run_table3(
+    target: "CPUSpec | str" = "intel-skylake",
+    models: Sequence[str] = TABLE3_MODELS,
+    num_threads: Optional[int] = None,
+    tuning_db: Optional[TuningDatabase] = None,
+) -> Table3Result:
+    """Reproduce Table 3 (ablation of the three optimization stages)."""
+    cpu = target if isinstance(target, CPUSpec) else get_target(target)
+    threads = num_threads if num_threads is not None else cpu.num_cores
+    database = tuning_db if tuning_db is not None else TuningDatabase()
+
+    result = Table3Result(cpu=cpu.name, num_threads=threads)
+    for label, _ in ROW_LEVELS:
+        result.latencies_ms[label] = {}
+
+    for model_name in models:
+        for label, level in ROW_LEVELS:
+            graph = get_model(model_name)
+            config = CompileConfig(opt_level=level, num_threads=threads)
+            module = compile_model(graph, cpu, config, tuning_database=database)
+            result.latencies_ms[label][model_name] = module.estimate_latency_ms(threads)
+    return result

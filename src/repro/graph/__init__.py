@@ -1,0 +1,16 @@
+"""Computation graph IR substrate: nodes, graphs, builder, shape inference."""
+
+from .builder import GraphBuilder
+from .graph import Graph
+from .node import Node, NodeKind
+from .shape_infer import InferenceError, edge_layouts, infer_shapes
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "InferenceError",
+    "Node",
+    "NodeKind",
+    "edge_layouts",
+    "infer_shapes",
+]

@@ -1,0 +1,162 @@
+"""The computation graph container.
+
+A :class:`Graph` is defined by its output nodes; every node reachable from an
+output (through the ``inputs`` edges) belongs to the graph.  Traversal is by
+post-order depth-first search, which yields a topological order of the DAG —
+the order the paper's global search (Algorithm 2) and the executor both use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .node import Node, NodeKind
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """A directed acyclic computation graph.
+
+    Attributes:
+        outputs: the graph's output nodes (usually one).
+        name: optional model name (e.g. ``"resnet50"``).
+    """
+
+    def __init__(self, outputs: Sequence[Node], name: str = "graph") -> None:
+        if not outputs:
+            raise ValueError("a graph needs at least one output node")
+        self.outputs: List[Node] = list(outputs)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def topological_order(self) -> List[Node]:
+        """All reachable nodes in topological (producers-first) order."""
+        visited: Dict[int, bool] = {}
+        order: List[Node] = []
+        # Iterative post-order DFS to survive very deep graphs (ResNet-152,
+        # DenseNet-201) without hitting the recursion limit.
+        for output in self.outputs:
+            stack: List[tuple] = [(output, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if expanded:
+                    if not visited.get(id(node), False):
+                        visited[id(node)] = True
+                        order.append(node)
+                    continue
+                if visited.get(id(node), False):
+                    continue
+                stack.append((node, True))
+                for producer in reversed(node.inputs):
+                    if not visited.get(id(producer), False):
+                        stack.append((producer, False))
+        return order
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.topological_order())
+
+    def __len__(self) -> int:
+        return len(self.topological_order())
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> List[Node]:
+        return self.topological_order()
+
+    def op_nodes(self, op_name: Optional[str] = None) -> List[Node]:
+        """All op nodes, optionally filtered by operator name."""
+        result = []
+        for node in self.topological_order():
+            if not node.is_op:
+                continue
+            if op_name is None or node.op == op_name:
+                result.append(node)
+        return result
+
+    def input_nodes(self) -> List[Node]:
+        return [n for n in self.topological_order() if n.is_input]
+
+    def constant_nodes(self) -> List[Node]:
+        return [n for n in self.topological_order() if n.is_constant]
+
+    def find(self, name: str) -> Node:
+        for node in self.topological_order():
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r} in graph {self.name}")
+
+    def consumers(self) -> Dict[int, List[Node]]:
+        """Map from node id() to the list of nodes consuming its output."""
+        table: Dict[int, List[Node]] = {}
+        for node in self.topological_order():
+            for producer in node.inputs:
+                table.setdefault(id(producer), []).append(node)
+        return table
+
+    def op_histogram(self) -> Dict[str, int]:
+        """Count of each operator type (useful for sanity-checking models)."""
+        histogram: Dict[str, int] = {}
+        for node in self.op_nodes():
+            histogram[node.op] = histogram.get(node.op, 0) + 1
+        return histogram
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters held by constant nodes."""
+        total = 0
+        for node in self.constant_nodes():
+            if node.spec is not None:
+                total += node.spec.size
+        return total
+
+    # ------------------------------------------------------------------ #
+    # surgery
+    # ------------------------------------------------------------------ #
+    def replace_node(self, old: Node, new: Node) -> int:
+        """Rewire every use of ``old`` (including outputs) to ``new``.
+
+        Returns the number of rewired references.
+        """
+        count = 0
+        for node in self.topological_order():
+            if node is new:
+                continue
+            count += node.replace_input(old, new)
+        for i, output in enumerate(self.outputs):
+            if output is old:
+                self.outputs[i] = new
+                count += 1
+        return count
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        from ..ops.registry import registry
+
+        for node in self.topological_order():
+            if node.is_op:
+                if node.op not in registry:
+                    raise ValueError(f"node {node.name} uses unknown op {node.op!r}")
+                op_def = registry.get(node.op)
+                if op_def.num_inputs is not None and len(node.inputs) != op_def.num_inputs:
+                    raise ValueError(
+                        f"node {node.name} ({node.op}) expects {op_def.num_inputs} "
+                        f"inputs, has {len(node.inputs)}"
+                    )
+            elif node.inputs:
+                raise ValueError(f"{node.kind} node {node.name} must not have inputs")
+
+    def summary(self) -> str:
+        """A human-readable multi-line summary of the graph."""
+        histogram = self.op_histogram()
+        lines = [f"Graph {self.name!r}: {len(self)} nodes, "
+                 f"{self.num_parameters():,} parameters"]
+        for op_name in sorted(histogram):
+            lines.append(f"  {op_name:<20s} x {histogram[op_name]}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Graph(name={self.name!r}, nodes={len(self)})"

@@ -1,0 +1,100 @@
+"""Graph pass infrastructure.
+
+NeoCPU's graph-level optimizations are organized as passes over the graph IR
+("we implemented the ideas by introducing multiple graph-level optimization
+passes to the TVM stack", section 3.2).  A pass is a callable taking and
+returning a :class:`~repro.graph.graph.Graph`; the :class:`PassManager`
+applies an ordered list of them and records what ran, which the compiler
+surfaces in its report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..graph import Graph
+
+__all__ = ["GraphPass", "FunctionPass", "PassManager", "PassRecord"]
+
+
+class GraphPass:
+    """Base class for graph transformations.
+
+    Subclasses override :meth:`run`.  Passes mutate the graph in place and
+    return it (returning a different Graph object is also allowed).
+    """
+
+    #: Human-readable pass name; defaults to the class name.
+    name: str = ""
+
+    def run(self, graph: Graph) -> Graph:
+        raise NotImplementedError
+
+    def __call__(self, graph: Graph) -> Graph:
+        return self.run(graph)
+
+    def __repr__(self) -> str:
+        return f"<{self.name or type(self).__name__}>"
+
+
+class FunctionPass(GraphPass):
+    """Wrap a plain ``Graph -> Graph`` function as a pass."""
+
+    def __init__(self, func: Callable[[Graph], Graph], name: Optional[str] = None) -> None:
+        self._func = func
+        self.name = name or getattr(func, "__name__", "function_pass")
+
+    def run(self, graph: Graph) -> Graph:
+        return self._func(graph)
+
+
+@dataclass
+class PassRecord:
+    """Bookkeeping entry for one executed pass."""
+
+    name: str
+    nodes_before: int
+    nodes_after: int
+    elapsed_s: float
+
+
+@dataclass
+class PassManager:
+    """Apply a sequence of passes and keep a record of what happened."""
+
+    passes: List[GraphPass] = field(default_factory=list)
+    records: List[PassRecord] = field(default_factory=list)
+
+    def add(self, graph_pass: "GraphPass | Callable[[Graph], Graph]") -> "PassManager":
+        if not isinstance(graph_pass, GraphPass):
+            graph_pass = FunctionPass(graph_pass)
+        self.passes.append(graph_pass)
+        return self
+
+    def run(self, graph: Graph) -> Graph:
+        self.records = []
+        for graph_pass in self.passes:
+            before = len(graph)
+            start = time.perf_counter()
+            graph = graph_pass(graph)
+            elapsed = time.perf_counter() - start
+            self.records.append(
+                PassRecord(
+                    name=graph_pass.name or type(graph_pass).__name__,
+                    nodes_before=before,
+                    nodes_after=len(graph),
+                    elapsed_s=elapsed,
+                )
+            )
+        return graph
+
+    def report(self) -> str:
+        lines = ["pass                          nodes(before->after)   time"]
+        for record in self.records:
+            lines.append(
+                f"{record.name:<30s}{record.nodes_before:>6d} -> {record.nodes_after:<6d}"
+                f"   {record.elapsed_s * 1e3:7.2f} ms"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Whole-graph shape and layout inference.
+
+Walks the graph in topological order and fills in every op node's output
+:class:`TensorSpec` using the operator registry's ``infer_shape`` functions.
+This is the "traverse the computation graph to infer the data layout of each
+node" step of section 3.2 (left side of Figure 2): after the alter-layout
+pass has assigned blocked layouts and inserted LayoutTransform nodes, a
+re-run of inference annotates every edge with the layout flowing across it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ops.registry import registry
+from ..tensor.layout import Layout
+from ..tensor.tensor import TensorSpec
+from .graph import Graph
+from .node import Node
+
+__all__ = ["infer_shapes", "InferenceError", "edge_layouts"]
+
+
+class InferenceError(RuntimeError):
+    """Raised when shape inference fails for a node."""
+
+
+def infer_shapes(graph: Graph) -> Graph:
+    """Run shape/layout inference in place and return the graph.
+
+    Input and constant nodes must already carry specs.
+
+    Raises:
+        InferenceError: if a node's inputs lack specs or an operator's
+            inference function rejects them.
+    """
+    for node in graph.topological_order():
+        if node.is_input or node.is_constant:
+            if node.spec is None:
+                raise InferenceError(
+                    f"{node.kind} node {node.name!r} has no TensorSpec"
+                )
+            continue
+        in_specs = []
+        for producer in node.inputs:
+            if producer.spec is None:
+                raise InferenceError(
+                    f"producer {producer.name!r} of {node.name!r} has no spec "
+                    "(is the graph topologically consistent?)"
+                )
+            in_specs.append(producer.spec)
+        op_def = registry.get(node.op)
+        try:
+            node.spec = op_def.infer_shape(node.attrs, in_specs)
+        except Exception as exc:  # re-raise with node context
+            raise InferenceError(
+                f"shape inference failed for node {node.name!r} ({node.op}): {exc}"
+            ) from exc
+    return graph
+
+
+def edge_layouts(graph: Graph) -> Dict[str, str]:
+    """Map each node name to the layout string of its output edge.
+
+    Convenience view over the inferred specs, used by tests and by the
+    illustration example that re-creates Figure 2.
+    """
+    infer_shapes(graph)
+    result: Dict[str, str] = {}
+    for node in graph.topological_order():
+        if node.spec is not None:
+            result[node.name] = str(node.spec.layout)
+    return result
+
+
+def output_layout(node: Node) -> Optional[Layout]:
+    """The layout of a node's output spec, or ``None`` when not yet inferred."""
+    return None if node.spec is None else node.spec.layout

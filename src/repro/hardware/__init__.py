@@ -1,0 +1,31 @@
+"""Hardware model substrate: SIMD ISAs, caches and CPU target descriptions."""
+
+from .cache import CacheHierarchy, CacheLevel
+from .cpu import CPUSpec, make_cpu
+from .isa import AVX2, AVX512, ISA, NEON, SSE4, isa_from_name, known_isas
+from .presets import (
+    amd_epyc_m5a_12xlarge,
+    arm_cortex_a72_a1_4xlarge,
+    get_target,
+    intel_skylake_c5_9xlarge,
+    known_targets,
+)
+
+__all__ = [
+    "AVX2",
+    "AVX512",
+    "CPUSpec",
+    "CacheHierarchy",
+    "CacheLevel",
+    "ISA",
+    "NEON",
+    "SSE4",
+    "amd_epyc_m5a_12xlarge",
+    "arm_cortex_a72_a1_4xlarge",
+    "get_target",
+    "intel_skylake_c5_9xlarge",
+    "isa_from_name",
+    "known_isas",
+    "known_targets",
+    "make_cpu",
+]

@@ -1,0 +1,119 @@
+"""Preset CPU targets matching the paper's evaluation platforms.
+
+Section 4 of the paper evaluates on three Amazon EC2 instance types:
+
+* **Intel Skylake** — C5.9xlarge, 18 physical cores, AVX-512.
+* **AMD EPYC**      — M5a.12xlarge, 24 physical cores, AVX2.
+* **ARM Cortex-A72** — A1.4xlarge (Graviton), 16 physical cores, NEON.
+
+The micro-architectural constants below (clocks, cache sizes, bandwidth) are
+taken from public spec sheets for those parts; they feed the analytical cost
+model which substitutes for running on the real machines (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .cpu import CPUSpec, make_cpu
+from .isa import AVX512, ISA, NEON
+
+#: AMD EPYC 7571 (Zen 1) executes 256-bit AVX2 FMAs on 128-bit datapaths, so
+#: its effective vector FMA throughput is half that of a full-width AVX2 core.
+AVX2_ZEN1 = ISA(name="avx2-zen1", vector_bits=256, num_vector_registers=16, fma_units=1)
+
+__all__ = [
+    "intel_skylake_c5_9xlarge",
+    "amd_epyc_m5a_12xlarge",
+    "arm_cortex_a72_a1_4xlarge",
+    "get_target",
+    "known_targets",
+]
+
+
+def intel_skylake_c5_9xlarge() -> CPUSpec:
+    """18-core Intel Skylake-SP (EC2 C5.9xlarge), AVX-512."""
+    return make_cpu(
+        name="intel-skylake-c5.9xlarge",
+        vendor="intel",
+        arch="x86_64",
+        isa=AVX512,
+        num_cores=18,
+        frequency_ghz=3.0,
+        l1_kib=32,
+        l2_kib=1024,
+        l3_mib=24.75,
+        dram_bandwidth_gbps=90.0,
+    )
+
+
+def amd_epyc_m5a_12xlarge() -> CPUSpec:
+    """24-core AMD EPYC 7571 (EC2 M5a.12xlarge), AVX2."""
+    return make_cpu(
+        name="amd-epyc-m5a.12xlarge",
+        vendor="amd",
+        arch="x86_64",
+        isa=AVX2_ZEN1,
+        num_cores=24,
+        frequency_ghz=2.5,
+        l1_kib=32,
+        l2_kib=512,
+        l3_mib=64.0,
+        dram_bandwidth_gbps=120.0,
+    )
+
+
+def arm_cortex_a72_a1_4xlarge() -> CPUSpec:
+    """16-core ARM Cortex-A72 (EC2 A1.4xlarge / Graviton), NEON."""
+    return make_cpu(
+        name="arm-cortex-a72-a1.4xlarge",
+        vendor="arm",
+        arch="aarch64",
+        isa=NEON,
+        num_cores=16,
+        frequency_ghz=2.3,
+        l1_kib=32,
+        l2_kib=2048,
+        l3_mib=0.0,
+        dram_bandwidth_gbps=40.0,
+        smt=1,
+    )
+
+
+_TARGET_FACTORIES = {
+    "skylake": intel_skylake_c5_9xlarge,
+    "intel": intel_skylake_c5_9xlarge,
+    "intel-skylake": intel_skylake_c5_9xlarge,
+    "epyc": amd_epyc_m5a_12xlarge,
+    "amd": amd_epyc_m5a_12xlarge,
+    "amd-epyc": amd_epyc_m5a_12xlarge,
+    "cortex-a72": arm_cortex_a72_a1_4xlarge,
+    "arm": arm_cortex_a72_a1_4xlarge,
+    "arm-cortex-a72": arm_cortex_a72_a1_4xlarge,
+}
+
+_CACHE: Dict[str, CPUSpec] = {}
+
+
+def get_target(name: str) -> CPUSpec:
+    """Resolve a CPU target by (aliased) name.
+
+    Accepted names include ``"skylake"``/``"intel"``, ``"epyc"``/``"amd"`` and
+    ``"cortex-a72"``/``"arm"``.
+
+    Raises:
+        KeyError: for unknown target names.
+    """
+    key = name.lower()
+    if key not in _TARGET_FACTORIES:
+        raise KeyError(
+            f"unknown CPU target {name!r}; known aliases: {sorted(_TARGET_FACTORIES)}"
+        )
+    if key not in _CACHE:
+        _CACHE[key] = _TARGET_FACTORIES[key]()
+    return _CACHE[key]
+
+
+def known_targets() -> Tuple[str, ...]:
+    """Canonical target names of the paper's three evaluation platforms."""
+    return ("intel-skylake", "amd-epyc", "arm-cortex-a72")

@@ -1,0 +1,39 @@
+"""Model zoo: the 15 CNN models of the paper's evaluation (Table 2)."""
+
+from .common import IMAGENET_CLASSES, classifier_head, conv_block, conv_bn
+from .densenet import densenet, densenet121, densenet161, densenet169, densenet201
+from .inception import inception_v3
+from .resnet import resnet, resnet18, resnet34, resnet50, resnet101, resnet152
+from .ssd import ssd_resnet50
+from .vgg import vgg, vgg11, vgg13, vgg16, vgg19
+from .zoo import EVALUATION_MODELS, MODEL_REGISTRY, ModelInfo, get_model, list_models
+
+__all__ = [
+    "EVALUATION_MODELS",
+    "IMAGENET_CLASSES",
+    "MODEL_REGISTRY",
+    "ModelInfo",
+    "classifier_head",
+    "conv_bn",
+    "conv_block",
+    "densenet",
+    "densenet121",
+    "densenet161",
+    "densenet169",
+    "densenet201",
+    "get_model",
+    "inception_v3",
+    "list_models",
+    "resnet",
+    "resnet101",
+    "resnet152",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "ssd_resnet50",
+    "vgg",
+    "vgg11",
+    "vgg13",
+    "vgg16",
+    "vgg19",
+]

@@ -1,0 +1,74 @@
+"""Shared building blocks for the model zoo.
+
+The 15 evaluation models (section 4 of the paper: ResNet, VGG, DenseNet,
+Inception-v3 and SSD-ResNet-50) are built with the graph builder; the helpers
+here factor out the conv+BN+ReLU pattern and the classifier head they all
+share.  All models take a single image per inference (batch 1), matching the
+paper's latency measurements, unless a different batch size is requested.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ..graph.builder import GraphBuilder
+from ..graph.node import Node
+
+__all__ = ["conv_block", "conv_bn", "classifier_head", "IMAGENET_CLASSES"]
+
+#: Number of output classes of the ImageNet-1k classifiers.
+IMAGENET_CLASSES = 1000
+
+PairLike = Union[int, Tuple[int, int]]
+
+
+def conv_bn(
+    builder: GraphBuilder,
+    data: Node,
+    out_channels: int,
+    kernel: PairLike,
+    stride: PairLike = 1,
+    padding: PairLike = 0,
+    groups: int = 1,
+    name: Optional[str] = None,
+) -> Node:
+    """Convolution followed by batch norm (no activation)."""
+    conv = builder.conv2d(
+        data,
+        out_channels=out_channels,
+        kernel=kernel,
+        stride=stride,
+        padding=padding,
+        groups=groups,
+        use_bias=False,
+        name=name,
+    )
+    return builder.batch_norm(conv, name=f"{name}_bn" if name else None)
+
+
+def conv_block(
+    builder: GraphBuilder,
+    data: Node,
+    out_channels: int,
+    kernel: PairLike,
+    stride: PairLike = 1,
+    padding: PairLike = 0,
+    groups: int = 1,
+    name: Optional[str] = None,
+) -> Node:
+    """The ubiquitous convolution + batch norm + ReLU block."""
+    bn = conv_bn(builder, data, out_channels, kernel, stride, padding, groups, name)
+    return builder.relu(bn, name=f"{name}_relu" if name else None)
+
+
+def classifier_head(
+    builder: GraphBuilder,
+    data: Node,
+    num_classes: int = IMAGENET_CLASSES,
+    name: str = "fc",
+) -> Node:
+    """Global average pooling + flatten + dense + softmax classifier."""
+    pooled = builder.global_avg_pool2d(data, name="global_pool")
+    flat = builder.flatten(pooled, name="flatten")
+    logits = builder.dense(flat, units=num_classes, name=name)
+    return builder.softmax(logits, axis=-1, name="prob")

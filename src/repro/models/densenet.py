@@ -1,0 +1,111 @@
+"""DenseNet model family (Huang et al., CVPR 2017).
+
+DenseNet concatenates every layer's output with all previous outputs inside a
+dense block.  The concatenations make the channel counts irregular multiples
+of the growth rate, which stresses the layout machinery (channel counts must
+stay divisible by the chosen block size or transforms appear) and creates
+many layout-coupling edges for the global search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+from ..graph.node import Node
+from .common import IMAGENET_CLASSES, classifier_head, conv_block
+
+__all__ = [
+    "densenet",
+    "densenet121",
+    "densenet161",
+    "densenet169",
+    "densenet201",
+    "DENSENET_CONFIGS",
+]
+
+#: (growth_rate, initial_channels, block sizes) per depth.
+DENSENET_CONFIGS: Dict[int, Tuple[int, int, List[int]]] = {
+    121: (32, 64, [6, 12, 24, 16]),
+    161: (48, 96, [6, 12, 36, 24]),
+    169: (32, 64, [6, 12, 32, 32]),
+    201: (32, 64, [6, 12, 48, 32]),
+}
+
+
+def _dense_layer(
+    builder: GraphBuilder, data: Node, growth_rate: int, name: str
+) -> Node:
+    """BN-ReLU-1x1 bottleneck, BN-ReLU-3x3, concatenated with the input."""
+    x = builder.batch_norm(data, name=f"{name}_bn1")
+    x = builder.relu(x, name=f"{name}_relu1")
+    x = builder.conv2d(x, 4 * growth_rate, 1, use_bias=False, name=f"{name}_conv1")
+    x = builder.batch_norm(x, name=f"{name}_bn2")
+    x = builder.relu(x, name=f"{name}_relu2")
+    x = builder.conv2d(x, growth_rate, 3, padding=1, use_bias=False, name=f"{name}_conv2")
+    return builder.concat([data, x], axis="C", name=f"{name}_concat")
+
+
+def _transition(builder: GraphBuilder, data: Node, name: str) -> Node:
+    """BN-ReLU-1x1 (halving channels) followed by 2x2 average pooling."""
+    channels = data.spec.axis_extent("C") // 2
+    x = builder.batch_norm(data, name=f"{name}_bn")
+    x = builder.relu(x, name=f"{name}_relu")
+    x = builder.conv2d(x, channels, 1, use_bias=False, name=f"{name}_conv")
+    return builder.avg_pool2d(x, 2, 2, name=f"{name}_pool")
+
+
+def densenet(
+    depth: int,
+    batch: int = 1,
+    image_size: int = 224,
+    num_classes: int = IMAGENET_CLASSES,
+) -> Graph:
+    """Build a DenseNet classifier graph."""
+    if depth not in DENSENET_CONFIGS:
+        raise ValueError(
+            f"unsupported DenseNet depth {depth}; supported: {sorted(DENSENET_CONFIGS)}"
+        )
+    growth_rate, init_channels, block_sizes = DENSENET_CONFIGS[depth]
+    builder = GraphBuilder(f"densenet{depth}")
+    data = builder.input("data", (batch, 3, image_size, image_size))
+
+    x = conv_block(builder, data, init_channels, 7, 2, 3, name="stem_conv")
+    x = builder.max_pool2d(x, 3, 2, 1, name="stem_pool")
+
+    for block_index, num_layers in enumerate(block_sizes):
+        for layer_index in range(num_layers):
+            x = _dense_layer(
+                builder,
+                x,
+                growth_rate,
+                name=f"block{block_index + 1}_layer{layer_index + 1}",
+            )
+        if block_index != len(block_sizes) - 1:
+            x = _transition(builder, x, name=f"transition{block_index + 1}")
+
+    x = builder.batch_norm(x, name="final_bn")
+    x = builder.relu(x, name="final_relu")
+    output = classifier_head(builder, x, num_classes)
+    return builder.build(output)
+
+
+def densenet121(batch: int = 1, image_size: int = 224) -> Graph:
+    """DenseNet-121 (growth 32, blocks 6-12-24-16)."""
+    return densenet(121, batch, image_size)
+
+
+def densenet161(batch: int = 1, image_size: int = 224) -> Graph:
+    """DenseNet-161 (growth 48, blocks 6-12-36-24)."""
+    return densenet(161, batch, image_size)
+
+
+def densenet169(batch: int = 1, image_size: int = 224) -> Graph:
+    """DenseNet-169 (growth 32, blocks 6-12-32-32)."""
+    return densenet(169, batch, image_size)
+
+
+def densenet201(batch: int = 1, image_size: int = 224) -> Graph:
+    """DenseNet-201 (growth 32, blocks 6-12-48-32)."""
+    return densenet(201, batch, image_size)

@@ -1,0 +1,132 @@
+"""Inception-v3 (Szegedy et al., CVPR 2016).
+
+Inception-v3 mixes many convolution shapes — 1x1, 3x3, 5x5 and the factorized
+1x7 / 7x1 pairs — across parallel branches joined by channel concatenation.
+That diversity of workloads is exactly what the per-workload local search is
+for, and the branch/concat structure creates the layout-coupling the global
+search has to resolve.  The evaluation feeds 299x299 inputs (section 4).
+"""
+
+from __future__ import annotations
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+from ..graph.node import Node
+from .common import IMAGENET_CLASSES, classifier_head, conv_block
+
+__all__ = ["inception_v3"]
+
+
+def _inception_a(builder: GraphBuilder, x: Node, pool_features: int, name: str) -> Node:
+    branch1 = conv_block(builder, x, 64, 1, name=f"{name}_b1_1x1")
+
+    branch2 = conv_block(builder, x, 48, 1, name=f"{name}_b2_1x1")
+    branch2 = conv_block(builder, branch2, 64, 5, padding=2, name=f"{name}_b2_5x5")
+
+    branch3 = conv_block(builder, x, 64, 1, name=f"{name}_b3_1x1")
+    branch3 = conv_block(builder, branch3, 96, 3, padding=1, name=f"{name}_b3_3x3a")
+    branch3 = conv_block(builder, branch3, 96, 3, padding=1, name=f"{name}_b3_3x3b")
+
+    branch4 = builder.avg_pool2d(x, 3, 1, 1, name=f"{name}_b4_pool")
+    branch4 = conv_block(builder, branch4, pool_features, 1, name=f"{name}_b4_1x1")
+
+    return builder.concat([branch1, branch2, branch3, branch4], name=f"{name}_concat")
+
+
+def _inception_b(builder: GraphBuilder, x: Node, name: str) -> Node:
+    branch1 = conv_block(builder, x, 384, 3, stride=2, name=f"{name}_b1_3x3")
+
+    branch2 = conv_block(builder, x, 64, 1, name=f"{name}_b2_1x1")
+    branch2 = conv_block(builder, branch2, 96, 3, padding=1, name=f"{name}_b2_3x3a")
+    branch2 = conv_block(builder, branch2, 96, 3, stride=2, name=f"{name}_b2_3x3b")
+
+    branch3 = builder.max_pool2d(x, 3, 2, name=f"{name}_b3_pool")
+
+    return builder.concat([branch1, branch2, branch3], name=f"{name}_concat")
+
+
+def _inception_c(builder: GraphBuilder, x: Node, channels_7x7: int, name: str) -> Node:
+    c7 = channels_7x7
+    branch1 = conv_block(builder, x, 192, 1, name=f"{name}_b1_1x1")
+
+    branch2 = conv_block(builder, x, c7, 1, name=f"{name}_b2_1x1")
+    branch2 = conv_block(builder, branch2, c7, (1, 7), padding=(0, 3), name=f"{name}_b2_1x7")
+    branch2 = conv_block(builder, branch2, 192, (7, 1), padding=(3, 0), name=f"{name}_b2_7x1")
+
+    branch3 = conv_block(builder, x, c7, 1, name=f"{name}_b3_1x1")
+    branch3 = conv_block(builder, branch3, c7, (7, 1), padding=(3, 0), name=f"{name}_b3_7x1a")
+    branch3 = conv_block(builder, branch3, c7, (1, 7), padding=(0, 3), name=f"{name}_b3_1x7a")
+    branch3 = conv_block(builder, branch3, c7, (7, 1), padding=(3, 0), name=f"{name}_b3_7x1b")
+    branch3 = conv_block(builder, branch3, 192, (1, 7), padding=(0, 3), name=f"{name}_b3_1x7b")
+
+    branch4 = builder.avg_pool2d(x, 3, 1, 1, name=f"{name}_b4_pool")
+    branch4 = conv_block(builder, branch4, 192, 1, name=f"{name}_b4_1x1")
+
+    return builder.concat([branch1, branch2, branch3, branch4], name=f"{name}_concat")
+
+
+def _inception_d(builder: GraphBuilder, x: Node, name: str) -> Node:
+    branch1 = conv_block(builder, x, 192, 1, name=f"{name}_b1_1x1")
+    branch1 = conv_block(builder, branch1, 320, 3, stride=2, name=f"{name}_b1_3x3")
+
+    branch2 = conv_block(builder, x, 192, 1, name=f"{name}_b2_1x1")
+    branch2 = conv_block(builder, branch2, 192, (1, 7), padding=(0, 3), name=f"{name}_b2_1x7")
+    branch2 = conv_block(builder, branch2, 192, (7, 1), padding=(3, 0), name=f"{name}_b2_7x1")
+    branch2 = conv_block(builder, branch2, 192, 3, stride=2, name=f"{name}_b2_3x3")
+
+    branch3 = builder.max_pool2d(x, 3, 2, name=f"{name}_b3_pool")
+
+    return builder.concat([branch1, branch2, branch3], name=f"{name}_concat")
+
+
+def _inception_e(builder: GraphBuilder, x: Node, name: str) -> Node:
+    branch1 = conv_block(builder, x, 320, 1, name=f"{name}_b1_1x1")
+
+    branch2 = conv_block(builder, x, 384, 1, name=f"{name}_b2_1x1")
+    branch2a = conv_block(builder, branch2, 384, (1, 3), padding=(0, 1), name=f"{name}_b2_1x3")
+    branch2b = conv_block(builder, branch2, 384, (3, 1), padding=(1, 0), name=f"{name}_b2_3x1")
+    branch2 = builder.concat([branch2a, branch2b], name=f"{name}_b2_concat")
+
+    branch3 = conv_block(builder, x, 448, 1, name=f"{name}_b3_1x1")
+    branch3 = conv_block(builder, branch3, 384, 3, padding=1, name=f"{name}_b3_3x3")
+    branch3a = conv_block(builder, branch3, 384, (1, 3), padding=(0, 1), name=f"{name}_b3_1x3")
+    branch3b = conv_block(builder, branch3, 384, (3, 1), padding=(1, 0), name=f"{name}_b3_3x1")
+    branch3 = builder.concat([branch3a, branch3b], name=f"{name}_b3_concat")
+
+    branch4 = builder.avg_pool2d(x, 3, 1, 1, name=f"{name}_b4_pool")
+    branch4 = conv_block(builder, branch4, 192, 1, name=f"{name}_b4_1x1")
+
+    return builder.concat([branch1, branch2, branch3, branch4], name=f"{name}_concat")
+
+
+def inception_v3(
+    batch: int = 1,
+    image_size: int = 299,
+    num_classes: int = IMAGENET_CLASSES,
+) -> Graph:
+    """Build the Inception-v3 classifier graph (299x299 inputs)."""
+    builder = GraphBuilder("inception_v3")
+    data = builder.input("data", (batch, 3, image_size, image_size))
+
+    # Stem.
+    x = conv_block(builder, data, 32, 3, stride=2, name="stem_conv1")
+    x = conv_block(builder, x, 32, 3, name="stem_conv2")
+    x = conv_block(builder, x, 64, 3, padding=1, name="stem_conv3")
+    x = builder.max_pool2d(x, 3, 2, name="stem_pool1")
+    x = conv_block(builder, x, 80, 1, name="stem_conv4")
+    x = conv_block(builder, x, 192, 3, name="stem_conv5")
+    x = builder.max_pool2d(x, 3, 2, name="stem_pool2")
+
+    # Inception blocks.
+    x = _inception_a(builder, x, 32, name="mixed1")
+    x = _inception_a(builder, x, 64, name="mixed2")
+    x = _inception_a(builder, x, 64, name="mixed3")
+    x = _inception_b(builder, x, name="mixed4")
+    for index, c7 in enumerate([128, 160, 160, 192]):
+        x = _inception_c(builder, x, c7, name=f"mixed{5 + index}")
+    x = _inception_d(builder, x, name="mixed9")
+    x = _inception_e(builder, x, name="mixed10")
+    x = _inception_e(builder, x, name="mixed11")
+
+    output = classifier_head(builder, x, num_classes)
+    return builder.build(output)

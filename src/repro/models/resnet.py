@@ -1,0 +1,169 @@
+"""ResNet v1 model family (He et al., CVPR 2016).
+
+ResNet-18/34 use basic (3x3 + 3x3) residual blocks; ResNet-50/101/152 use
+bottleneck (1x1 + 3x3 + 1x1) blocks.  These are the models for which the
+paper reports the largest benefit from the global search, because the
+residual additions couple the layout choices of convolutions on both branches
+(section 4.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+from ..graph.node import Node
+from .common import IMAGENET_CLASSES, classifier_head, conv_bn, conv_block
+
+__all__ = [
+    "resnet",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "RESNET_LAYER_CONFIGS",
+]
+
+#: layers-per-stage and block type for each ResNet depth.
+RESNET_LAYER_CONFIGS = {
+    18: ("basic", [2, 2, 2, 2]),
+    34: ("basic", [3, 4, 6, 3]),
+    50: ("bottleneck", [3, 4, 6, 3]),
+    101: ("bottleneck", [3, 4, 23, 3]),
+    152: ("bottleneck", [3, 8, 36, 3]),
+}
+
+#: Per-stage base channel counts.
+_STAGE_CHANNELS = [64, 128, 256, 512]
+
+
+def _basic_block(
+    builder: GraphBuilder,
+    data: Node,
+    channels: int,
+    stride: int,
+    downsample: bool,
+    name: str,
+) -> Node:
+    """Two 3x3 convolutions with an identity (or projected) shortcut."""
+    branch = conv_block(builder, data, channels, 3, stride, 1, name=f"{name}_conv1")
+    branch = conv_bn(builder, branch, channels, 3, 1, 1, name=f"{name}_conv2")
+    if downsample:
+        shortcut = conv_bn(builder, data, channels, 1, stride, 0, name=f"{name}_down")
+    else:
+        shortcut = data
+    added = builder.elemwise_add(branch, shortcut, name=f"{name}_add")
+    return builder.relu(added, name=f"{name}_relu")
+
+
+def _bottleneck_block(
+    builder: GraphBuilder,
+    data: Node,
+    channels: int,
+    stride: int,
+    downsample: bool,
+    name: str,
+) -> Node:
+    """1x1 reduce, 3x3, 1x1 expand (4x) with a shortcut."""
+    expansion = channels * 4
+    branch = conv_block(builder, data, channels, 1, 1, 0, name=f"{name}_conv1")
+    branch = conv_block(builder, branch, channels, 3, stride, 1, name=f"{name}_conv2")
+    branch = conv_bn(builder, branch, expansion, 1, 1, 0, name=f"{name}_conv3")
+    if downsample:
+        shortcut = conv_bn(builder, data, expansion, 1, stride, 0, name=f"{name}_down")
+    else:
+        shortcut = data
+    added = builder.elemwise_add(branch, shortcut, name=f"{name}_add")
+    return builder.relu(added, name=f"{name}_relu")
+
+
+def resnet_backbone(
+    builder: GraphBuilder,
+    data: Node,
+    depth: int,
+    output_stages: Optional[Tuple[int, ...]] = None,
+) -> "Node | List[Node]":
+    """Build the convolutional trunk of a ResNet.
+
+    Args:
+        builder: graph builder to add nodes to.
+        data: input image node.
+        depth: one of 18/34/50/101/152.
+        output_stages: when given, also return the intermediate outputs of the
+            listed stages (1-based); used by SSD to tap the ResNet-50 trunk.
+
+    Returns:
+        The final feature map, or ``[final, *tapped]`` when ``output_stages``
+        is given.
+    """
+    if depth not in RESNET_LAYER_CONFIGS:
+        raise ValueError(
+            f"unsupported ResNet depth {depth}; supported: {sorted(RESNET_LAYER_CONFIGS)}"
+        )
+    block_type, layers = RESNET_LAYER_CONFIGS[depth]
+    block = _basic_block if block_type == "basic" else _bottleneck_block
+
+    x = conv_block(builder, data, 64, 7, 2, 3, name="stem_conv")
+    x = builder.max_pool2d(x, 3, 2, 1, name="stem_pool")
+
+    tapped: List[Node] = []
+    for stage_index, (num_blocks, channels) in enumerate(zip(layers, _STAGE_CHANNELS)):
+        for block_index in range(num_blocks):
+            stride = 2 if (stage_index > 0 and block_index == 0) else 1
+            expansion = 4 if block_type == "bottleneck" else 1
+            in_channels = x.spec.axis_extent("C")
+            downsample = stride != 1 or in_channels != channels * expansion
+            x = block(
+                builder,
+                x,
+                channels,
+                stride,
+                downsample,
+                name=f"stage{stage_index + 1}_block{block_index + 1}",
+            )
+        if output_stages and (stage_index + 1) in output_stages:
+            tapped.append(x)
+    if output_stages:
+        return [x] + tapped
+    return x
+
+
+def resnet(
+    depth: int,
+    batch: int = 1,
+    image_size: int = 224,
+    num_classes: int = IMAGENET_CLASSES,
+) -> Graph:
+    """Build a complete ResNet classifier graph."""
+    builder = GraphBuilder(f"resnet{depth}")
+    data = builder.input("data", (batch, 3, image_size, image_size))
+    features = resnet_backbone(builder, data, depth)
+    output = classifier_head(builder, features, num_classes)
+    return builder.build(output)
+
+
+def resnet18(batch: int = 1, image_size: int = 224) -> Graph:
+    """ResNet-18 (basic blocks, 2-2-2-2)."""
+    return resnet(18, batch, image_size)
+
+
+def resnet34(batch: int = 1, image_size: int = 224) -> Graph:
+    """ResNet-34 (basic blocks, 3-4-6-3)."""
+    return resnet(34, batch, image_size)
+
+
+def resnet50(batch: int = 1, image_size: int = 224) -> Graph:
+    """ResNet-50 (bottleneck blocks, 3-4-6-3)."""
+    return resnet(50, batch, image_size)
+
+
+def resnet101(batch: int = 1, image_size: int = 224) -> Graph:
+    """ResNet-101 (bottleneck blocks, 3-4-23-3)."""
+    return resnet(101, batch, image_size)
+
+
+def resnet152(batch: int = 1, image_size: int = 224) -> Graph:
+    """ResNet-152 (bottleneck blocks, 3-8-36-3)."""
+    return resnet(152, batch, image_size)

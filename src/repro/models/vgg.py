@@ -1,0 +1,100 @@
+"""VGG model family (Simonyan & Zisserman, 2014).
+
+VGG-11/13/16/19 are plain chains of 3x3 convolutions — the structurally
+simplest models of the evaluation, which is why the paper observes the
+smallest additional gain from the global search on them (section 4.2.3): with
+no branches there is little layout coupling to exploit beyond keeping the
+blocked layout flowing.
+
+The classifier uses the original two 4096-unit fully-connected layers (with
+inference-time dropout that the simplification pass removes), which dominate
+the parameter count and make VGG the most memory-bound model of the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+from .common import IMAGENET_CLASSES, conv_block
+
+__all__ = ["vgg", "vgg11", "vgg13", "vgg16", "vgg19", "VGG_CONFIGS"]
+
+#: Number of 3x3 convolutions per stage for each VGG depth.
+VGG_CONFIGS: Dict[int, List[int]] = {
+    11: [1, 1, 2, 2, 2],
+    13: [2, 2, 2, 2, 2],
+    16: [2, 2, 3, 3, 3],
+    19: [2, 2, 4, 4, 4],
+}
+
+#: Output channels of each stage.
+_STAGE_CHANNELS = [64, 128, 256, 512, 512]
+
+
+def vgg(
+    depth: int,
+    batch: int = 1,
+    image_size: int = 224,
+    num_classes: int = IMAGENET_CLASSES,
+    use_batch_norm: bool = True,
+) -> Graph:
+    """Build a VGG classifier graph.
+
+    Args:
+        depth: 11, 13, 16 or 19.
+        batch: batch size (the paper uses 1).
+        image_size: input resolution (224 in the evaluation).
+        num_classes: classifier width.
+        use_batch_norm: build the BN variant (as in the Gluon model zoo used
+            by the paper's MXNet baseline).
+    """
+    if depth not in VGG_CONFIGS:
+        raise ValueError(f"unsupported VGG depth {depth}; supported: {sorted(VGG_CONFIGS)}")
+    builder = GraphBuilder(f"vgg{depth}")
+    data = builder.input("data", (batch, 3, image_size, image_size))
+
+    x = data
+    for stage_index, (num_convs, channels) in enumerate(
+        zip(VGG_CONFIGS[depth], _STAGE_CHANNELS)
+    ):
+        for conv_index in range(num_convs):
+            name = f"stage{stage_index + 1}_conv{conv_index + 1}"
+            if use_batch_norm:
+                x = conv_block(builder, x, channels, 3, 1, 1, name=name)
+            else:
+                conv = builder.conv2d(x, channels, 3, 1, 1, use_bias=True, name=name)
+                x = builder.relu(conv, name=f"{name}_relu")
+        x = builder.max_pool2d(x, 2, 2, name=f"stage{stage_index + 1}_pool")
+
+    x = builder.flatten(x, name="flatten")
+    x = builder.dense(x, 4096, name="fc6")
+    x = builder.relu(x, name="fc6_relu")
+    x = builder.dropout(x, 0.5, name="fc6_dropout")
+    x = builder.dense(x, 4096, name="fc7")
+    x = builder.relu(x, name="fc7_relu")
+    x = builder.dropout(x, 0.5, name="fc7_dropout")
+    x = builder.dense(x, num_classes, name="fc8")
+    output = builder.softmax(x, axis=-1, name="prob")
+    return builder.build(output)
+
+
+def vgg11(batch: int = 1, image_size: int = 224) -> Graph:
+    """VGG-11 (configuration A)."""
+    return vgg(11, batch, image_size)
+
+
+def vgg13(batch: int = 1, image_size: int = 224) -> Graph:
+    """VGG-13 (configuration B)."""
+    return vgg(13, batch, image_size)
+
+
+def vgg16(batch: int = 1, image_size: int = 224) -> Graph:
+    """VGG-16 (configuration D)."""
+    return vgg(16, batch, image_size)
+
+
+def vgg19(batch: int = 1, image_size: int = 224) -> Graph:
+    """VGG-19 (configuration E)."""
+    return vgg(19, batch, image_size)

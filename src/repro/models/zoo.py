@@ -1,0 +1,116 @@
+"""Model zoo entry point.
+
+``get_model(name)`` builds any of the 15 CNN models of the paper's evaluation
+(Table 2) with the input resolution used there: 224x224 for ResNet, VGG and
+DenseNet, 299x299 for Inception-v3 and 512x512 for SSD-ResNet-50, all with
+batch size 1 by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..graph.graph import Graph
+from .densenet import densenet121, densenet161, densenet169, densenet201
+from .inception import inception_v3
+from .resnet import resnet18, resnet34, resnet50, resnet101, resnet152
+from .ssd import ssd_resnet50
+from .vgg import vgg11, vgg13, vgg16, vgg19
+
+__all__ = ["ModelInfo", "MODEL_REGISTRY", "EVALUATION_MODELS", "get_model", "list_models"]
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Metadata about one evaluation model."""
+
+    name: str
+    builder: Callable[..., Graph]
+    image_size: int
+    family: str
+    description: str
+
+    def build(self, batch: int = 1) -> Graph:
+        return self.builder(batch=batch, image_size=self.image_size)
+
+
+MODEL_REGISTRY: Dict[str, ModelInfo] = {
+    "resnet-18": ModelInfo("resnet-18", resnet18, 224, "resnet", "ResNet-18 classifier"),
+    "resnet-34": ModelInfo("resnet-34", resnet34, 224, "resnet", "ResNet-34 classifier"),
+    "resnet-50": ModelInfo("resnet-50", resnet50, 224, "resnet", "ResNet-50 classifier"),
+    "resnet-101": ModelInfo("resnet-101", resnet101, 224, "resnet", "ResNet-101 classifier"),
+    "resnet-152": ModelInfo("resnet-152", resnet152, 224, "resnet", "ResNet-152 classifier"),
+    "vgg-11": ModelInfo("vgg-11", vgg11, 224, "vgg", "VGG-11 classifier"),
+    "vgg-13": ModelInfo("vgg-13", vgg13, 224, "vgg", "VGG-13 classifier"),
+    "vgg-16": ModelInfo("vgg-16", vgg16, 224, "vgg", "VGG-16 classifier"),
+    "vgg-19": ModelInfo("vgg-19", vgg19, 224, "vgg", "VGG-19 classifier"),
+    "densenet-121": ModelInfo(
+        "densenet-121", densenet121, 224, "densenet", "DenseNet-121 classifier"
+    ),
+    "densenet-161": ModelInfo(
+        "densenet-161", densenet161, 224, "densenet", "DenseNet-161 classifier"
+    ),
+    "densenet-169": ModelInfo(
+        "densenet-169", densenet169, 224, "densenet", "DenseNet-169 classifier"
+    ),
+    "densenet-201": ModelInfo(
+        "densenet-201", densenet201, 224, "densenet", "DenseNet-201 classifier"
+    ),
+    "inception-v3": ModelInfo(
+        "inception-v3", inception_v3, 299, "inception", "Inception-v3 classifier"
+    ),
+    "ssd-resnet-50": ModelInfo(
+        "ssd-resnet-50", ssd_resnet50, 512, "ssd", "SSD object detector, ResNet-50 base"
+    ),
+}
+
+#: The 15 models of Table 2, in the paper's column order.
+EVALUATION_MODELS: Tuple[str, ...] = (
+    "resnet-18",
+    "resnet-34",
+    "resnet-50",
+    "resnet-101",
+    "resnet-152",
+    "vgg-11",
+    "vgg-13",
+    "vgg-16",
+    "vgg-19",
+    "densenet-121",
+    "densenet-161",
+    "densenet-169",
+    "densenet-201",
+    "inception-v3",
+    "ssd-resnet-50",
+)
+
+_ALIASES = {name.replace("-", ""): name for name in MODEL_REGISTRY}
+_ALIASES.update({name.replace("-", "_"): name for name in MODEL_REGISTRY})
+
+
+def get_model(name: str, batch: int = 1) -> Graph:
+    """Build an evaluation model by name.
+
+    Accepts the canonical dashed names (``"resnet-50"``) as well as the
+    undashed/underscored aliases (``"resnet50"``, ``"resnet_50"``).
+
+    Raises:
+        KeyError: for unknown model names.
+    """
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in MODEL_REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_REGISTRY))}"
+        )
+    return MODEL_REGISTRY[key].build(batch=batch)
+
+
+def list_models(family: str = "") -> List[str]:
+    """Names of all registered models, optionally filtered by family."""
+    names = [
+        info.name
+        for info in MODEL_REGISTRY.values()
+        if not family or info.family == family
+    ]
+    return sorted(names)

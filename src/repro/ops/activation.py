@@ -1,0 +1,55 @@
+"""Activation and normalization-free unary operators.
+
+ReLU, sigmoid and softmax are layout-oblivious (section 3.2 category 1): they
+apply element-wise (softmax along a known axis of an un-blocked tensor) and
+therefore never force a layout transform.  They are also the prime fusion
+candidates — the fusion pass attaches them to the producing convolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["relu", "leaky_relu", "sigmoid", "softmax", "clip", "dropout_inference"]
+
+
+def relu(data: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(data, 0)
+
+
+def leaky_relu(data: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    """Element-wise leaky ReLU."""
+    return np.where(data >= 0, data, alpha * data)
+
+
+def sigmoid(data: np.ndarray) -> np.ndarray:
+    """Element-wise logistic sigmoid, numerically stabilized."""
+    out = np.empty_like(data, dtype=np.float64)
+    positive = data >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-data[positive]))
+    exp_x = np.exp(data[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out.astype(data.dtype, copy=False)
+
+
+def softmax(data: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis`` with max-subtraction for numerical stability."""
+    shifted = data - data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def clip(data: np.ndarray, a_min: float, a_max: float) -> np.ndarray:
+    """Element-wise clip (used e.g. for ReLU6-style activations)."""
+    return np.clip(data, a_min, a_max)
+
+
+def dropout_inference(data: np.ndarray, rate: float = 0.5) -> np.ndarray:
+    """Dropout at inference time is the identity (the simplify pass removes it).
+
+    The ``rate`` argument is accepted for signature compatibility with the
+    graph builder and ignored, matching framework inference semantics.
+    """
+    del rate
+    return data

@@ -1,0 +1,175 @@
+"""Blocked (NCHW[x]c) direct convolution — the paper's operation template.
+
+This kernel is the functional counterpart of Algorithm 1: it consumes the
+feature map in ``NCHW[ic_bn]c``, the pre-packed weights in
+``OIHW[ic_bn]i[oc_bn]o`` (the paper's ``KCRS[x]c[y]k``), and produces the
+output in ``NCHW[oc_bn]c``.  The loop structure mirrors the template —
+outer loops over output-channel blocks, output rows and output-width tiles of
+``reg_n`` pixels, reduction loops over input-channel blocks and the kernel
+window, and a vectorized micro-kernel accumulating ``reg_n`` output vectors of
+``oc_bn`` lanes each.
+
+The micro-kernel body is evaluated with a numpy ``einsum`` over the
+``(ic_inner, ow_inner, oc_inner)`` axes: on real hardware these are the FMA
+lanes and register-blocked pixels of Figure 1; in this pure-Python
+reproduction numpy's vectorized arithmetic plays the role of the SIMD unit.
+Numerical results are identical (up to fp round-off) to the NCHW reference,
+which the test suite asserts for a range of workloads and schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..schedule.template import ConvSchedule, validate_schedule
+from ..schedule.workload import ConvWorkload
+from ..tensor.transform import pack_conv_weights, to_blocked_nchwc, from_blocked_nchwc
+from .conv2d import conv_output_size, workload_from_shapes
+
+__all__ = [
+    "conv2d_nchwc",
+    "conv2d_nchwc_from_nchw",
+    "prepack_weights",
+]
+
+
+def prepack_weights(weight_oihw: np.ndarray, schedule: ConvSchedule) -> np.ndarray:
+    """Pre-transform OIHW weights into the schedule's blocked layout.
+
+    This corresponds to the compile-time kernel pre-transformation of
+    section 3.2 (invariant model parameters are transformed once, not at
+    every inference).
+    """
+    return pack_conv_weights(weight_oihw, schedule.ic_bn, schedule.oc_bn)
+
+
+def _pad_blocked(data: np.ndarray, padding: Tuple[int, int]) -> np.ndarray:
+    """Zero-pad the spatial dims of an NCHW[x]c tensor (N, C//x, H, W, x)."""
+    pad_h, pad_w = padding
+    if pad_h == 0 and pad_w == 0:
+        return data
+    return np.pad(
+        data,
+        ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w), (0, 0)),
+        mode="constant",
+        constant_values=0,
+    )
+
+
+def conv2d_nchwc(
+    data_blocked: np.ndarray,
+    weight_packed: np.ndarray,
+    workload: ConvWorkload,
+    schedule: ConvSchedule,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Direct convolution on blocked data, following the template loop nest.
+
+    Args:
+        data_blocked: input feature map, shape
+            ``(N, C/ic_bn, H, W, ic_bn)``.
+        weight_packed: pre-packed kernel, shape
+            ``(K/oc_bn, C/ic_bn, R, S, ic_bn, oc_bn)``.
+        workload: shape signature (must be consistent with the arrays).
+        schedule: the template configuration (ic_bn/oc_bn/reg_n/unroll_ker).
+        bias: optional per-output-channel bias of shape (K,).
+
+    Returns:
+        Output feature map of shape ``(N, K/oc_bn, OH, OW, oc_bn)``.
+    """
+    if workload.groups != 1:
+        raise NotImplementedError(
+            "blocked convolution template supports groups=1; grouped/depthwise "
+            "convolutions fall back to the NCHW reference kernel"
+        )
+    validate_schedule(schedule, workload)
+    ic_bn, oc_bn, reg_n = schedule.ic_bn, schedule.oc_bn, schedule.reg_n
+    batch = workload.batch
+    ic_outer = workload.in_channels // ic_bn
+    oc_outer = workload.out_channels // oc_bn
+    k_h, k_w = workload.kernel_h, workload.kernel_w
+    s_h, s_w = workload.stride
+    d_h, d_w = workload.dilation
+    out_h, out_w = workload.out_height, workload.out_width
+
+    expected_data = (batch, ic_outer, workload.in_height, workload.in_width, ic_bn)
+    if tuple(data_blocked.shape) != expected_data:
+        raise ValueError(
+            f"blocked data shape {data_blocked.shape} != expected {expected_data}"
+        )
+    expected_weight = (oc_outer, ic_outer, k_h, k_w, ic_bn, oc_bn)
+    if tuple(weight_packed.shape) != expected_weight:
+        raise ValueError(
+            f"packed weight shape {weight_packed.shape} != expected {expected_weight}"
+        )
+
+    padded = _pad_blocked(data_blocked, workload.padding)
+    out = np.zeros((batch, oc_outer, out_h, out_w, oc_bn), dtype=np.float32)
+
+    if bias is not None:
+        bias_blocked = bias.reshape(oc_outer, oc_bn)
+    else:
+        bias_blocked = None
+
+    # Outer loops: batch, output-channel block, output row, output-width tile.
+    # These are the "disjoint chunks of OFMAP" parallelized in Algorithm 1.
+    for n in range(batch):
+        for oco in range(oc_outer):
+            kernel_block = weight_packed[oco]  # (ic_outer, kh, kw, ic_bn, oc_bn)
+            for oh in range(out_h):
+                ih_base = oh * s_h
+                for ow_start in range(0, out_w, reg_n):
+                    tile = min(reg_n, out_w - ow_start)
+                    # V_REG_1..V_REG_reg_n initialized to zero (Algorithm 1, l.10)
+                    acc = np.zeros((tile, oc_bn), dtype=np.float32)
+                    iw_base = ow_start * s_w
+                    for ico in range(ic_outer):
+                        for r in range(k_h):
+                            ih = ih_base + r * d_h
+                            for s in range(k_w):
+                                iw0 = iw_base + s * d_w
+                                # Input pixels for the reg_n output positions:
+                                # shape (tile, ic_bn)
+                                pixels = padded[
+                                    n, ico, ih, iw0 : iw0 + tile * s_w : s_w, :
+                                ]
+                                # Kernel vector block: shape (ic_bn, oc_bn).
+                                kvec = kernel_block[ico, r, s]
+                                # vfmadd over ic_bn lanes for each of the tile
+                                # output registers (Algorithm 1, l.13-17).
+                                acc += pixels @ kvec
+                    if bias_blocked is not None:
+                        acc = acc + bias_blocked[oco]
+                    out[n, oco, oh, ow_start : ow_start + tile, :] = acc
+    return out
+
+
+def conv2d_nchwc_from_nchw(
+    data_nchw: np.ndarray,
+    weight_oihw: np.ndarray,
+    schedule: ConvSchedule,
+    stride=1,
+    padding=0,
+    dilation=1,
+    bias: Optional[np.ndarray] = None,
+    return_blocked: bool = False,
+) -> np.ndarray:
+    """Convenience wrapper: run the blocked template on NCHW/OIHW inputs.
+
+    Performs the layout transforms explicitly (data -> ``NCHW[ic_bn]c``,
+    weights -> packed, output -> back to NCHW unless ``return_blocked``).
+    This is exactly what a single un-optimized graph node pays when the layout
+    transforms are *not* hoisted out — the overhead that sections 3.2/3.3
+    eliminate.
+    """
+    workload = workload_from_shapes(
+        data_nchw.shape, weight_oihw.shape, stride, padding, dilation
+    )
+    data_blocked = to_blocked_nchwc(data_nchw, schedule.ic_bn)
+    weight_packed = prepack_weights(weight_oihw, schedule)
+    out_blocked = conv2d_nchwc(data_blocked, weight_packed, workload, schedule, bias)
+    if return_blocked:
+        return out_blocked
+    return from_blocked_nchwc(out_blocked, schedule.oc_bn)

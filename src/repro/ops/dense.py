@@ -1,0 +1,58 @@
+"""Dense (fully-connected) layer and flatten/reshape/concat operators.
+
+``Flatten`` is the canonical layout-dependent operation of section 3.2: it
+interprets the memory order of its input, so the blocked ``NCHW[x]c`` layout
+must be transformed back to ``NCHW`` before it.  ``Concat`` is layout-
+oblivious provided all inputs share one layout and the concatenation axis is
+the (outer) channel axis.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["dense", "flatten_nchw", "reshape", "concat_channels_nchw", "concat"]
+
+
+def dense(
+    data: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Fully connected layer: ``(N, I) x (O, I)^T -> (N, O)``."""
+    if data.ndim != 2:
+        raise ValueError(f"dense expects 2-D input (N, I), got shape {data.shape}")
+    if weight.ndim != 2 or weight.shape[1] != data.shape[1]:
+        raise ValueError(
+            f"dense weight shape {weight.shape} incompatible with input {data.shape}"
+        )
+    out = data @ weight.T
+    if bias is not None:
+        out = out + bias.reshape(1, -1)
+    return out
+
+
+def flatten_nchw(data: np.ndarray) -> np.ndarray:
+    """Flatten an NCHW tensor to (N, C*H*W).
+
+    This operator is layout-dependent: callers must supply data in the default
+    NCHW layout (the alter-layout pass inserts the required LayoutTransform).
+    """
+    if data.ndim < 2:
+        raise ValueError(f"flatten expects at least 2-D input, got {data.shape}")
+    return np.ascontiguousarray(data).reshape(data.shape[0], -1)
+
+
+def reshape(data: np.ndarray, new_shape: Sequence[int]) -> np.ndarray:
+    """Reshape, with a single -1 wildcard supported."""
+    return np.ascontiguousarray(data).reshape(tuple(int(d) for d in new_shape))
+
+
+def concat_channels_nchw(tensors: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate NCHW tensors along the channel axis (DenseNet blocks)."""
+    return np.concatenate(list(tensors), axis=1)
+
+
+def concat(tensors: Sequence[np.ndarray], axis: int = 1) -> np.ndarray:
+    """General concatenation along ``axis``."""
+    return np.concatenate(list(tensors), axis=axis)

@@ -1,0 +1,530 @@
+"""Registration of the standard operator set.
+
+Each operator gets a shape-inference function and a layout-aware compute
+function, and is classified into one of the three layout categories of
+section 3.2.  Importing this module (done by ``repro.ops``) populates the
+global registry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..schedule.template import ConvSchedule
+from ..tensor.layout import Layout
+from ..tensor.tensor import Tensor, TensorSpec
+from ..tensor.transform import transform_tensor
+from . import activation, batch_norm, blocked_conv, conv2d, dense, elementwise, pooling
+from .conv2d import conv_output_size
+from .registry import LayoutCategory, register_op
+from .ssd_ops import multibox_detection
+
+__all__ = ["conv_schedule_from_attrs"]
+
+
+# --------------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------------- #
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def conv_schedule_from_attrs(attrs: dict) -> ConvSchedule:
+    """Extract the :class:`ConvSchedule` stored on a conv2d node, if any."""
+    schedule = attrs.get("schedule")
+    if schedule is None:
+        raise KeyError("conv2d node has no schedule attribute")
+    if isinstance(schedule, ConvSchedule):
+        return schedule
+    return ConvSchedule.from_dict(schedule)
+
+
+def _nchw_extents(spec: TensorSpec) -> Tuple[int, int, int, int]:
+    """Logical (N, C, H, W) extents of a 4-D feature-map spec in any layout."""
+    return (
+        spec.axis_extent("N"),
+        spec.axis_extent("C"),
+        spec.axis_extent("H"),
+        spec.axis_extent("W"),
+    )
+
+
+def _is_blocked_feature_map(tensor: Tensor) -> bool:
+    return tensor.layout.is_blocked and tensor.layout.has_axis("c")
+
+
+# --------------------------------------------------------------------------- #
+# conv2d
+# --------------------------------------------------------------------------- #
+def _conv2d_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    data_spec, weight_spec = in_specs[0], in_specs[1]
+    n, c, h, w = _nchw_extents(data_spec)
+    out_channels = weight_spec.axis_extent("O")
+    kernel_h = weight_spec.axis_extent("H")
+    kernel_w = weight_spec.axis_extent("W")
+    stride = _pair(attrs.get("stride", 1))
+    padding = _pair(attrs.get("padding", 0))
+    dilation = _pair(attrs.get("dilation", 1))
+    groups = int(attrs.get("groups", 1))
+    if weight_spec.axis_extent("I") * groups != c:
+        raise ValueError(
+            f"conv2d channel mismatch: data C={c}, weight I={weight_spec.axis_extent('I')}"
+            f" x groups={groups}"
+        )
+    out_h = conv_output_size(h, kernel_h, stride[0], padding[0], dilation[0])
+    out_w = conv_output_size(w, kernel_w, stride[1], padding[1], dilation[1])
+    out_layout = Layout(str(attrs.get("out_layout", "NCHW")))
+    extents = {"N": n, "C": out_channels, "H": out_h, "W": out_w}
+    logical = tuple(extents[a] for a in out_layout.primal_axes)
+    return TensorSpec(logical, out_layout, data_spec.dtype)
+
+
+def _conv2d_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    data, weight = inputs[0], inputs[1]
+    bias = inputs[2].data if len(inputs) > 2 else None
+    stride = _pair(attrs.get("stride", 1))
+    padding = _pair(attrs.get("padding", 0))
+    dilation = _pair(attrs.get("dilation", 1))
+    groups = int(attrs.get("groups", 1))
+
+    if _is_blocked_feature_map(data):
+        # Blocked template path: weights must already be pre-packed.
+        schedule = conv_schedule_from_attrs(attrs)
+        if not weight.layout.has_axis("i") or not weight.layout.has_axis("o"):
+            raise ValueError(
+                "blocked conv2d requires pre-packed weights "
+                f"(got layout {weight.layout})"
+            )
+        n, c, h, w = _nchw_extents(data.spec)
+        out_channels = weight.spec.axis_extent("O")
+        workload = conv2d.workload_from_shapes(
+            (n, c, h, w),
+            (out_channels, c // groups, weight.spec.axis_extent("H"),
+             weight.spec.axis_extent("W")),
+            stride,
+            padding,
+            dilation,
+            groups,
+        )
+        out_blocked = blocked_conv.conv2d_nchwc(
+            data.data, weight.data, workload, schedule, bias
+        )
+        out_layout = f"NCHW{schedule.oc_bn}c"
+        return Tensor(out_blocked, out_layout, workload.output_shape)
+
+    # Default NCHW reference path.
+    data_nchw = data
+    if data.layout != Layout("NCHW"):
+        data_nchw = transform_tensor(data, "NCHW")
+    weight_oihw = weight
+    if weight.layout != Layout("OIHW"):
+        weight_oihw = transform_tensor(weight, "OIHW")
+    out = conv2d.conv2d_nchw(
+        data_nchw.data, weight_oihw.data, stride, padding, dilation, groups, bias
+    )
+    return Tensor(out, "NCHW")
+
+
+# --------------------------------------------------------------------------- #
+# dense / flatten / reshape / concat
+# --------------------------------------------------------------------------- #
+def _dense_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    del attrs
+    data_spec, weight_spec = in_specs[0], in_specs[1]
+    batch = data_spec.logical_shape[0]
+    out_features = weight_spec.logical_shape[0]
+    return TensorSpec((batch, out_features), "NC", data_spec.dtype)
+
+
+def _dense_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    del attrs
+    data, weight = inputs[0], inputs[1]
+    bias = inputs[2].data if len(inputs) > 2 else None
+    out = dense.dense(data.data, weight.data, bias)
+    return Tensor(out, "NC")
+
+
+def _flatten_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    del attrs
+    spec = in_specs[0]
+    if spec.layout.is_blocked:
+        raise ValueError(
+            "flatten is layout-dependent and requires the default layout; "
+            "a LayoutTransform must be inserted before it"
+        )
+    batch = spec.logical_shape[0]
+    rest = 1
+    for dim in spec.logical_shape[1:]:
+        rest *= dim
+    return TensorSpec((batch, rest), "NC", spec.dtype)
+
+
+def _flatten_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    del attrs
+    data = inputs[0]
+    if data.layout.is_blocked:
+        raise ValueError(
+            "flatten received blocked data; the alter-layout pass should have "
+            "inserted a LayoutTransform before this node"
+        )
+    return Tensor(dense.flatten_nchw(data.data), "NC")
+
+
+def _concat_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    axis_name = str(attrs.get("axis", "C")).upper()
+    base = in_specs[0]
+    layout = base.layout
+    for spec in in_specs[1:]:
+        if spec.layout != layout:
+            raise ValueError(
+                f"concat requires all inputs in the same layout, got "
+                f"{[str(s.layout) for s in in_specs]}"
+            )
+    extents = dict(zip(layout.primal_axes, base.logical_shape))
+    total = sum(spec.axis_extent(axis_name) for spec in in_specs)
+    extents[axis_name] = total
+    logical = tuple(extents[a] for a in layout.primal_axes)
+    return TensorSpec(logical, layout, base.dtype)
+
+
+def _concat_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    axis_name = str(attrs.get("axis", "C")).upper()
+    layout = inputs[0].layout
+    for tensor in inputs[1:]:
+        if tensor.layout != layout:
+            raise ValueError("concat requires identical layouts")
+    axis_index = layout.axis_index(axis_name)
+    if layout.is_blocked and layout.block_factor(axis_name):
+        # Concatenate along the *outer* axis; every input's channel count must
+        # be divisible by the block (guaranteed after the alter-layout pass).
+        pass
+    out = np.concatenate([t.data for t in inputs], axis=axis_index)
+    total = sum(t.spec.axis_extent(axis_name) for t in inputs)
+    extents = dict(zip(layout.primal_axes, inputs[0].logical_shape))
+    extents[axis_name] = total
+    logical = tuple(extents[a] for a in layout.primal_axes)
+    return Tensor(out, layout, logical)
+
+
+def _transpose_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    spec = in_specs[0]
+    axes = tuple(int(a) for a in attrs["axes"])
+    if spec.layout.is_blocked:
+        raise ValueError("transpose is layout-dependent; un-block the data first")
+    if sorted(axes) != list(range(len(spec.logical_shape))):
+        raise ValueError(f"invalid transpose axes {axes} for rank {len(spec.logical_shape)}")
+    primals = spec.layout.primal_axes
+    new_layout = "".join(primals[a] for a in axes)
+    new_shape = tuple(spec.logical_shape[a] for a in axes)
+    return TensorSpec(new_shape, new_layout, spec.dtype)
+
+
+def _transpose_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    spec = _transpose_infer(attrs, [inputs[0].spec])
+    axes = tuple(int(a) for a in attrs["axes"])
+    data = np.ascontiguousarray(np.transpose(inputs[0].data, axes))
+    return Tensor(data, spec.layout, spec.logical_shape)
+
+
+def _reshape_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    spec = in_specs[0]
+    new_shape = list(attrs["new_shape"])
+    if spec.layout.is_blocked:
+        raise ValueError("reshape is layout-dependent; transform to default layout first")
+    total = spec.size
+    if -1 in new_shape:
+        known = 1
+        for dim in new_shape:
+            if dim != -1:
+                known *= dim
+        new_shape[new_shape.index(-1)] = total // known
+    layout = "".join("NCHWDEFG"[i] for i in range(len(new_shape)))
+    return TensorSpec(tuple(new_shape), layout, spec.dtype)
+
+
+def _reshape_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    spec = _reshape_infer(attrs, [inputs[0].spec])
+    data = dense.reshape(inputs[0].data, spec.logical_shape)
+    return Tensor(data, spec.layout, spec.logical_shape)
+
+
+# --------------------------------------------------------------------------- #
+# batch norm / bias add / scale-shift
+# --------------------------------------------------------------------------- #
+def _same_as_input_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    del attrs
+    return in_specs[0]
+
+
+def _batch_norm_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    data, gamma, beta, mean, var = inputs[:5]
+    epsilon = float(attrs.get("epsilon", 1e-5))
+    if _is_blocked_feature_map(data):
+        out = batch_norm.batch_norm_inference_nchwc(
+            data.data, gamma.data, beta.data, mean.data, var.data, epsilon
+        )
+    else:
+        out = batch_norm.batch_norm_inference_nchw(
+            data.data, gamma.data, beta.data, mean.data, var.data, epsilon
+        )
+    return Tensor(out, data.layout, data.logical_shape)
+
+
+def _bias_add_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    del attrs
+    data, bias = inputs[0], inputs[1]
+    if _is_blocked_feature_map(data):
+        out = elementwise.bias_add_nchwc(data.data, bias.data)
+    elif data.data.ndim == 2:
+        out = data.data + bias.data.reshape(1, -1)
+    else:
+        out = elementwise.bias_add_nchw(data.data, bias.data)
+    return Tensor(out, data.layout, data.logical_shape)
+
+
+def _scale_shift_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    del attrs
+    data, scale, shift = inputs[0], inputs[1], inputs[2]
+    if _is_blocked_feature_map(data):
+        _, c_outer, _, _, c_inner = data.data.shape
+        scale_b = scale.data.reshape(1, c_outer, 1, 1, c_inner)
+        shift_b = shift.data.reshape(1, c_outer, 1, 1, c_inner)
+        out = data.data * scale_b + shift_b
+    else:
+        out = elementwise.scale_shift_nchw(data.data, scale.data, shift.data)
+    return Tensor(out, data.layout, data.logical_shape)
+
+
+# --------------------------------------------------------------------------- #
+# activations / element-wise
+# --------------------------------------------------------------------------- #
+def _unary_compute(func):
+    def compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+        del attrs
+        data = inputs[0]
+        return Tensor(func(data.data), data.layout, data.logical_shape)
+
+    return compute
+
+
+def _softmax_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    axis = int(attrs.get("axis", -1))
+    data = inputs[0]
+    return Tensor(activation.softmax(data.data, axis), data.layout, data.logical_shape)
+
+
+def _elemwise_add_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    del attrs
+    lhs, rhs = inputs[0], inputs[1]
+    if lhs.layout != rhs.layout:
+        raise ValueError(
+            f"elemwise_add requires both operands in the same layout, got "
+            f"{lhs.layout} vs {rhs.layout}"
+        )
+    return Tensor(elementwise.add(lhs.data, rhs.data), lhs.layout, lhs.logical_shape)
+
+
+def _elemwise_add_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    del attrs
+    lhs, rhs = in_specs[0], in_specs[1]
+    if lhs.logical_shape != rhs.logical_shape:
+        raise ValueError(
+            f"elemwise_add shape mismatch: {lhs.logical_shape} vs {rhs.logical_shape}"
+        )
+    return lhs
+
+
+# --------------------------------------------------------------------------- #
+# pooling
+# --------------------------------------------------------------------------- #
+def _pool_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    spec = in_specs[0]
+    n, c, h, w = _nchw_extents(spec)
+    kernel = _pair(attrs["kernel"])
+    stride = _pair(attrs.get("stride", kernel))
+    padding = _pair(attrs.get("padding", 0))
+    out_h = conv_output_size(h, kernel[0], stride[0], padding[0])
+    out_w = conv_output_size(w, kernel[1], stride[1], padding[1])
+    extents = {"N": n, "C": c, "H": out_h, "W": out_w}
+    logical = tuple(extents[a] for a in spec.layout.primal_axes)
+    return TensorSpec(logical, spec.layout, spec.dtype)
+
+
+def _make_pool_compute(nchw_func, nchwc_func):
+    def compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+        data = inputs[0]
+        kernel = _pair(attrs["kernel"])
+        stride = _pair(attrs.get("stride", kernel))
+        padding = _pair(attrs.get("padding", 0))
+        if _is_blocked_feature_map(data):
+            out = nchwc_func(data.data, kernel, stride, padding)
+        else:
+            out = nchw_func(data.data, kernel, stride, padding)
+        spec = _pool_infer(attrs, [data.spec])
+        return Tensor(out, data.layout, spec.logical_shape)
+
+    return compute
+
+
+def _global_pool_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    del attrs
+    spec = in_specs[0]
+    n, c, _, _ = _nchw_extents(spec)
+    extents = {"N": n, "C": c, "H": 1, "W": 1}
+    logical = tuple(extents[a] for a in spec.layout.primal_axes)
+    return TensorSpec(logical, spec.layout, spec.dtype)
+
+
+def _global_pool_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    del attrs
+    data = inputs[0]
+    if _is_blocked_feature_map(data):
+        out = pooling.global_avg_pool2d_nchwc(data.data)
+    else:
+        out = pooling.global_avg_pool2d_nchw(data.data)
+    n, c, _, _ = _nchw_extents(data.spec)
+    extents = {"N": n, "C": c, "H": 1, "W": 1}
+    logical = tuple(extents[a] for a in data.layout.primal_axes)
+    return Tensor(out, data.layout, logical)
+
+
+# --------------------------------------------------------------------------- #
+# layout transform / identity-like ops
+# --------------------------------------------------------------------------- #
+def _layout_transform_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    return in_specs[0].with_layout(Layout(str(attrs["dst_layout"])))
+
+
+def _layout_transform_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    dst = Layout(str(attrs["dst_layout"]))
+    return transform_tensor(inputs[0], dst)
+
+
+def _dropout_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    del attrs
+    data = inputs[0]
+    return Tensor(activation.dropout_inference(data.data), data.layout, data.logical_shape)
+
+
+# --------------------------------------------------------------------------- #
+# SSD detection head
+# --------------------------------------------------------------------------- #
+def _multibox_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    max_det = int(attrs.get("max_detections", 100))
+    batch = in_specs[0].logical_shape[0]
+    return TensorSpec((batch, max_det, 6), "NAB", in_specs[0].dtype)
+
+
+def _multibox_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
+    cls_probs, loc_preds, anchors = inputs[0], inputs[1], inputs[2]
+    out = multibox_detection(
+        cls_probs.data,
+        loc_preds.data,
+        anchors.data,
+        score_threshold=float(attrs.get("score_threshold", 0.01)),
+        iou_threshold=float(attrs.get("iou_threshold", 0.45)),
+        max_detections=int(attrs.get("max_detections", 100)),
+    )
+    return Tensor(out, "NAB")
+
+
+# --------------------------------------------------------------------------- #
+# registration
+# --------------------------------------------------------------------------- #
+register_op(
+    "conv2d",
+    LayoutCategory.TOLERANT,
+    _conv2d_infer,
+    _conv2d_compute,
+    compute_intensive=True,
+)
+register_op(
+    "dense",
+    LayoutCategory.DEPENDENT,
+    _dense_infer,
+    _dense_compute,
+    compute_intensive=True,
+)
+register_op("flatten", LayoutCategory.DEPENDENT, _flatten_infer, _flatten_compute)
+register_op("reshape", LayoutCategory.DEPENDENT, _reshape_infer, _reshape_compute)
+register_op("transpose", LayoutCategory.DEPENDENT, _transpose_infer, _transpose_compute)
+register_op("concat", LayoutCategory.OBLIVIOUS, _concat_infer, _concat_compute)
+register_op(
+    "batch_norm",
+    LayoutCategory.TOLERANT,
+    _same_as_input_infer,
+    _batch_norm_compute,
+    fusible=True,
+)
+register_op(
+    "bias_add",
+    LayoutCategory.TOLERANT,
+    _same_as_input_infer,
+    _bias_add_compute,
+    fusible=True,
+)
+register_op(
+    "scale_shift",
+    LayoutCategory.TOLERANT,
+    _same_as_input_infer,
+    _scale_shift_compute,
+    fusible=True,
+)
+register_op(
+    "relu",
+    LayoutCategory.OBLIVIOUS,
+    _same_as_input_infer,
+    _unary_compute(activation.relu),
+    fusible=True,
+)
+register_op(
+    "sigmoid",
+    LayoutCategory.OBLIVIOUS,
+    _same_as_input_infer,
+    _unary_compute(activation.sigmoid),
+    fusible=True,
+)
+register_op("softmax", LayoutCategory.OBLIVIOUS, _same_as_input_infer, _softmax_compute)
+register_op(
+    "elemwise_add",
+    LayoutCategory.OBLIVIOUS,
+    _elemwise_add_infer,
+    _elemwise_add_compute,
+    fusible=True,
+    num_inputs=2,
+)
+register_op(
+    "max_pool2d",
+    LayoutCategory.TOLERANT,
+    _pool_infer,
+    _make_pool_compute(pooling.max_pool2d_nchw, pooling.max_pool2d_nchwc),
+)
+register_op(
+    "avg_pool2d",
+    LayoutCategory.TOLERANT,
+    _pool_infer,
+    _make_pool_compute(pooling.avg_pool2d_nchw, pooling.avg_pool2d_nchwc),
+)
+register_op(
+    "global_avg_pool2d",
+    LayoutCategory.TOLERANT,
+    _global_pool_infer,
+    _global_pool_compute,
+)
+register_op(
+    "layout_transform",
+    LayoutCategory.DEPENDENT,
+    _layout_transform_infer,
+    _layout_transform_compute,
+)
+register_op("dropout", LayoutCategory.OBLIVIOUS, _same_as_input_infer, _dropout_compute)
+register_op(
+    "multibox_detection",
+    LayoutCategory.DEPENDENT,
+    _multibox_infer,
+    _multibox_compute,
+)

@@ -1,0 +1,128 @@
+"""Operator registry.
+
+Every operator known to the graph IR is described by an :class:`OpDef`:
+
+* its **layout category** — layout-oblivious, layout-tolerant or
+  layout-dependent, exactly the three classes of section 3.2 of the paper.
+  The alter-layout pass uses this to decide where LayoutTransform nodes are
+  required;
+* a **shape-inference function** mapping input :class:`TensorSpec`\\ s (plus
+  node attributes) to the output spec;
+* a **compute function** executing the operator on concrete, layout-annotated
+  :class:`Tensor`\\ s;
+* whether the operator is **compute-intensive** (a tuning target for the local
+  search) and whether it can be **fused** into a preceding compute-intensive op.
+
+The standard operator set is registered by :mod:`repro.ops.op_library`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..tensor.tensor import Tensor, TensorSpec
+
+__all__ = ["LayoutCategory", "OpDef", "OpRegistry", "registry", "register_op", "get_op"]
+
+InferFunc = Callable[[dict, Sequence[TensorSpec]], TensorSpec]
+ComputeFunc = Callable[[dict, Sequence[Tensor]], Tensor]
+
+
+class LayoutCategory(enum.Enum):
+    """How an operator interacts with data layouts (paper section 3.2)."""
+
+    #: Processes data without knowledge of its layout (ReLU, Softmax, ...).
+    OBLIVIOUS = "oblivious"
+    #: Needs to know the layout but handles several (CONV, Pooling, BN, ...).
+    TOLERANT = "tolerant"
+    #: Works in exactly one layout; requires a transform before it (Flatten, ...).
+    DEPENDENT = "dependent"
+
+
+@dataclass
+class OpDef:
+    """Definition of one operator type.
+
+    Attributes:
+        name: unique operator name used by graph nodes.
+        category: layout interaction class.
+        infer_shape: shape/layout inference callable.
+        compute: concrete execution callable.
+        compute_intensive: True for operators the local search tunes (conv2d,
+            dense).  These anchor fusion groups.
+        fusible: True when the operator can be fused into a preceding
+            compute-intensive operator (element-wise ops, BN, ReLU, bias add).
+        num_inputs: expected input arity; ``None`` means variadic.
+    """
+
+    name: str
+    category: LayoutCategory
+    infer_shape: InferFunc
+    compute: ComputeFunc
+    compute_intensive: bool = False
+    fusible: bool = False
+    num_inputs: Optional[int] = None
+
+
+class OpRegistry:
+    """A mutable mapping of operator name to :class:`OpDef`."""
+
+    def __init__(self) -> None:
+        self._ops: Dict[str, OpDef] = {}
+
+    def register(self, op_def: OpDef, override: bool = False) -> OpDef:
+        if op_def.name in self._ops and not override:
+            raise ValueError(f"operator {op_def.name!r} is already registered")
+        self._ops[op_def.name] = op_def
+        return op_def
+
+    def get(self, name: str) -> OpDef:
+        try:
+            return self._ops[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown operator {name!r}; registered: {sorted(self._ops)}"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def names(self) -> List[str]:
+        return sorted(self._ops)
+
+    def by_category(self, category: LayoutCategory) -> List[OpDef]:
+        return [op for op in self._ops.values() if op.category is category]
+
+
+#: Global registry used by the graph IR and executor.
+registry = OpRegistry()
+
+
+def register_op(
+    name: str,
+    category: LayoutCategory,
+    infer_shape: InferFunc,
+    compute: ComputeFunc,
+    compute_intensive: bool = False,
+    fusible: bool = False,
+    num_inputs: Optional[int] = None,
+    override: bool = False,
+) -> OpDef:
+    """Register an operator in the global registry (convenience wrapper)."""
+    op_def = OpDef(
+        name=name,
+        category=category,
+        infer_shape=infer_shape,
+        compute=compute,
+        compute_intensive=compute_intensive,
+        fusible=fusible,
+        num_inputs=num_inputs,
+    )
+    return registry.register(op_def, override=override)
+
+
+def get_op(name: str) -> OpDef:
+    """Look up an operator definition in the global registry."""
+    return registry.get(name)

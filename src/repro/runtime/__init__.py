@@ -1,0 +1,20 @@
+"""Runtime substrate: graph executor, compiled module, thread pool, profiler."""
+
+from .executor import GraphExecutor, initialize_parameters
+from .module import CompiledModule
+from .profiler import Timer, format_report, time_callable, top_costs
+from .threadpool import SPSCQueue, ThreadPool, parallel_for, static_partition
+
+__all__ = [
+    "CompiledModule",
+    "GraphExecutor",
+    "SPSCQueue",
+    "ThreadPool",
+    "Timer",
+    "format_report",
+    "initialize_parameters",
+    "parallel_for",
+    "static_partition",
+    "time_callable",
+    "top_costs",
+]

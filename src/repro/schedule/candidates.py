@@ -1,0 +1,117 @@
+"""Candidate generation for the local search (section 3.3.1).
+
+The paper defines the search space for one convolution workload as the cross
+product of
+
+1. ``ic_bn`` — every factor of the number of input channels;
+2. ``oc_bn`` — every factor of the number of output channels;
+3. ``reg_n`` — chosen from ``[32, 16, 8, 4, 2]``;
+4. ``unroll_ker`` — ``[True, False]``.
+
+This module enumerates that space (optionally pruned to keep the grid search
+tractable for very deep models) in a deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .template import ConvSchedule
+from .workload import ConvWorkload
+
+__all__ = [
+    "factors",
+    "candidate_ic_bn",
+    "candidate_oc_bn",
+    "candidate_reg_n",
+    "generate_candidates",
+    "candidate_count",
+]
+
+DEFAULT_REG_N_CANDIDATES: Sequence[int] = (32, 16, 8, 4, 2)
+
+
+def factors(value: int) -> List[int]:
+    """All positive divisors of ``value`` in descending order.
+
+    The paper lists candidates from large to small (e.g. 64 channels ->
+    ``[32, 16, 8, 4, 2, 1]``, excluding the full channel count is *not* done
+    here — we include it and let the search decide).
+    """
+    if value < 1:
+        raise ValueError(f"value must be positive, got {value}")
+    result = [d for d in range(1, value + 1) if value % d == 0]
+    return sorted(result, reverse=True)
+
+
+def candidate_ic_bn(workload: ConvWorkload, max_block: Optional[int] = None) -> List[int]:
+    """Candidate input-channel block sizes for a workload."""
+    per_group = workload.in_channels // workload.groups
+    cands = factors(per_group)
+    if max_block is not None:
+        cands = [c for c in cands if c <= max_block] or [min(cands)]
+    return cands
+
+
+def candidate_oc_bn(workload: ConvWorkload, max_block: Optional[int] = None) -> List[int]:
+    """Candidate output-channel block sizes for a workload."""
+    per_group = workload.out_channels // workload.groups
+    cands = factors(per_group)
+    if max_block is not None:
+        cands = [c for c in cands if c <= max_block] or [min(cands)]
+    return cands
+
+
+def candidate_reg_n(
+    workload: ConvWorkload,
+    reg_n_candidates: Sequence[int] = DEFAULT_REG_N_CANDIDATES,
+) -> List[int]:
+    """Candidate register-blocking factors, bounded by the output width."""
+    valid = [r for r in reg_n_candidates if r <= workload.out_width]
+    if not valid:
+        valid = [1]
+    return list(valid)
+
+
+def generate_candidates(
+    workload: ConvWorkload,
+    reg_n_candidates: Sequence[int] = DEFAULT_REG_N_CANDIDATES,
+    unroll_candidates: Iterable[bool] = (True, False),
+    max_block: Optional[int] = 64,
+) -> Iterator[ConvSchedule]:
+    """Yield every schedule in the (optionally pruned) search space.
+
+    Args:
+        workload: the convolution workload being tuned.
+        reg_n_candidates: register-blocking candidates (paper default).
+        unroll_candidates: values of ``unroll_ker`` to try.
+        max_block: upper bound on channel block sizes.  The paper enumerates
+            *all* factors; in practice factors above 64 blow past any L1 cache
+            and only slow the grid search down, so we prune them by default.
+            Pass ``None`` to reproduce the unpruned space.
+    """
+    ic_cands = candidate_ic_bn(workload, max_block)
+    oc_cands = candidate_oc_bn(workload, max_block)
+    reg_cands = candidate_reg_n(workload, reg_n_candidates)
+    unrolls = list(unroll_candidates)
+    for ic_bn in ic_cands:
+        for oc_bn in oc_cands:
+            for reg_n in reg_cands:
+                for unroll in unrolls:
+                    yield ConvSchedule(
+                        ic_bn=ic_bn, oc_bn=oc_bn, reg_n=reg_n, unroll_ker=unroll
+                    )
+
+
+def candidate_count(
+    workload: ConvWorkload,
+    reg_n_candidates: Sequence[int] = DEFAULT_REG_N_CANDIDATES,
+    max_block: Optional[int] = 64,
+) -> int:
+    """Size of the local-search space for ``workload`` (paper: ~O(100))."""
+    return (
+        len(candidate_ic_bn(workload, max_block))
+        * len(candidate_oc_bn(workload, max_block))
+        * len(candidate_reg_n(workload, reg_n_candidates))
+        * 2
+    )

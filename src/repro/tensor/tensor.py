@@ -1,0 +1,187 @@
+"""Layout-aware tensor wrapper.
+
+A :class:`Tensor` couples a numpy array with the :class:`~repro.tensor.layout.Layout`
+describing how its logical axes are arranged in memory.  The runtime executor
+passes these between operators so that layout-tolerant operators (section 3.2
+of the paper) can adapt to whatever blocked layout the upstream convolution
+produced, and layout-dependent operators can request an explicit transform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .dtype import DType, dtype_from_name, float32
+from .layout import Layout, LayoutError
+
+__all__ = ["Tensor", "TensorSpec"]
+
+LayoutLike = Union[Layout, str]
+
+
+class TensorSpec:
+    """Shape/dtype/layout metadata without data.
+
+    Used by the graph IR for shape inference and by the cost model, which only
+    needs metadata, never the actual values.
+    """
+
+    def __init__(
+        self,
+        logical_shape: Sequence[int],
+        layout: LayoutLike = "NCHW",
+        dtype: Union[DType, str] = float32,
+    ) -> None:
+        self.layout = layout if isinstance(layout, Layout) else Layout(layout)
+        self.logical_shape: Tuple[int, ...] = tuple(int(d) for d in logical_shape)
+        if len(self.logical_shape) != len(self.layout.primal_axes):
+            raise LayoutError(
+                f"logical shape {self.logical_shape} incompatible with layout "
+                f"{self.layout} ({len(self.layout.primal_axes)} primal axes)"
+            )
+        self.dtype = dtype if isinstance(dtype, DType) else dtype_from_name(str(dtype))
+
+    @property
+    def concrete_shape(self) -> Tuple[int, ...]:
+        """Shape of the stored array (after blocking)."""
+        return self.layout.blocked_shape(self.logical_shape)
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for dim in self.logical_shape:
+            size *= dim
+        return size
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.bytes
+
+    def with_layout(self, layout: LayoutLike) -> "TensorSpec":
+        """Same logical tensor described in a different layout."""
+        new_layout = layout if isinstance(layout, Layout) else Layout(layout)
+        if not self.layout.convertible_to(new_layout):
+            raise LayoutError(
+                f"cannot re-describe {self.layout} tensor as {new_layout}: "
+                "primal axes differ"
+            )
+        # Re-order logical extents to the new primal order.
+        extents = dict(zip(self.layout.primal_axes, self.logical_shape))
+        new_logical = tuple(extents[a] for a in new_layout.primal_axes)
+        return TensorSpec(new_logical, new_layout, self.dtype)
+
+    def axis_extent(self, axis: str) -> int:
+        """Logical extent of a primal axis (e.g. ``"C"``)."""
+        axis = axis.upper()
+        extents = dict(zip(self.layout.primal_axes, self.logical_shape))
+        if axis not in extents:
+            raise LayoutError(f"axis {axis!r} not in layout {self.layout}")
+        return extents[axis]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TensorSpec):
+            return NotImplemented
+        return (
+            self.logical_shape == other.logical_shape
+            and self.layout == other.layout
+            and self.dtype == other.dtype
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.logical_shape, str(self.layout), self.dtype.name))
+
+    def __repr__(self) -> str:
+        return (
+            f"TensorSpec(shape={self.logical_shape}, layout={self.layout}, "
+            f"dtype={self.dtype})"
+        )
+
+
+class Tensor:
+    """A numpy array annotated with its layout.
+
+    The array's shape must equal ``spec.concrete_shape``; the logical shape is
+    recoverable through the layout.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        layout: LayoutLike = "NCHW",
+        logical_shape: Optional[Sequence[int]] = None,
+    ) -> None:
+        layout_obj = layout if isinstance(layout, Layout) else Layout(layout)
+        data = np.asarray(data)
+        if logical_shape is None:
+            logical_shape = layout_obj.logical_shape(data.shape)
+        self.spec = TensorSpec(logical_shape, layout_obj, str(data.dtype))
+        if tuple(data.shape) != self.spec.concrete_shape:
+            raise LayoutError(
+                f"data shape {data.shape} does not match concrete shape "
+                f"{self.spec.concrete_shape} for layout {layout_obj}"
+            )
+        self.data = data
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(
+        cls,
+        logical_shape: Sequence[int],
+        layout: LayoutLike = "NCHW",
+        dtype: str = "float32",
+    ) -> "Tensor":
+        spec = TensorSpec(logical_shape, layout, dtype)
+        return cls(np.zeros(spec.concrete_shape, dtype=dtype), spec.layout, logical_shape)
+
+    @classmethod
+    def from_spec(cls, spec: TensorSpec, data: Optional[np.ndarray] = None) -> "Tensor":
+        if data is None:
+            data = np.zeros(spec.concrete_shape, dtype=spec.dtype.name)
+        return cls(data, spec.layout, spec.logical_shape)
+
+    @classmethod
+    def random(
+        cls,
+        logical_shape: Sequence[int],
+        layout: LayoutLike = "NCHW",
+        dtype: str = "float32",
+        seed: Optional[int] = None,
+    ) -> "Tensor":
+        spec = TensorSpec(logical_shape, layout, dtype)
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(spec.concrete_shape).astype(dtype)
+        return cls(data, spec.layout, logical_shape)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def layout(self) -> Layout:
+        return self.spec.layout
+
+    @property
+    def logical_shape(self) -> Tuple[int, ...]:
+        return self.spec.logical_shape
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def dtype(self) -> DType:
+        return self.spec.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.nbytes
+
+    def numpy(self) -> np.ndarray:
+        """The raw backing array (in the concrete/blocked shape)."""
+        return self.data
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.logical_shape}, layout={self.layout}, dtype={self.dtype})"

@@ -1,0 +1,202 @@
+"""Tests for the graph IR: nodes, graph container, builder, shape inference."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, GraphBuilder, InferenceError, Node, NodeKind, edge_layouts, infer_shapes
+from repro.ops import LayoutCategory, get_op, registry
+from repro.tensor import TensorSpec
+
+from tests.conftest import build_tiny_cnn
+
+
+class TestNode:
+    def test_kinds(self):
+        const = Node(NodeKind.CONSTANT, spec=TensorSpec((4,), "C"))
+        assert const.is_constant and not const.is_op
+        with pytest.raises(ValueError):
+            Node("weird")
+        with pytest.raises(ValueError):
+            Node(NodeKind.OP)  # op nodes need an operator name
+        with pytest.raises(ValueError):
+            Node(NodeKind.INPUT, op="relu")
+
+    def test_default_names_unique(self):
+        a = Node(NodeKind.INPUT, spec=TensorSpec((1, 3, 4, 4)))
+        b = Node(NodeKind.INPUT, spec=TensorSpec((1, 3, 4, 4)))
+        assert a.name != b.name
+
+    def test_replace_input(self):
+        x = Node(NodeKind.INPUT, spec=TensorSpec((1, 3, 4, 4)))
+        y = Node(NodeKind.INPUT, spec=TensorSpec((1, 3, 4, 4)))
+        op = Node(NodeKind.OP, op="elemwise_add", inputs=[x, x])
+        assert op.replace_input(x, y) == 2
+        assert op.inputs == [y, y]
+
+    def test_bind_value_checks_shape(self):
+        const = Node(NodeKind.CONSTANT, spec=TensorSpec((4,), "C"))
+        const.bind_value(np.zeros(4, dtype=np.float32))
+        with pytest.raises(ValueError):
+            const.bind_value(np.zeros(5, dtype=np.float32))
+        op = Node(NodeKind.OP, op="relu", inputs=[const])
+        with pytest.raises(ValueError):
+            op.bind_value(np.zeros(4))
+
+
+class TestGraph:
+    def test_topological_order_has_producers_first(self, tiny_cnn):
+        order = tiny_cnn.topological_order()
+        positions = {id(node): index for index, node in enumerate(order)}
+        for node in order:
+            for producer in node.inputs:
+                assert positions[id(producer)] < positions[id(node)]
+
+    def test_op_nodes_filter(self, tiny_cnn):
+        assert len(tiny_cnn.op_nodes("conv2d")) == 3
+        assert len(tiny_cnn.op_nodes("dense")) == 1
+        assert all(node.is_op for node in tiny_cnn.op_nodes())
+
+    def test_histogram_and_params(self, tiny_cnn):
+        histogram = tiny_cnn.op_histogram()
+        assert histogram["conv2d"] == 3
+        assert tiny_cnn.num_parameters() > 10000
+
+    def test_find(self, tiny_cnn):
+        assert tiny_cnn.find("conv1").is_op_type("conv2d")
+        with pytest.raises(KeyError):
+            tiny_cnn.find("does_not_exist")
+
+    def test_consumers(self, tiny_cnn):
+        consumers = tiny_cnn.consumers()
+        pool = tiny_cnn.find("pool1")
+        users = consumers[id(pool)]
+        # pool output feeds both the residual branch conv and the add.
+        assert len(users) == 2
+
+    def test_replace_node(self, tiny_cnn):
+        conv3 = tiny_cnn.find("conv3")
+        relu_after = [n for n in tiny_cnn.op_nodes("relu") if n.inputs[0] is conv3][0]
+        replacement = Node(NodeKind.OP, op="sigmoid", inputs=[conv3], name="swap")
+        replacement.spec = relu_after.spec
+        count = tiny_cnn.replace_node(relu_after, replacement)
+        assert count >= 1
+        assert "swap" in [n.name for n in tiny_cnn.op_nodes("sigmoid")]
+
+    def test_validate_rejects_unknown_op(self):
+        data = Node(NodeKind.INPUT, spec=TensorSpec((1, 3, 4, 4)))
+        bad = Node(NodeKind.OP, op="not_an_op", inputs=[data])
+        with pytest.raises(ValueError):
+            Graph([bad]).validate()
+
+    def test_requires_outputs(self):
+        with pytest.raises(ValueError):
+            Graph([])
+
+    def test_summary_mentions_ops(self, tiny_cnn):
+        text = tiny_cnn.summary()
+        assert "conv2d" in text and "dense" in text
+
+
+class TestBuilder:
+    def test_conv_creates_weight_constant(self, tiny_cnn):
+        conv = tiny_cnn.find("conv1")
+        weight = conv.inputs[1]
+        assert weight.is_constant
+        assert weight.spec.logical_shape == (32, 3, 3, 3)
+
+    def test_use_bias_adds_third_input(self):
+        builder = GraphBuilder("b")
+        data = builder.input("data", (1, 3, 8, 8))
+        conv = builder.conv2d(data, 8, 3, padding=1, use_bias=True)
+        assert len(conv.inputs) == 3
+
+    def test_unique_names(self):
+        builder = GraphBuilder("b")
+        data = builder.input("data", (1, 3, 8, 8))
+        a = builder.relu(data)
+        b = builder.relu(data)
+        assert a.name != b.name
+
+    def test_batch_norm_constants(self, tiny_cnn):
+        bn = tiny_cnn.find("bn1")
+        assert len(bn.inputs) == 5
+        assert all(node.is_constant for node in bn.inputs[1:])
+
+    def test_dense_infers_units(self, tiny_cnn):
+        fc = tiny_cnn.find("fc")
+        assert fc.spec.logical_shape == (1, 10)
+
+    def test_concat_and_transpose(self):
+        builder = GraphBuilder("b")
+        data = builder.input("data", (1, 4, 8, 8))
+        a = builder.conv2d(data, 8, 1, name="a")
+        b = builder.conv2d(data, 8, 1, name="b")
+        cat = builder.concat([a, b])
+        assert cat.spec.axis_extent("C") == 16
+        t = builder.transpose(cat, (0, 2, 3, 1))
+        assert t.spec.logical_shape == (1, 8, 8, 16)
+        assert str(t.spec.layout) == "NHWC"
+
+
+class TestShapeInference:
+    def test_all_nodes_have_specs(self, tiny_cnn):
+        infer_shapes(tiny_cnn)
+        assert all(node.spec is not None for node in tiny_cnn.topological_order())
+
+    def test_output_shape(self, tiny_cnn):
+        infer_shapes(tiny_cnn)
+        assert tiny_cnn.outputs[0].spec.logical_shape == (1, 10)
+
+    def test_edge_layouts_default_is_nchw(self, tiny_cnn):
+        layouts = edge_layouts(tiny_cnn)
+        assert layouts["conv1"] == "NCHW"
+        assert layouts["flatten"] == "NC"
+
+    def test_missing_spec_raises(self):
+        data = Node(NodeKind.INPUT)
+        relu_node = Node(NodeKind.OP, op="relu", inputs=[data])
+        with pytest.raises(InferenceError):
+            infer_shapes(Graph([relu_node]))
+
+    def test_bad_channel_count_raises(self):
+        builder = GraphBuilder("bad")
+        data = builder.input("data", (1, 3, 8, 8))
+        conv = builder.conv2d(data, 8, 3, padding=1)
+        # Corrupt the weight spec to trigger an inference failure.
+        conv.inputs[1].spec = TensorSpec((8, 5, 3, 3), "OIHW")
+        with pytest.raises(InferenceError):
+            infer_shapes(builder.build(conv))
+
+
+class TestRegistry:
+    def test_layout_categories_match_paper(self):
+        assert get_op("relu").category is LayoutCategory.OBLIVIOUS
+        assert get_op("softmax").category is LayoutCategory.OBLIVIOUS
+        assert get_op("conv2d").category is LayoutCategory.TOLERANT
+        assert get_op("batch_norm").category is LayoutCategory.TOLERANT
+        assert get_op("max_pool2d").category is LayoutCategory.TOLERANT
+        assert get_op("flatten").category is LayoutCategory.DEPENDENT
+        assert get_op("reshape").category is LayoutCategory.DEPENDENT
+
+    def test_compute_intensive_flags(self):
+        assert get_op("conv2d").compute_intensive
+        assert get_op("dense").compute_intensive
+        assert not get_op("relu").compute_intensive
+
+    def test_fusible_flags(self):
+        assert get_op("relu").fusible
+        assert get_op("scale_shift").fusible
+        assert not get_op("softmax").fusible
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            get_op("winograd_conv")
+
+    def test_duplicate_registration_rejected(self):
+        existing = registry.get("relu")
+        with pytest.raises(ValueError):
+            registry.register(existing)
+
+    def test_by_category_nonempty(self):
+        assert registry.by_category(LayoutCategory.TOLERANT)
+        assert "conv2d" in registry.names()

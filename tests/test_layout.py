@@ -1,0 +1,130 @@
+"""Tests for the layout algebra (repro.tensor.layout)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tensor.layout import Layout, LayoutError, blocked_shape, logical_shape
+
+
+class TestLayoutParsing:
+    def test_plain_nchw(self):
+        layout = Layout("NCHW")
+        assert layout.primal_axes == ("N", "C", "H", "W")
+        assert not layout.is_blocked
+        assert layout.ndim == 4
+
+    def test_blocked_nchw16c(self):
+        layout = Layout("NCHW16c")
+        assert layout.is_blocked
+        assert layout.block_factor("C") == 16
+        assert layout.ndim == 5
+        assert layout.primal_axes == ("N", "C", "H", "W")
+
+    def test_weight_layout_oihw16i16o(self):
+        layout = Layout("OIHW16i16o")
+        assert layout.block_factor("I") == 16
+        assert layout.block_factor("O") == 16
+        assert layout.ndim == 6
+
+    def test_str_round_trip(self):
+        for text in ("NCHW", "NHWC", "NCHW8c", "OIHW4i32o", "OIHW"):
+            assert str(Layout(text)) == text
+
+    def test_rejects_empty(self):
+        with pytest.raises(LayoutError):
+            Layout("")
+
+    def test_rejects_sub_axis_without_factor(self):
+        with pytest.raises(LayoutError):
+            Layout("NCHWc")
+
+    def test_rejects_factor_on_primal(self):
+        with pytest.raises(LayoutError):
+            Layout("N16CHW")
+
+    def test_rejects_duplicate_primal(self):
+        with pytest.raises(LayoutError):
+            Layout("NCCHW")
+
+    def test_rejects_orphan_sub_axis(self):
+        with pytest.raises(LayoutError):
+            Layout("NHW16c")
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(LayoutError):
+            Layout("NCHW0c")
+
+    def test_rejects_garbage_characters(self):
+        with pytest.raises(LayoutError):
+            Layout("NC-HW")
+
+
+class TestLayoutQueries:
+    def test_axis_index(self):
+        layout = Layout("NCHW16c")
+        assert layout.axis_index("N") == 0
+        assert layout.axis_index("c") == 4
+        with pytest.raises(LayoutError):
+            layout.axis_index("X")
+
+    def test_has_axis(self):
+        layout = Layout("NCHW16c")
+        assert layout.has_axis("c")
+        assert layout.has_axis("C")
+        assert not layout.has_axis("o")
+
+    def test_canonical(self):
+        assert Layout("NCHW16c").canonical == Layout("NCHW")
+        assert Layout("OIHW4i8o").canonical == Layout("OIHW")
+
+    def test_block_factor_of_unsplit_axis_is_zero(self):
+        assert Layout("NCHW16c").block_factor("H") == 0
+
+    def test_equality_with_string(self):
+        assert Layout("NCHW") == "NCHW"
+        assert Layout("NCHW16c") != "NCHW"
+
+    def test_hashable(self):
+        assert len({Layout("NCHW"), Layout("NCHW"), Layout("NHWC")}) == 2
+
+    def test_convertible(self):
+        assert Layout("NCHW").convertible_to(Layout("NHWC"))
+        assert Layout("NCHW").convertible_to(Layout("NCHW16c"))
+        assert not Layout("NCHW").convertible_to(Layout("OIHW"))
+
+
+class TestShapeComputation:
+    def test_blocked_shape(self):
+        assert Layout("NCHW16c").blocked_shape((1, 64, 56, 56)) == (1, 4, 56, 56, 16)
+
+    def test_logical_shape_inverse(self):
+        layout = Layout("NCHW16c")
+        assert layout.logical_shape((1, 4, 56, 56, 16)) == (1, 64, 56, 56)
+
+    def test_weight_blocked_shape(self):
+        layout = Layout("OIHW16i16o")
+        assert layout.blocked_shape((64, 32, 3, 3)) == (4, 2, 3, 3, 16, 16)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(LayoutError):
+            Layout("NCHW16c").blocked_shape((1, 30, 8, 8))
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(LayoutError):
+            Layout("NCHW").blocked_shape((1, 3, 8))
+
+    def test_module_level_helpers(self):
+        assert blocked_shape("NCHW8c", (1, 16, 4, 4)) == (1, 2, 4, 4, 8)
+        assert logical_shape("NCHW8c", (1, 2, 4, 4, 8)) == (1, 16, 4, 4)
+
+
+@given(
+    channels=st.integers(1, 8).map(lambda k: 16 * k),
+    block=st.sampled_from([1, 2, 4, 8, 16]),
+    height=st.integers(1, 32),
+)
+def test_blocked_logical_round_trip(channels, block, height):
+    """blocked_shape and logical_shape are inverses for divisible channels."""
+    layout = Layout(f"NCHW{block}c")
+    logical = (1, channels, height, height)
+    assert layout.logical_shape(layout.blocked_shape(logical)) == logical

@@ -1,0 +1,194 @@
+"""Tests for the convolution kernels (reference and blocked template)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ops import (
+    conv2d_nchw,
+    conv2d_nchw_naive,
+    conv2d_nchwc,
+    conv2d_nchwc_from_nchw,
+    conv_output_size,
+    pad_nchw,
+    prepack_weights,
+    workload_from_shapes,
+)
+from repro.schedule import ConvSchedule
+from repro.tensor import to_blocked_nchwc
+
+
+def random_case(seed, n=1, c=8, h=8, w=8, k=16, r=3, s=3):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, c, h, w)).astype(np.float32)
+    weight = rng.standard_normal((k, c, r, s)).astype(np.float32)
+    return data, weight
+
+
+class TestConvOutputSize:
+    def test_same_padding(self):
+        assert conv_output_size(56, 3, 1, 1) == 56
+
+    def test_stride_two(self):
+        assert conv_output_size(224, 7, 2, 3) == 112
+
+    def test_dilation(self):
+        assert conv_output_size(10, 3, 1, 0, dilation=2) == 6
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestPad:
+    def test_no_padding_is_identity(self):
+        data = np.ones((1, 2, 3, 3), dtype=np.float32)
+        assert pad_nchw(data, (0, 0)) is data
+
+    def test_padding_shape_and_zeros(self):
+        data = np.ones((1, 2, 3, 3), dtype=np.float32)
+        padded = pad_nchw(data, (1, 2))
+        assert padded.shape == (1, 2, 5, 7)
+        assert padded[0, 0, 0, 0] == 0 and padded[0, 0, 1, 2] == 1
+
+
+class TestReferenceConv:
+    def test_matches_naive_basic(self):
+        data, weight = random_case(0)
+        ref = conv2d_nchw(data, weight, stride=1, padding=1)
+        naive = conv2d_nchw_naive(data, weight, stride=1, padding=1)
+        np.testing.assert_allclose(ref, naive, atol=1e-4)
+
+    def test_matches_naive_strided(self):
+        data, weight = random_case(1, h=9, w=9)
+        ref = conv2d_nchw(data, weight, stride=2, padding=1)
+        naive = conv2d_nchw_naive(data, weight, stride=2, padding=1)
+        assert ref.shape == naive.shape
+        np.testing.assert_allclose(ref, naive, atol=1e-4)
+
+    def test_matches_naive_dilated(self):
+        data, weight = random_case(2, h=12, w=12)
+        ref = conv2d_nchw(data, weight, dilation=2)
+        naive = conv2d_nchw_naive(data, weight, dilation=2)
+        np.testing.assert_allclose(ref, naive, atol=1e-4)
+
+    def test_grouped_conv(self):
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((1, 8, 6, 6)).astype(np.float32)
+        weight = rng.standard_normal((8, 4, 3, 3)).astype(np.float32)
+        ref = conv2d_nchw(data, weight, padding=1, groups=2)
+        naive = conv2d_nchw_naive(data, weight, padding=1, groups=2)
+        np.testing.assert_allclose(ref, naive, atol=1e-4)
+
+    def test_bias(self):
+        data, weight = random_case(4)
+        bias = np.arange(16, dtype=np.float32)
+        with_bias = conv2d_nchw(data, weight, padding=1, bias=bias)
+        without = conv2d_nchw(data, weight, padding=1)
+        np.testing.assert_allclose(with_bias - without, np.broadcast_to(
+            bias.reshape(1, 16, 1, 1), with_bias.shape), atol=1e-5)
+
+    def test_1x1_conv_equals_matmul(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((1, 8, 4, 4)).astype(np.float32)
+        weight = rng.standard_normal((16, 8, 1, 1)).astype(np.float32)
+        out = conv2d_nchw(data, weight)
+        expected = np.einsum("kc,nchw->nkhw", weight[:, :, 0, 0], data)
+        np.testing.assert_allclose(out, expected, atol=1e-4)
+
+    def test_channel_mismatch_raises(self):
+        data, weight = random_case(6)
+        with pytest.raises(ValueError):
+            conv2d_nchw(data, weight[:, :4])
+
+    def test_non_square_kernel(self):
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((1, 4, 9, 9)).astype(np.float32)
+        weight = rng.standard_normal((8, 4, 1, 7)).astype(np.float32)
+        out = conv2d_nchw(data, weight, padding=(0, 3))
+        naive = conv2d_nchw_naive(data, weight, padding=(0, 3))
+        assert out.shape == (1, 8, 9, 9)
+        np.testing.assert_allclose(out, naive, atol=1e-4)
+
+
+class TestBlockedConvTemplate:
+    @pytest.mark.parametrize(
+        "ic_bn,oc_bn,reg_n,unroll",
+        [(8, 16, 4, True), (4, 8, 8, False), (8, 4, 2, True), (2, 2, 3, False)],
+    )
+    def test_matches_reference(self, ic_bn, oc_bn, reg_n, unroll):
+        data, weight = random_case(10)
+        schedule = ConvSchedule(ic_bn, oc_bn, reg_n, unroll)
+        out = conv2d_nchwc_from_nchw(data, weight, schedule, stride=1, padding=1)
+        ref = conv2d_nchw(data, weight, stride=1, padding=1)
+        np.testing.assert_allclose(out, ref, atol=1e-3)
+
+    def test_strided_and_remainder_tile(self):
+        # out_width = 5, reg_n = 4 leaves a remainder tile of 1.
+        data, weight = random_case(11, h=10, w=10)
+        schedule = ConvSchedule(8, 8, 4, True)
+        out = conv2d_nchwc_from_nchw(data, weight, schedule, stride=2, padding=1)
+        ref = conv2d_nchw(data, weight, stride=2, padding=1)
+        np.testing.assert_allclose(out, ref, atol=1e-3)
+
+    def test_bias_in_blocked_path(self):
+        data, weight = random_case(12)
+        bias = np.linspace(-1, 1, 16).astype(np.float32)
+        schedule = ConvSchedule(8, 16, 4, True)
+        out = conv2d_nchwc_from_nchw(data, weight, schedule, padding=1, bias=bias)
+        ref = conv2d_nchw(data, weight, padding=1, bias=bias)
+        np.testing.assert_allclose(out, ref, atol=1e-3)
+
+    def test_blocked_output_layout(self):
+        data, weight = random_case(13)
+        schedule = ConvSchedule(8, 8, 4, True)
+        out = conv2d_nchwc_from_nchw(data, weight, schedule, padding=1, return_blocked=True)
+        assert out.shape == (1, 2, 8, 8, 8)
+
+    def test_shape_validation(self):
+        data, weight = random_case(14)
+        workload = workload_from_shapes(data.shape, weight.shape, 1, 1)
+        schedule = ConvSchedule(8, 16, 4, True)
+        blocked = to_blocked_nchwc(data, 8)
+        packed = prepack_weights(weight, schedule)
+        with pytest.raises(ValueError):
+            conv2d_nchwc(blocked[:, :, :4], packed, workload, schedule)
+        with pytest.raises(ValueError):
+            conv2d_nchwc(blocked, packed[:, :, :1], workload, schedule)
+
+    def test_groups_not_supported_by_template(self):
+        workload = workload_from_shapes((1, 8, 8, 8), (8, 4, 3, 3), 1, 1, groups=2)
+        schedule = ConvSchedule(4, 4, 4, True)
+        with pytest.raises(NotImplementedError):
+            conv2d_nchwc(
+                np.zeros((1, 2, 8, 8, 4), np.float32),
+                np.zeros((2, 1, 3, 3, 4, 4), np.float32),
+                workload,
+                schedule,
+            )
+
+    def test_workload_from_shapes_validation(self):
+        with pytest.raises(ValueError):
+            workload_from_shapes((1, 8, 8, 8), (8, 3, 3, 3), 1, 1)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    c=st.sampled_from([4, 8, 16]),
+    k=st.sampled_from([4, 8, 16]),
+    ic_bn=st.sampled_from([2, 4]),
+    oc_bn=st.sampled_from([2, 4, 8]),
+    reg_n=st.sampled_from([2, 4, 8]),
+    stride=st.sampled_from([1, 2]),
+)
+def test_blocked_conv_equals_reference_property(c, k, ic_bn, oc_bn, reg_n, stride):
+    """The template kernel computes the same function as the NCHW reference
+    for any valid schedule (the paper's correctness sanity check)."""
+    rng = np.random.default_rng(c * 100 + k)
+    data = rng.standard_normal((1, c, 8, 8)).astype(np.float32)
+    weight = rng.standard_normal((k, c, 3, 3)).astype(np.float32)
+    out_width = 8 if stride == 1 else 4
+    schedule = ConvSchedule(min(ic_bn, c), min(oc_bn, k), min(reg_n, out_width), False)
+    out = conv2d_nchwc_from_nchw(data, weight, schedule, stride=stride, padding=1)
+    ref = conv2d_nchw(data, weight, stride=stride, padding=1)
+    np.testing.assert_allclose(out, ref, atol=1e-3)

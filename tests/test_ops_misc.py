@@ -1,0 +1,245 @@
+"""Tests for pooling, batch norm, activations, element-wise, dense and SSD ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ops import (
+    add,
+    avg_pool2d_nchw,
+    avg_pool2d_nchwc,
+    batch_norm_inference_nchw,
+    batch_norm_inference_nchwc,
+    batch_norm_to_scale_shift,
+    bias_add_nchw,
+    bias_add_nchwc,
+    concat_channels_nchw,
+    decode_boxes,
+    dense,
+    flatten_nchw,
+    fold_batch_norm_into_conv,
+    conv2d_nchw,
+    global_avg_pool2d_nchw,
+    global_avg_pool2d_nchwc,
+    leaky_relu,
+    max_pool2d_nchw,
+    max_pool2d_nchwc,
+    multibox_detection,
+    multibox_prior,
+    non_max_suppression,
+    relu,
+    reshape,
+    sigmoid,
+    softmax,
+)
+from repro.tensor import to_blocked_nchwc, from_blocked_nchwc
+
+
+def rand(shape, seed=0):
+    return np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+
+
+class TestPooling:
+    def test_max_pool_simple(self):
+        data = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = max_pool2d_nchw(data, 2, 2)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_simple(self):
+        data = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = avg_pool2d_nchw(data, 2, 2)
+        np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_with_padding_ignores_pad_values(self):
+        data = -np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = max_pool2d_nchw(data, 3, 1, 1)
+        assert out.max() == -1  # padding (-inf) never wins
+
+    def test_avg_pool_excludes_padding_by_default(self):
+        data = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = avg_pool2d_nchw(data, 3, 1, 1)
+        np.testing.assert_allclose(out, np.ones_like(out))
+
+    def test_blocked_pooling_matches_nchw(self):
+        data = rand((1, 32, 8, 8), 1)
+        blocked = to_blocked_nchwc(data, 16)
+        out_blocked = max_pool2d_nchwc(blocked, 2, 2)
+        expected = max_pool2d_nchw(data, 2, 2)
+        np.testing.assert_allclose(from_blocked_nchwc(out_blocked, 16), expected)
+
+    def test_blocked_avg_pooling_matches_nchw(self):
+        data = rand((1, 16, 6, 6), 2)
+        blocked = to_blocked_nchwc(data, 8)
+        out = avg_pool2d_nchwc(blocked, 3, 1, 1)
+        expected = avg_pool2d_nchw(data, 3, 1, 1)
+        np.testing.assert_allclose(from_blocked_nchwc(out, 8), expected, atol=1e-5)
+
+    def test_global_pool(self):
+        data = rand((2, 8, 5, 5), 3)
+        out = global_avg_pool2d_nchw(data)
+        assert out.shape == (2, 8, 1, 1)
+        np.testing.assert_allclose(out[..., 0, 0], data.mean(axis=(2, 3)), atol=1e-5)
+
+    def test_global_pool_blocked(self):
+        data = rand((1, 16, 4, 4), 4)
+        blocked = to_blocked_nchwc(data, 8)
+        out = global_avg_pool2d_nchwc(blocked)
+        np.testing.assert_allclose(
+            from_blocked_nchwc(out, 8), global_avg_pool2d_nchw(data), atol=1e-5
+        )
+
+
+class TestBatchNorm:
+    def _params(self, channels, seed=0):
+        rng = np.random.default_rng(seed)
+        gamma = rng.uniform(0.5, 1.5, channels).astype(np.float32)
+        beta = rng.standard_normal(channels).astype(np.float32)
+        mean = rng.standard_normal(channels).astype(np.float32)
+        var = rng.uniform(0.5, 2.0, channels).astype(np.float32)
+        return gamma, beta, mean, var
+
+    def test_scale_shift_identity(self):
+        gamma, beta, mean, var = self._params(8)
+        scale, shift = batch_norm_to_scale_shift(gamma, beta, mean, var)
+        x = rand((1, 8, 4, 4), 1)
+        direct = batch_norm_inference_nchw(x, gamma, beta, mean, var)
+        via_affine = x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+        np.testing.assert_allclose(direct, via_affine, atol=1e-5)
+
+    def test_normalizes_to_gamma_beta(self):
+        gamma, beta, mean, var = self._params(4)
+        x = np.broadcast_to(mean.reshape(1, 4, 1, 1), (1, 4, 3, 3)).astype(np.float32)
+        out = batch_norm_inference_nchw(x, gamma, beta, mean, var)
+        np.testing.assert_allclose(out[0, :, 0, 0], beta, atol=1e-4)
+
+    def test_blocked_matches_nchw(self):
+        gamma, beta, mean, var = self._params(32)
+        x = rand((1, 32, 4, 4), 2)
+        blocked = to_blocked_nchwc(x, 16)
+        out_blocked = batch_norm_inference_nchwc(blocked, gamma, beta, mean, var)
+        expected = batch_norm_inference_nchw(x, gamma, beta, mean, var)
+        np.testing.assert_allclose(from_blocked_nchwc(out_blocked, 16), expected, atol=1e-5)
+
+    def test_fold_into_conv(self):
+        gamma, beta, mean, var = self._params(16)
+        data = rand((1, 8, 6, 6), 3)
+        weight = rand((16, 8, 3, 3), 4)
+        bias = rand((16,), 5)
+        folded_w, folded_b = fold_batch_norm_into_conv(weight, bias, gamma, beta, mean, var)
+        fused = conv2d_nchw(data, folded_w, padding=1, bias=folded_b)
+        unfused = batch_norm_inference_nchw(
+            conv2d_nchw(data, weight, padding=1, bias=bias), gamma, beta, mean, var
+        )
+        np.testing.assert_allclose(fused, unfused, atol=1e-3)
+
+
+class TestActivationsElementwise:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(relu(x), [0, 0, 2])
+
+    def test_leaky_relu(self):
+        x = np.array([-2.0, 3.0], dtype=np.float32)
+        np.testing.assert_allclose(leaky_relu(x, 0.1), [-0.2, 3.0], atol=1e-6)
+
+    def test_sigmoid_range_and_extremes(self):
+        x = np.array([-100.0, 0.0, 100.0], dtype=np.float32)
+        out = sigmoid(x)
+        assert np.all(out >= 0) and np.all(out <= 1)
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-6)
+
+    def test_softmax_sums_to_one_and_is_stable(self):
+        x = np.array([[1000.0, 1000.0, 1000.0]], dtype=np.float32)
+        out = softmax(x, axis=-1)
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-6)
+        np.testing.assert_allclose(out, 1.0 / 3.0, atol=1e-6)
+
+    def test_add_requires_same_shape(self):
+        with pytest.raises(ValueError):
+            add(np.zeros((1, 2)), np.zeros((2, 1)))
+
+    def test_bias_add_blocked_matches_nchw(self):
+        x = rand((1, 16, 3, 3), 6)
+        bias = rand((16,), 7)
+        blocked = to_blocked_nchwc(x, 8)
+        out = bias_add_nchwc(blocked, bias)
+        np.testing.assert_allclose(
+            from_blocked_nchwc(out, 8), bias_add_nchw(x, bias), atol=1e-6
+        )
+
+
+class TestDenseAndShapes:
+    def test_dense_matches_matmul(self):
+        x, w, b = rand((2, 8), 1), rand((4, 8), 2), rand((4,), 3)
+        np.testing.assert_allclose(dense(x, w, b), x @ w.T + b, atol=1e-5)
+
+    def test_dense_validates_shapes(self):
+        with pytest.raises(ValueError):
+            dense(rand((2, 8)), rand((4, 6)))
+        with pytest.raises(ValueError):
+            dense(rand((2, 2, 2)), rand((4, 4)))
+
+    def test_flatten(self):
+        x = rand((2, 3, 4, 5))
+        assert flatten_nchw(x).shape == (2, 60)
+
+    def test_reshape(self):
+        x = rand((2, 12))
+        assert reshape(x, (2, 3, 4)).shape == (2, 3, 4)
+
+    def test_concat_channels(self):
+        a, b = rand((1, 3, 2, 2)), rand((1, 5, 2, 2))
+        assert concat_channels_nchw([a, b]).shape == (1, 8, 2, 2)
+
+
+class TestSSDOps:
+    def test_multibox_prior_count_and_range(self):
+        boxes = multibox_prior((4, 4), 512, sizes=[0.2], ratios=[1.0, 2.0, 0.5])
+        assert boxes.shape == (4 * 4 * 3, 4)
+        assert np.all(boxes[:, 2:] > 0)
+
+    def test_decode_boxes_zero_offsets_recover_anchors(self):
+        anchors = np.array([[0.5, 0.5, 0.2, 0.2]], dtype=np.float32)
+        decoded = decode_boxes(anchors, np.zeros((1, 1, 4), dtype=np.float32))
+        np.testing.assert_allclose(decoded[0, 0], [0.4, 0.4, 0.6, 0.6], atol=1e-6)
+
+    def test_decode_boxes_clipped(self):
+        anchors = np.array([[0.0, 0.0, 0.5, 0.5]], dtype=np.float32)
+        decoded = decode_boxes(anchors, np.zeros((1, 1, 4), dtype=np.float32))
+        assert decoded.min() >= 0.0 and decoded.max() <= 1.0
+
+    def test_nms_suppresses_overlaps(self):
+        boxes = np.array(
+            [[0, 0, 1, 1], [0.05, 0.05, 1.0, 1.0], [0.5, 0.5, 0.9, 0.9]],
+            dtype=np.float32,
+        )
+        scores = np.array([0.9, 0.8, 0.7], dtype=np.float32)
+        keep = non_max_suppression(boxes, scores, iou_threshold=0.5)
+        assert 0 in keep and 1 not in keep and 2 in keep
+
+    def test_nms_respects_max_detections(self):
+        boxes = np.array([[i * 0.1, 0, i * 0.1 + 0.05, 0.05] for i in range(10)],
+                         dtype=np.float32)
+        scores = np.linspace(1, 0.1, 10).astype(np.float32)
+        assert len(non_max_suppression(boxes, scores, max_detections=3)) == 3
+
+    def test_multibox_detection_end_to_end(self):
+        anchors = multibox_prior((2, 2), 512, sizes=[0.3], ratios=[1.0])
+        num_anchors = anchors.shape[0]
+        cls_probs = np.zeros((1, 3, num_anchors), dtype=np.float32)
+        cls_probs[0, 0] = 0.1     # background
+        cls_probs[0, 1] = 0.8     # class 0 confident everywhere
+        cls_probs[0, 2] = 0.1
+        loc = np.zeros((1, num_anchors, 4), dtype=np.float32)
+        out = multibox_detection(cls_probs, loc, anchors, max_detections=10)
+        assert out.shape == (1, 10, 6)
+        assert out[0, 0, 0] == 0           # best detection is class 0
+        assert out[0, 0, 1] == pytest.approx(0.8, abs=1e-5)
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(1, 6), st.integers(1, 6))
+def test_softmax_rows_always_sum_to_one(rows, cols):
+    rng = np.random.default_rng(rows * 7 + cols)
+    x = rng.standard_normal((rows, cols)).astype(np.float32) * 10
+    np.testing.assert_allclose(softmax(x, axis=-1).sum(axis=-1), 1.0, atol=1e-5)

@@ -1,0 +1,265 @@
+"""Tests for the graph-level optimization passes (section 3.2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import infer_shapes
+from repro.graph.passes import (
+    AlterOpLayout,
+    EliminateLayoutTransforms,
+    FoldConstants,
+    FuseOps,
+    PassManager,
+    SimplifyInference,
+)
+from repro.runtime import GraphExecutor
+from repro.schedule import ConvSchedule
+
+from tests.conftest import build_tiny_cnn
+
+
+TINY_SCHEDULES = {
+    "conv1": ConvSchedule(ic_bn=3, oc_bn=16, reg_n=4, unroll_ker=True),
+    "conv2a": ConvSchedule(ic_bn=16, oc_bn=16, reg_n=8, unroll_ker=False),
+    "conv3": ConvSchedule(ic_bn=16, oc_bn=16, reg_n=8, unroll_ker=True),
+}
+
+
+def reference_output(tiny_input, seed=11):
+    graph = build_tiny_cnn()
+    executor = GraphExecutor(graph, seed=seed)
+    return executor.run({"data": tiny_input})[0]
+
+
+class TestSimplifyInference:
+    def test_removes_dropout_and_batch_norm(self, tiny_cnn):
+        graph = SimplifyInference().run(tiny_cnn)
+        histogram = graph.op_histogram()
+        assert "dropout" not in histogram
+        assert "batch_norm" not in histogram
+        assert histogram["scale_shift"] == 2
+
+    def test_preserves_output_values(self, tiny_input):
+        expected = reference_output(tiny_input)
+        graph = SimplifyInference().run(build_tiny_cnn())
+        out = GraphExecutor(graph, seed=11).run({"data": tiny_input})[0]
+        np.testing.assert_allclose(out, expected, atol=1e-5)
+
+    def test_derived_constants_resolve_eagerly_when_bound(self, tiny_input):
+        graph = build_tiny_cnn()
+        GraphExecutor(graph, seed=11)  # binds all parameter values
+        graph = SimplifyInference().run(graph)
+        scale = graph.find("bn1_scale_shift").inputs[1]
+        assert scale.value is not None
+
+
+class TestFoldConstants:
+    def test_folds_weight_transforms_when_values_bound(self, tiny_input):
+        graph = build_tiny_cnn()
+        GraphExecutor(graph, seed=11)  # bind values
+        graph = SimplifyInference().run(graph)
+        graph = AlterOpLayout(TINY_SCHEDULES).run(graph)
+        folder = FoldConstants()
+        graph = folder.run(graph)
+        assert folder.num_folded >= 3  # the three pre-packed weights
+        # No compile-time weight transform remains as a runtime op.
+        remaining = [
+            node for node in graph.op_nodes("layout_transform")
+            if node.attrs.get("compile_time")
+        ]
+        assert not remaining
+
+    def test_noop_without_values(self, tiny_cnn):
+        folder = FoldConstants()
+        folder.run(tiny_cnn)
+        assert folder.num_folded == 0
+
+
+class TestFuseOps:
+    def test_groups_anchor_on_convs(self, tiny_cnn):
+        graph = SimplifyInference().run(tiny_cnn)
+        fuser = FuseOps()
+        graph = fuser.run(graph)
+        assert fuser.num_groups >= 4  # 3 convs + dense
+        groups = FuseOps.fusion_groups(graph)
+        assert "conv1" in groups
+        # conv1 is followed by scale_shift + relu, both fusible.
+        assert len(groups["conv1"]) >= 2
+
+    def test_multi_consumer_breaks_fusion(self, tiny_cnn):
+        graph = SimplifyInference().run(tiny_cnn)
+        graph = FuseOps().run(graph)
+        groups = FuseOps.fusion_groups(graph)
+        # pool1 output has two consumers, so conv1's chain must stop at or
+        # before it; pool is not fusible anyway but the add cannot be fused
+        # into conv1 either.
+        assert "res_add" not in groups.get("conv1", [])
+
+
+class TestAlterOpLayout:
+    def test_hoisted_layouts_flow_between_convs(self, tiny_cnn):
+        graph = SimplifyInference().run(tiny_cnn)
+        alter = AlterOpLayout(TINY_SCHEDULES, hoist_transforms=True)
+        graph = alter.run(graph)
+        infer_shapes(graph)
+        conv2a = graph.find("conv2a")
+        # conv2a's data producer chain carries NCHW16c without a transform in
+        # between (conv1 produces oc_bn=16, conv2a consumes ic_bn=16).
+        assert str(conv2a.inputs[0].spec.layout) == "NCHW16c"
+        assert conv2a.inputs[0].op != "layout_transform"
+
+    def test_transform_inserted_before_first_conv_and_flatten(self, tiny_cnn):
+        graph = SimplifyInference().run(tiny_cnn)
+        graph = AlterOpLayout(TINY_SCHEDULES).run(graph)
+        transforms = graph.op_nodes("layout_transform")
+        runtime_transforms = [t for t in transforms if not t.attrs.get("compile_time")]
+        # one NCHW->NCHW3c before conv1, one NCHW16c->NCHW before flatten
+        dsts = {str(t.attrs["dst_layout"]) for t in runtime_transforms}
+        assert "NCHW3c" in dsts
+        assert "NCHW" in dsts
+
+    def test_weights_are_pretransformed_at_compile_time(self, tiny_cnn):
+        graph = SimplifyInference().run(tiny_cnn)
+        graph = AlterOpLayout(TINY_SCHEDULES).run(graph)
+        conv1 = graph.find("conv1")
+        weight_producer = conv1.inputs[1]
+        assert weight_producer.is_op_type("layout_transform")
+        assert weight_producer.attrs["compile_time"]
+        assert str(weight_producer.attrs["dst_layout"]) == "OIHW3i16o"
+
+    def test_unhoisted_mode_wraps_each_conv(self, tiny_cnn):
+        graph = SimplifyInference().run(tiny_cnn)
+        alter = AlterOpLayout(TINY_SCHEDULES, hoist_transforms=False)
+        graph = alter(graph)
+        infer_shapes(graph)
+        # Every consumer of a scheduled conv sees default-layout data.
+        for conv_name in TINY_SCHEDULES:
+            conv = graph.find(conv_name)
+            consumers = [n for n in graph.op_nodes() if conv in n.inputs]
+            assert consumers and all(
+                n.is_op_type("layout_transform") for n in consumers
+            )
+
+    def test_correctness_preserved_hoisted(self, tiny_input):
+        expected = reference_output(tiny_input)
+        graph = build_tiny_cnn()
+        pm = PassManager()
+        pm.add(SimplifyInference())
+        pm.add(AlterOpLayout(TINY_SCHEDULES, hoist_transforms=True))
+        pm.add(EliminateLayoutTransforms())
+        pm.add(FuseOps())
+        graph = pm.run(graph)
+        out = GraphExecutor(graph, seed=11).run({"data": tiny_input})[0]
+        np.testing.assert_allclose(out, expected, atol=1e-4)
+
+    def test_correctness_preserved_unhoisted(self, tiny_input):
+        expected = reference_output(tiny_input)
+        graph = build_tiny_cnn()
+        pm = PassManager()
+        pm.add(SimplifyInference())
+        pm.add(AlterOpLayout(TINY_SCHEDULES, hoist_transforms=False))
+        graph = pm.run(graph)
+        out = GraphExecutor(graph, seed=11).run({"data": tiny_input})[0]
+        np.testing.assert_allclose(out, expected, atol=1e-4)
+
+    def test_elemwise_add_operands_agree(self, tiny_cnn):
+        # Give the two convs feeding the residual add different output blocks;
+        # the pass must insert a transform so the add still sees one layout.
+        schedules = dict(TINY_SCHEDULES)
+        schedules["conv2a"] = ConvSchedule(ic_bn=16, oc_bn=8, reg_n=8)
+        graph = SimplifyInference().run(tiny_cnn)
+        graph = AlterOpLayout(schedules).run(graph)
+        infer_shapes(graph)
+        add_node = graph.find("res_add")
+        layouts = {str(producer.spec.layout) for producer in add_node.inputs}
+        assert len(layouts) == 1
+
+    def test_mismatched_conv_blocks_insert_transform(self, tiny_input):
+        schedules = dict(TINY_SCHEDULES)
+        schedules["conv3"] = ConvSchedule(ic_bn=8, oc_bn=16, reg_n=8)
+        expected = reference_output(tiny_input)
+        graph = build_tiny_cnn()
+        graph = SimplifyInference().run(graph)
+        alter = AlterOpLayout(schedules)
+        graph = alter.run(graph)
+        # conv3 wants 8-blocked input but its producers emit 16-blocked data.
+        assert alter.num_transforms_inserted >= 3
+        out = GraphExecutor(graph, seed=11).run({"data": tiny_input})[0]
+        np.testing.assert_allclose(out, expected, atol=1e-4)
+
+
+class TestEliminateLayoutTransforms:
+    def test_removes_noop_and_round_trip_chains(self):
+        # Hand-built graph: data -> (NCHW->NCHW8c) -> (NCHW8c->NCHW) -> relu,
+        # plus a no-op transform; both patterns must disappear.
+        from repro.graph import Graph, Node, NodeKind
+        from repro.tensor import TensorSpec
+
+        data = Node(NodeKind.INPUT, name="data", spec=TensorSpec((1, 16, 4, 4)))
+        to_blocked = Node(
+            NodeKind.OP, op="layout_transform", inputs=[data], name="t1",
+            attrs={"src_layout": "NCHW", "dst_layout": "NCHW8c"},
+        )
+        back = Node(
+            NodeKind.OP, op="layout_transform", inputs=[to_blocked], name="t2",
+            attrs={"src_layout": "NCHW8c", "dst_layout": "NCHW"},
+        )
+        noop = Node(
+            NodeKind.OP, op="layout_transform", inputs=[back], name="t3",
+            attrs={"src_layout": "NCHW", "dst_layout": "NCHW"},
+        )
+        out = Node(NodeKind.OP, op="relu", inputs=[noop], name="out")
+        graph = Graph([out], name="chain")
+        eliminator = EliminateLayoutTransforms()
+        graph = eliminator.run(graph)
+        assert eliminator.num_eliminated >= 3
+        assert not graph.op_nodes("layout_transform")
+        assert graph.find("out").inputs[0] is data
+
+    def test_hoisted_graph_is_already_minimal(self, tiny_cnn):
+        graph = SimplifyInference().run(tiny_cnn)
+        graph = AlterOpLayout(TINY_SCHEDULES, hoist_transforms=True).run(graph)
+        eliminator = EliminateLayoutTransforms()
+        graph = eliminator.run(graph)
+        # Data transforms: into blocked at the entry, back to NCHW before
+        # flatten; everything in between flows untouched (Figure 2).
+        runtime = [
+            t for t in graph.op_nodes("layout_transform")
+            if not t.attrs.get("compile_time")
+        ]
+        assert len(runtime) == 2
+
+    def test_collapses_chained_transforms(self, tiny_input):
+        expected = reference_output(tiny_input)
+        schedules = dict(TINY_SCHEDULES)
+        schedules["conv3"] = ConvSchedule(ic_bn=8, oc_bn=16, reg_n=8)
+        graph = build_tiny_cnn()
+        graph = SimplifyInference().run(graph)
+        graph = AlterOpLayout(schedules).run(graph)
+        eliminator = EliminateLayoutTransforms()
+        graph = eliminator.run(graph)
+        out = GraphExecutor(graph, seed=11).run({"data": tiny_input})[0]
+        np.testing.assert_allclose(out, expected, atol=1e-4)
+
+
+class TestPassManager:
+    def test_records_and_report(self, tiny_cnn):
+        pm = PassManager()
+        pm.add(SimplifyInference())
+        pm.add(FuseOps())
+        pm.run(tiny_cnn)
+        assert len(pm.records) == 2
+        report = pm.report()
+        assert "simplify_inference" in report and "fuse_ops" in report
+
+    def test_accepts_plain_functions(self, tiny_cnn):
+        calls = []
+
+        def custom(graph):
+            calls.append(graph.name)
+            return graph
+
+        pm = PassManager()
+        pm.add(custom)
+        pm.run(tiny_cnn)
+        assert calls == [tiny_cnn.name]

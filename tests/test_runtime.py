@@ -1,0 +1,188 @@
+"""Tests for the runtime: executor, thread pool, profiler, compiled module."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import CompileConfig, OptLevel, compile_model
+from repro.costmodel import OPENMP, THREAD_POOL
+from repro.runtime import (
+    GraphExecutor,
+    SPSCQueue,
+    ThreadPool,
+    Timer,
+    format_report,
+    initialize_parameters,
+    static_partition,
+    time_callable,
+    top_costs,
+)
+
+from tests.conftest import build_tiny_cnn
+
+
+class TestInitializeParameters:
+    def test_all_constants_bound(self, tiny_cnn):
+        params = initialize_parameters(tiny_cnn, seed=1)
+        for node in tiny_cnn.constant_nodes():
+            assert node.value is not None
+            assert node.name in params
+
+    def test_deterministic_across_structurally_equal_graphs(self):
+        a, b = build_tiny_cnn(), build_tiny_cnn()
+        pa = initialize_parameters(a, seed=5)
+        pb = initialize_parameters(b, seed=5)
+        assert set(pa) == set(pb)
+        for name in pa:
+            np.testing.assert_array_equal(pa[name], pb[name])
+
+    def test_explicit_params_take_priority(self, tiny_cnn):
+        custom = np.zeros((32, 3, 3, 3), dtype=np.float32)
+        params = initialize_parameters(tiny_cnn, {"conv1_weight": custom}, seed=0)
+        np.testing.assert_array_equal(params["conv1_weight"], custom)
+
+    def test_bn_variance_positive(self, tiny_cnn):
+        params = initialize_parameters(tiny_cnn, seed=2)
+        assert np.all(params["bn1_var"] > 0)
+        np.testing.assert_array_equal(params["bn1_gamma"], np.ones(32, dtype=np.float32))
+
+
+class TestGraphExecutor:
+    def test_output_is_probability_vector(self, tiny_cnn, tiny_input):
+        out = GraphExecutor(tiny_cnn, seed=0).run({"data": tiny_input})[0]
+        assert out.shape == (1, 10)
+        assert out.sum() == pytest.approx(1.0, abs=1e-5)
+        assert np.all(out >= 0)
+
+    def test_missing_input_raises(self, tiny_cnn):
+        with pytest.raises(KeyError):
+            GraphExecutor(tiny_cnn, seed=0).run({})
+
+    def test_return_all_intermediate_values(self, tiny_cnn, tiny_input):
+        values = GraphExecutor(tiny_cnn, seed=0).run({"data": tiny_input}, return_all=True)
+        assert "conv1" in values and values["conv1"].shape == (1, 32, 16, 16)
+
+    def test_same_seed_same_output(self, tiny_input):
+        out1 = GraphExecutor(build_tiny_cnn(), seed=3).run({"data": tiny_input})[0]
+        out2 = GraphExecutor(build_tiny_cnn(), seed=3).run({"data": tiny_input})[0]
+        np.testing.assert_allclose(out1, out2)
+
+    def test_run_single(self, tiny_cnn, tiny_input):
+        out = GraphExecutor(tiny_cnn, seed=0).run_single(data=tiny_input)
+        assert out.shape == (1, 10)
+
+
+class TestStaticPartition:
+    def test_even_split(self):
+        assert static_partition(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_spread(self):
+        chunks = static_partition(10, 4)
+        sizes = [stop - start for start, stop in chunks]
+        assert sum(sizes) == 10 and max(sizes) - min(sizes) <= 1
+
+    def test_fewer_items_than_workers(self):
+        chunks = static_partition(2, 8)
+        assert len(chunks) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            static_partition(4, 0)
+
+
+class TestSPSCQueue:
+    def test_fifo_order(self):
+        queue = SPSCQueue()
+        for i in range(5):
+            queue.push(i)
+        assert [queue.pop() for _ in range(5)] == list(range(5))
+
+    def test_blocking_pop_wakes_on_push(self):
+        queue = SPSCQueue()
+        result = []
+
+        def consumer():
+            result.append(queue.pop())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        queue.push("item")
+        thread.join(timeout=2)
+        assert result == ["item"]
+
+
+class TestThreadPool:
+    def test_parallel_for_covers_range(self):
+        seen = []
+        lock = threading.Lock()
+        with ThreadPool(4) as pool:
+            def body(start, stop):
+                with lock:
+                    seen.extend(range(start, stop))
+            pool.parallel_for(100, body)
+        assert sorted(seen) == list(range(100))
+
+    def test_map_preserves_order(self):
+        with ThreadPool(3) as pool:
+            assert pool.map(lambda x: x * x, list(range(20))) == [x * x for x in range(20)]
+
+    def test_reusable_across_regions(self):
+        with ThreadPool(2) as pool:
+            for _ in range(5):
+                totals = pool.map(lambda x: x + 1, list(range(10)))
+                assert sum(totals) == 55
+
+    def test_shutdown_prevents_reuse(self):
+        pool = ThreadPool(2)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.parallel_for(4, lambda a, b: None)
+
+    def test_single_worker(self):
+        with ThreadPool(1) as pool:
+            assert pool.map(lambda x: -x, [1, 2, 3]) == [-1, -2, -3]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadPool(0)
+
+
+class TestProfilerAndModule:
+    def test_timer_returns_mean_and_stderr(self):
+        mean, stderr = Timer(repeats=3, warmup=0).time(lambda: time.sleep(0.001))
+        assert mean >= 0.001
+        assert stderr >= 0.0
+
+    def test_time_callable(self):
+        assert time_callable(lambda: None, repeats=2, warmup=0) >= 0.0
+
+    def test_module_profile_and_report(self, skylake):
+        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        report = module.profile(num_threads=4)
+        assert report.total_s > 0
+        text = format_report(report, k=5)
+        assert "conv" in text
+        assert top_costs(report, 3)
+
+    def test_module_latency_thread_scaling(self, skylake):
+        # Use a larger input so the convolutions have enough work for the
+        # parallel speedup to outweigh the fork/join overhead.
+        module = compile_model(build_tiny_cnn(image=64), skylake, CompileConfig())
+        serial = module.estimate_latency(num_threads=1)
+        parallel = module.estimate_latency(num_threads=8)
+        assert parallel < serial
+
+    def test_module_threading_override(self, skylake):
+        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        pool = module.estimate_latency(num_threads=18, threading=THREAD_POOL)
+        omp = module.estimate_latency(num_threads=18, threading=OPENMP)
+        assert pool < omp
+
+    def test_module_summary_and_run(self, skylake, tiny_input):
+        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        assert "CompiledModule" in module.summary()
+        out = module.run({"data": tiny_input}, seed=1)[0]
+        assert out.shape == (1, 10)

@@ -1,0 +1,276 @@
+"""Tests for the tuning database, local search, PBQP solver and global search."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CostModelMeasurer,
+    DynamicProgrammingSearch,
+    GlobalSearch,
+    LocalSearch,
+    NumpyMeasurer,
+    PBQPProblem,
+    TuningDatabase,
+    TuningRecord,
+    extract_dependency_graph,
+    solve_pbqp,
+)
+from repro.core.global_search import ConvCandidate, ConvDependencyGraph, DependencyEdge
+from repro.graph import infer_shapes
+from repro.hardware import get_target
+from repro.schedule import ConvSchedule, ConvWorkload
+
+from tests.conftest import build_tiny_cnn
+
+
+WORKLOAD = ConvWorkload(1, 32, 14, 14, 64, 3, 3, (1, 1), (1, 1))
+
+
+class TestTuningDatabase:
+    def test_put_get_best(self):
+        db = TuningDatabase()
+        records = [
+            TuningRecord(ConvSchedule(16, 16, 8), 2e-3),
+            TuningRecord(ConvSchedule(8, 8, 4), 1e-3),
+        ]
+        db.put(WORKLOAD, "cpu-x", records)
+        assert db.best(WORKLOAD, "cpu-x").cost_s == 1e-3  # sorted ascending
+        assert len(db.get(WORKLOAD, "cpu-x")) == 2
+        assert (WORKLOAD, "cpu-x") in db and (WORKLOAD, "cpu-y") not in db
+
+    def test_save_load_round_trip(self, tmp_path):
+        db = TuningDatabase()
+        db.put(WORKLOAD, "cpu-x", [TuningRecord(ConvSchedule(4, 8, 2, True), 5e-4)])
+        path = tmp_path / "tuning.json"
+        db.save(path)
+        loaded = TuningDatabase.load(path)
+        best = loaded.best(WORKLOAD, "cpu-x")
+        assert best.schedule == ConvSchedule(4, 8, 2, True)
+        assert best.cost_s == pytest.approx(5e-4)
+
+    def test_merge(self):
+        a, b = TuningDatabase(), TuningDatabase()
+        a.put(WORKLOAD, "x", [TuningRecord(ConvSchedule(8, 8, 4), 1.0)])
+        b.put(WORKLOAD, "y", [TuningRecord(ConvSchedule(8, 8, 4), 2.0)])
+        a.merge(b)
+        assert len(a) == 2
+
+
+class TestLocalSearch:
+    def test_results_sorted_and_limited(self, skylake):
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, top_k=5)
+        records = search.tune(WORKLOAD)
+        assert len(records) == 5
+        costs = [record.cost_s for record in records]
+        assert costs == sorted(costs)
+
+    def test_best_schedule_is_valid_and_sensible(self, skylake):
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name)
+        best = search.best(WORKLOAD).schedule
+        assert WORKLOAD.in_channels % best.ic_bn == 0
+        assert WORKLOAD.out_channels % best.oc_bn == 0
+        # On AVX-512 the best output block should use full 16-lane vectors.
+        assert best.oc_bn % 16 == 0
+
+    def test_database_caching_avoids_research(self, skylake):
+        db = TuningDatabase()
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, database=db)
+        first = search.tune(WORKLOAD)
+        assert len(db) == 1
+        second = search.tune(WORKLOAD)
+        assert [r.schedule for r in first] == [r.schedule for r in second]
+
+    def test_tune_all_deduplicates(self, skylake):
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name)
+        db = search.tune_all([WORKLOAD, WORKLOAD, WORKLOAD])
+        assert len(db) == 1
+
+    def test_numpy_measurer_ranks_real_executions(self):
+        """The empirical measurer actually runs the kernel and returns time."""
+        workload = ConvWorkload(1, 8, 8, 8, 8, 3, 3, (1, 1), (1, 1))
+        measurer = NumpyMeasurer(repeats=1)
+        cost = measurer.measure(workload, ConvSchedule(8, 8, 4, True))
+        assert cost > 0
+
+    def test_best_differs_across_architectures(self):
+        skylake = get_target("skylake")
+        arm = get_target("arm")
+        best_skl = LocalSearch(CostModelMeasurer(skylake), skylake.name).best(WORKLOAD)
+        best_arm = LocalSearch(CostModelMeasurer(arm), arm.name).best(WORKLOAD)
+        # ARM NEON has 4 lanes; its best oc_bn need not be 16-aligned like AVX-512.
+        assert best_skl.schedule.oc_bn % 16 == 0
+        assert best_arm.schedule.oc_bn % 4 == 0
+
+
+class TestPBQP:
+    def test_single_node(self):
+        problem = PBQPProblem()
+        problem.add_node("a", [3.0, 1.0, 2.0])
+        solution = solve_pbqp(problem)
+        assert solution.choice("a") == 1
+        assert solution.cost == 1.0
+
+    def test_two_nodes_edge_dominates(self):
+        problem = PBQPProblem()
+        problem.add_node("a", [0.0, 0.1])
+        problem.add_node("b", [0.0, 0.1])
+        # Huge penalty unless both pick index 1.
+        problem.add_edge("a", "b", [[10.0, 10.0], [10.0, 0.0]])
+        solution = solve_pbqp(problem)
+        assert solution.selection == {"a": 1, "b": 1}
+        assert solution.cost == pytest.approx(0.2)
+
+    def test_chain_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        problem = PBQPProblem()
+        sizes = [3, 2, 4, 3]
+        vectors = [rng.uniform(0, 1, size) for size in sizes]
+        for index, vector in enumerate(vectors):
+            problem.add_node(index, vector)
+        matrices = []
+        for index in range(len(sizes) - 1):
+            matrix = rng.uniform(0, 1, (sizes[index], sizes[index + 1]))
+            matrices.append(matrix)
+            problem.add_edge(index, index + 1, matrix)
+
+        solution = solve_pbqp(problem)
+
+        best = float("inf")
+        import itertools
+
+        for assignment in itertools.product(*[range(s) for s in sizes]):
+            cost = sum(vectors[i][assignment[i]] for i in range(len(sizes)))
+            cost += sum(
+                matrices[i][assignment[i], assignment[i + 1]]
+                for i in range(len(sizes) - 1)
+            )
+            best = min(best, cost)
+        # Chains only need R0/RI/RII reductions, so the result is exact.
+        assert solution.cost == pytest.approx(best)
+        assert solution.num_rn_reductions == 0
+
+    def test_cycle_uses_rn_but_stays_near_optimal(self):
+        rng = np.random.default_rng(1)
+        problem = PBQPProblem()
+        num_nodes, size = 6, 3
+        vectors = [rng.uniform(0, 1, size) for _ in range(num_nodes)]
+        for index, vector in enumerate(vectors):
+            problem.add_node(index, vector)
+        matrices = {}
+        edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+        edges += [(0, 3), (1, 4)]  # chords force degree > 2
+        for u, v in edges:
+            matrix = rng.uniform(0, 1, (size, size))
+            matrices[(u, v)] = matrix
+            problem.add_edge(u, v, matrix)
+
+        solution = solve_pbqp(problem)
+
+        import itertools
+
+        best = float("inf")
+        for assignment in itertools.product(range(size), repeat=num_nodes):
+            cost = sum(vectors[i][assignment[i]] for i in range(num_nodes))
+            cost += sum(m[assignment[u], assignment[v]] for (u, v), m in matrices.items())
+            best = min(best, cost)
+        # Paper: the PBQP approximation achieves at least ~88% of the optimum;
+        # equivalently its cost is within ~1/0.88 of the best.
+        assert solution.cost <= best / 0.85 + 1e-9
+
+    def test_evaluate_matches_manual_sum(self):
+        problem = PBQPProblem()
+        problem.add_node("a", [1.0, 2.0])
+        problem.add_node("b", [3.0, 4.0])
+        problem.add_edge("a", "b", [[0.0, 1.0], [2.0, 0.0]])
+        assert problem.evaluate({"a": 0, "b": 1}) == pytest.approx(1 + 4 + 1)
+
+    def test_bad_edges_rejected(self):
+        problem = PBQPProblem()
+        problem.add_node("a", [1.0, 2.0])
+        with pytest.raises(KeyError):
+            problem.add_edge("a", "missing", [[0.0], [0.0]])
+        problem.add_node("b", [1.0])
+        with pytest.raises(ValueError):
+            problem.add_edge("a", "b", [[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            problem.add_edge("a", "a", [[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestGlobalSearch:
+    def _dependency_graph(self, skylake):
+        graph = build_tiny_cnn()
+        infer_shapes(graph)
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, top_k=4)
+        return graph, extract_dependency_graph(graph, search)
+
+    def test_dependency_extraction(self, skylake):
+        _, dep = self._dependency_graph(skylake)
+        assert set(dep.candidates) == {"conv1", "conv2a", "conv3"}
+        pairs = {(edge.src, edge.dst) for edge in dep.edges}
+        # conv1 feeds conv2a (through bn/relu/pool) and conv3 (through the add);
+        # conv2a also feeds conv3; conv1 and conv2a are siblings via the add.
+        assert ("conv1", "conv2a") in pairs
+        assert ("conv2a", "conv3") in pairs or ("conv1", "conv3") in pairs
+
+    def test_dp_assignment_covers_all_convs(self, skylake):
+        _, dep = self._dependency_graph(skylake)
+        schedules = DynamicProgrammingSearch(skylake, 18).solve(dep)
+        assert set(schedules) == set(dep.candidates)
+        for name, schedule in schedules.items():
+            assert any(c.schedule == schedule for c in dep.candidates[name])
+
+    def test_global_no_worse_than_greedy_local(self, skylake):
+        graph, dep = self._dependency_graph(skylake)
+        schedules = DynamicProgrammingSearch(skylake, 18).solve(dep)
+        global_cost = dep.total_cost(schedules, skylake, 18)
+        greedy = {name: cands[0].schedule for name, cands in dep.candidates.items()}
+        greedy_cost = dep.total_cost(greedy, skylake, 18)
+        assert global_cost <= greedy_cost + 1e-12
+
+    def test_pbqp_close_to_dp(self, skylake):
+        """Reproduces the paper's check: the approximation reaches >=88% of DP."""
+        graph = build_tiny_cnn()
+        infer_shapes(graph)
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, top_k=4)
+        dp_result = GlobalSearch(skylake, search, method="dp").run(graph)
+        pbqp_result = GlobalSearch(skylake, search, method="pbqp").run(build_and_infer())
+        assert dp_result.total_cost_s > 0
+        assert dp_result.total_cost_s / pbqp_result.total_cost_s >= 0.88
+
+    def test_facade_reports_method_and_counts(self, skylake):
+        graph = build_tiny_cnn()
+        infer_shapes(graph)
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, top_k=3)
+        result = GlobalSearch(skylake, search, method="auto").run(graph)
+        assert result.method == "dp"
+        assert result.num_convs == 3
+        assert result.num_edges >= 2
+
+    def test_empty_graph_returns_empty_result(self, skylake):
+        from repro.graph import GraphBuilder
+
+        builder = GraphBuilder("noconv")
+        data = builder.input("data", (1, 4, 4, 4))
+        graph = builder.build(builder.relu(data))
+        infer_shapes(graph)
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name)
+        result = GlobalSearch(skylake, search).run(graph)
+        assert result.schedules == {} and result.method == "none"
+
+    def test_edge_transform_cost_zero_when_blocks_match(self, skylake):
+        edge = DependencyEdge("a", "b", tensor_bytes=1 << 20, kind="dataflow")
+        from repro.core.global_search import _edge_transform_cost
+
+        matched = _edge_transform_cost(
+            edge, ConvSchedule(16, 16, 8), ConvSchedule(16, 16, 8), skylake, 8
+        )
+        mismatched = _edge_transform_cost(
+            edge, ConvSchedule(16, 8, 8), ConvSchedule(16, 16, 8), skylake, 8
+        )
+        assert matched == 0.0 and mismatched > 0.0
+
+
+def build_and_infer():
+    graph = build_tiny_cnn()
+    infer_shapes(graph)
+    return graph
