@@ -68,7 +68,7 @@ def prepare_baseline_graph(
         # the library layout inside the conv subgraph, so transforms are
         # hoisted, but there is no global search.
         config = CompileConfig(opt_level=OptLevel.TRANSFORM_ELIM)
-        schedules = select_schedules(graph, cpu, config)
+        schedules, _ = select_schedules(graph, cpu, config)
         passes.add(AlterOpLayout(schedules, hoist_transforms=True))
         passes.add(EliminateLayoutTransforms())
     if profile.fuse_ops:

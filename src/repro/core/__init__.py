@@ -20,7 +20,13 @@ from .global_search import (
 )
 from .local_search import CostModelMeasurer, LocalSearch, NumpyMeasurer
 from .pbqp import PBQPProblem, PBQPSolution, solve_pbqp
-from .tuning_db import TuningDatabase, TuningRecord
+from .tuning_db import (
+    SCHEMA_VERSION,
+    TuningDatabase,
+    TuningDatabaseMigrationError,
+    TuningRecord,
+    search_fingerprint,
+)
 
 __all__ = [
     "CompileConfig",
@@ -36,8 +42,11 @@ __all__ = [
     "OptLevel",
     "PBQPProblem",
     "PBQPSolution",
+    "SCHEMA_VERSION",
     "TuningDatabase",
+    "TuningDatabaseMigrationError",
     "TuningRecord",
+    "search_fingerprint",
     "compile_model",
     "extract_dependency_graph",
     "select_schedules",

@@ -17,7 +17,7 @@ the paper describes:
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -65,14 +65,21 @@ def select_schedules(
     cpu: CPUSpec,
     config: CompileConfig,
     database: Optional[TuningDatabase] = None,
-) -> Dict[str, ConvSchedule]:
+) -> Tuple[Dict[str, ConvSchedule], str]:
     """Choose a schedule for every conv2d node according to the opt level.
+
+    Returns ``(schedules, method)``: the per-conv schedule mapping and the
+    search method that produced it (``"none"`` for the baseline level,
+    ``"manual"`` for the fixed-split levels, ``"dp"``/``"pbqp"`` for the
+    global search).  The method is returned rather than stashed on ``config``
+    so that a user-owned :class:`CompileConfig` reused across compilations is
+    never mutated and can never leak a stale method into a later report.
 
     Returns an empty mapping for the ``baseline`` level (convolutions stay in
     the default NCHW layout).
     """
     if config.opt_level == OptLevel.BASELINE:
-        return {}
+        return {}, "none"
 
     conv_nodes = graph.op_nodes("conv2d")
 
@@ -87,7 +94,7 @@ def select_schedules(
         for node in conv_nodes:
             workload = conv_workload_from_node(node)
             schedules[node.name] = default_schedule(workload, simd_lanes=split)
-        return schedules
+        return schedules, "manual"
 
     searcher = _local_search(cpu, config, database)
 
@@ -99,9 +106,7 @@ def select_schedules(
         method=config.global_search_method,
     )
     result = global_search.run(graph)
-    # Stash the method used so the compiler can report it.
-    config.__dict__["_last_search_method"] = result.method
-    return result.schedules
+    return result.schedules, result.method
 
 
 def compile_model(
@@ -142,7 +147,7 @@ def compile_model(
     graph = pre.run(graph)
 
     # Stage 2: operation-level schedule selection.
-    schedules = select_schedules(graph, cpu, config, tuning_database)
+    schedules, search_method = select_schedules(graph, cpu, config, tuning_database)
 
     # Stage 3: graph-level layout management.
     post = PassManager()
@@ -157,15 +162,6 @@ def compile_model(
         post.add(FoldConstants())
     graph = post.run(graph)
     infer_shapes(graph)
-
-    search_method = config.__dict__.pop("_last_search_method", None)
-    if search_method is None:
-        search_method = {
-            OptLevel.BASELINE: "none",
-            OptLevel.LAYOUT: "manual",
-            OptLevel.TRANSFORM_ELIM: "manual",
-            OptLevel.GLOBAL: config.global_search_method,
-        }[config.opt_level]
 
     return CompiledModule(
         graph=graph,

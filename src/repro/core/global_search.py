@@ -25,12 +25,28 @@ Two solvers are provided, matching the paper:
 dependency graph from a model graph, invokes the local search for every
 workload, picks a solver (``"auto"``/``"dp"``/``"pbqp"``) and returns the
 per-CONV schedule assignment.
+
+Pipeline performance
+--------------------
+
+Extraction first collects every CONV workload of the graph and warms the
+tuning database through :meth:`LocalSearch.tune_all` (deduplicated,
+thread-pool parallel, batch-scored by the vectorized cost model), so the
+per-node candidate lists afterwards are pure cache hits.
+:class:`ConvDependencyGraph` exposes a dst-indexed predecessor map (built in
+one O(E) pass per solve), and the layout-transform time of an edge is a
+single constant (it depends only on the tensor size) multiplied into a numpy
+mismatch matrix — making both the DP sweep and the PBQP matrix setup
+O(N + E·K²) array work instead of O(N·E) Python scans with O(K²) model calls
+per edge.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..costmodel.transform_cost import layout_transform_time
 from ..graph.graph import Graph
@@ -81,10 +97,12 @@ class ConvCandidate:
 class DependencyEdge:
     """A layout dependency between two CONV nodes.
 
-    ``kind`` is ``"dataflow"`` when ``dst`` consumes ``src``'s output (the
-    transform, if any, happens on that tensor) or ``"sibling"`` when the two
-    CONVs feed the same Elementwise_Add/Concat and therefore must agree on a
-    layout (one of them pays a transform otherwise).
+    ``kind`` is ``"dataflow"`` when ``dst`` consumes ``src``'s output
+    (``tensor_bytes`` is the size of ``src``'s contribution to the tensor the
+    transform would apply to: min of the producer's output and the consumer's
+    input) or ``"sibling"`` when the two CONVs feed the same
+    Elementwise_Add/Concat and therefore must agree on a layout (one of them
+    pays a transform otherwise).
     """
 
     src: str
@@ -93,35 +111,120 @@ class DependencyEdge:
     kind: str = "dataflow"
 
 
+class _TransformTimeCache:
+    """Memoized ``layout_transform_time`` per tensor size.
+
+    The transform cost of an edge depends only on the tensor size (and the
+    fixed cpu/thread context), not on which candidate pair mismatches, so
+    one lookup per distinct tensor size covers every K×K edge matrix.
+    """
+
+    def __init__(self, cpu: CPUSpec, num_threads: int) -> None:
+        self.cpu = cpu
+        self.num_threads = num_threads
+        self._times: Dict[int, float] = {}
+
+    def __call__(self, tensor_bytes: int) -> float:
+        time_s = self._times.get(tensor_bytes)
+        if time_s is None:
+            time_s = layout_transform_time(tensor_bytes, self.cpu, self.num_threads)
+            self._times[tensor_bytes] = time_s
+        return time_s
+
+
+def _schedules_mismatch(
+    kind: str, src_schedule: ConvSchedule, dst_schedule: ConvSchedule
+) -> bool:
+    """Whether a (src, dst) scheme pair forces a layout transform on an edge.
+
+    The single definition of the layout-compatibility rule: a ``dataflow``
+    edge needs the producer's output block to match the consumer's input
+    block, a ``sibling`` edge needs the two joined outputs to share the same
+    blocking.  :func:`_edge_mismatch_matrix` is its vectorized counterpart —
+    keep the two in lock-step.
+    """
+    if kind == "dataflow":
+        return src_schedule.oc_bn != dst_schedule.ic_bn
+    return src_schedule.oc_bn != dst_schedule.oc_bn
+
+
+def _edge_mismatch_matrix(
+    edge: DependencyEdge,
+    src_candidates: Sequence[ConvCandidate],
+    dst_candidates: Sequence[ConvCandidate],
+) -> np.ndarray:
+    """Boolean (|src| x |dst|) matrix of candidate pairs that need a transform.
+
+    Vectorized counterpart of :func:`_schedules_mismatch`.
+    """
+    src_oc = np.array([c.schedule.oc_bn for c in src_candidates], dtype=np.int64)
+    if edge.kind == "dataflow":
+        dst_blocks = np.array([c.schedule.ic_bn for c in dst_candidates], dtype=np.int64)
+    else:  # sibling: the joined outputs must share the same blocking
+        dst_blocks = np.array([c.schedule.oc_bn for c in dst_candidates], dtype=np.int64)
+    return src_oc[:, None] != dst_blocks[None, :]
+
+
+def _edge_cost_matrix(
+    edge: DependencyEdge,
+    src_candidates: Sequence[ConvCandidate],
+    dst_candidates: Sequence[ConvCandidate],
+    transform_time: _TransformTimeCache,
+) -> np.ndarray:
+    """(|src| x |dst|) layout-transform cost matrix of one dependency edge."""
+    mismatch = _edge_mismatch_matrix(edge, src_candidates, dst_candidates)
+    return mismatch * transform_time(edge.tensor_bytes)
+
+
 @dataclass
 class ConvDependencyGraph:
-    """Candidates and layout-dependency edges extracted from a model graph."""
+    """Candidates and layout-dependency edges extracted from a model graph.
+
+    :meth:`predecessor_map` builds the full dst-indexed adjacency in one O(E)
+    pass — the solvers fetch it once per solve, making their per-node lookups
+    O(1) instead of an O(E) edge-list scan each.  The convenience accessor
+    :meth:`predecessors` rebuilds the map per call, so it always reflects the
+    current edge list; use :meth:`predecessor_map` when looking up many nodes.
+    """
 
     candidates: Dict[str, List[ConvCandidate]] = field(default_factory=dict)
     edges: List[DependencyEdge] = field(default_factory=list)
     topo_order: List[str] = field(default_factory=list)
 
+    def add_edge(self, edge: DependencyEdge) -> None:
+        self.edges.append(edge)
+
+    def predecessor_map(self) -> Dict[str, List[DependencyEdge]]:
+        """Freshly built map from node name to its incoming edges (O(E))."""
+        pred_map: Dict[str, List[DependencyEdge]] = {}
+        for edge in self.edges:
+            pred_map.setdefault(edge.dst, []).append(edge)
+        return pred_map
+
     def predecessors(self, name: str) -> List[DependencyEdge]:
-        return [edge for edge in self.edges if edge.dst == name]
+        return self.predecessor_map().get(name, [])
 
     def total_cost(self, assignment: Dict[str, ConvSchedule], cpu: CPUSpec,
                    num_threads: int) -> float:
-        """True objective value of an assignment (for solver comparison)."""
+        """True objective value of an assignment (for solver comparison).
+
+        The candidate exec-time index is rebuilt per call (O(N·K)), so the
+        result always reflects the current candidate lists.
+        """
+        exec_times = {
+            node: {c.schedule: c.exec_time_s for c in cands}
+            for node, cands in self.candidates.items()
+        }
         total = 0.0
-        for name, candidates in self.candidates.items():
-            schedule = assignment[name]
-            match = next(
-                (c for c in candidates if c.schedule == schedule), None
-            )
-            if match is None:
+        for name in self.candidates:
+            exec_time = exec_times[name].get(assignment[name])
+            if exec_time is None:
                 raise KeyError(f"assignment for {name} is not a known candidate")
-            total += match.exec_time_s
+            total += exec_time
+        transform_time = _TransformTimeCache(cpu, num_threads)
         for edge in self.edges:
-            src_schedule = assignment[edge.src]
-            dst_schedule = assignment[edge.dst]
-            total += _edge_transform_cost(
-                edge, src_schedule, dst_schedule, cpu, num_threads
-            )
+            if _schedules_mismatch(edge.kind, assignment[edge.src], assignment[edge.dst]):
+                total += transform_time(edge.tensor_bytes)
         return total
 
 
@@ -133,11 +236,7 @@ def _edge_transform_cost(
     num_threads: int,
 ) -> float:
     """Layout-transformation cost implied by a pair of schemes on an edge."""
-    if edge.kind == "dataflow":
-        mismatch = src_schedule.oc_bn != dst_schedule.ic_bn
-    else:  # sibling: the joined outputs must share the same blocking
-        mismatch = src_schedule.oc_bn != dst_schedule.oc_bn
-    if not mismatch:
+    if not _schedules_mismatch(edge.kind, src_schedule, dst_schedule):
         return 0.0
     return layout_transform_time(edge.tensor_bytes, cpu, num_threads)
 
@@ -167,44 +266,73 @@ def _upstream_convs(node: Node, visited: Optional[Set[int]] = None) -> List[Node
 def extract_dependency_graph(
     graph: Graph,
     local_search: LocalSearch,
+    jobs: Optional[int] = None,
 ) -> ConvDependencyGraph:
-    """Build the CONV dependency graph of a model and tune every workload."""
+    """Build the CONV dependency graph of a model and tune every workload.
+
+    All workloads are tuned up front through :meth:`LocalSearch.tune_all`
+    (deduplicated across nodes, parallel across workloads); the subsequent
+    per-node lookups hit the warmed tuning database.
+    """
     from ..costmodel.graph_cost import conv_workload_from_node
 
     dep = ConvDependencyGraph()
     conv_nodes = graph.op_nodes("conv2d")
+    workloads: Dict[str, ConvWorkload] = {
+        node.name: conv_workload_from_node(node) for node in conv_nodes
+    }
+    local_search.tune_all(list(workloads.values()), jobs=jobs)
     for node in conv_nodes:
-        workload = conv_workload_from_node(node)
-        records: Sequence[TuningRecord] = local_search.tune(workload)
+        records: Sequence[TuningRecord] = local_search.tune(workloads[node.name])
         dep.candidates[node.name] = [
             ConvCandidate(record.schedule, record.cost_s) for record in records
         ]
         dep.topo_order.append(node.name)
 
     # Dataflow edges: consumer conv <- producer conv through preserving ops.
+    # AlterOpLayout inserts the transform, if needed, on the consumer's data
+    # input, but each producer's contribution to that tensor is bounded by its
+    # own output (a conv fed by a concat of several convs receives
+    # differently-sized slices per edge) — so an edge is priced at
+    # min(producer output, consumer input).  This makes the per-edge
+    # decomposition sum to the true transform cost for concat fan-ins and
+    # matches the post-pooling tensor the pass actually transforms on
+    # downsampling chains.
     for node in conv_nodes:
-        producers = _upstream_convs(node)
-        input_bytes = node.inputs[0].spec.nbytes if node.inputs[0].spec else 0
-        for producer in producers:
-            dep.edges.append(
+        consumer_input = node.inputs[0].spec if node.inputs else None
+        for producer in _upstream_convs(node):
+            tensor_bytes = producer.spec.nbytes if producer.spec else 0
+            if consumer_input is not None:
+                tensor_bytes = min(tensor_bytes, consumer_input.nbytes)
+            dep.add_edge(
                 DependencyEdge(
                     src=producer.name,
                     dst=node.name,
-                    tensor_bytes=input_bytes,
+                    tensor_bytes=tensor_bytes,
                     kind="dataflow",
                 )
             )
 
-    # Sibling edges: convs joined by elemwise_add / concat must agree.
+    # Sibling edges: convs joined by elemwise_add / concat must agree.  A
+    # disagreeing sibling pays a transform on its *own* output slice (the
+    # layout-unification pass converts the mismatched branch, not the whole
+    # join), so the edge is priced at the smaller of the two producers'
+    # outputs — for elemwise_add the branches coincide with the join tensor,
+    # for concat this avoids inflating the penalty by the fan-in width.
     for join in graph.op_nodes("elemwise_add") + graph.op_nodes("concat"):
         producers = _upstream_convs(join)
-        tensor_bytes = join.spec.nbytes if join.spec else 0
+        join_bytes = join.spec.nbytes if join.spec else 0
         for i in range(1, len(producers)):
-            dep.edges.append(
+            pair_bytes = [
+                producer.spec.nbytes
+                for producer in (producers[0], producers[i])
+                if producer.spec is not None
+            ]
+            dep.add_edge(
                 DependencyEdge(
                     src=producers[0].name,
                     dst=producers[i].name,
-                    tensor_bytes=tensor_bytes,
+                    tensor_bytes=min(pair_bytes) if pair_bytes else join_bytes,
                     kind="sibling",
                 )
             )
@@ -221,6 +349,10 @@ class DynamicProgrammingSearch:
     producers the per-consumer argmin choices may conflict, in which case the
     first (topologically earliest) consumer's choice wins — the same
     simplification the paper motivates before falling back to PBQP.
+
+    The per-edge inner loop is one numpy broadcast: predecessor cumulative
+    costs plus the edge's K×K transform matrix, reduced with ``argmin`` along
+    the predecessor axis.
     """
 
     def __init__(self, cpu: CPUSpec, num_threads: int) -> None:
@@ -228,48 +360,48 @@ class DynamicProgrammingSearch:
         self.num_threads = num_threads
 
     def solve(self, dep: ConvDependencyGraph) -> Dict[str, ConvSchedule]:
-        best_cost: Dict[str, List[float]] = {}
+        transform_time = _TransformTimeCache(self.cpu, self.num_threads)
+        predecessors = dep.predecessor_map()  # one O(E) build for the solve
+        best_cost: Dict[str, np.ndarray] = {}
         #: choice[(src, dst)][j] = index of src's scheme chosen when dst uses j
-        choice: Dict[Tuple[str, str], List[int]] = {}
+        choice: Dict[Tuple[str, str], np.ndarray] = {}
 
         for name in dep.topo_order:
             candidates = dep.candidates[name]
-            costs = [candidate.exec_time_s for candidate in candidates]
-            for edge in dep.predecessors(name):
+            costs = np.array([c.exec_time_s for c in candidates], dtype=np.float64)
+            # Parallel edges between the same pair (a residual block yields
+            # both a dataflow and a sibling edge src->dst) must be minimized
+            # *jointly* over src's choice: sum their cost matrices per src
+            # before the argmin — per-edge independent minima would add an
+            # unattainable lower bound and overwrite each other's backtrack.
+            matrices: Dict[str, np.ndarray] = {}
+            for edge in predecessors.get(name, []):
                 if edge.src not in best_cost:
                     continue  # sibling edge pointing forward; handled below
-                pred_candidates = dep.candidates[edge.src]
-                pred_costs = best_cost[edge.src]
-                edge_choice: List[int] = []
-                for j, candidate in enumerate(candidates):
-                    options = [
-                        pred_costs[k]
-                        + _edge_transform_cost(
-                            edge,
-                            pred_candidates[k].schedule,
-                            candidate.schedule,
-                            self.cpu,
-                            self.num_threads,
-                        )
-                        for k in range(len(pred_candidates))
-                    ]
-                    best_k = min(range(len(options)), key=options.__getitem__)
-                    edge_choice.append(best_k)
-                    costs[j] += options[best_k]
-                choice[(edge.src, name)] = edge_choice
+                matrix = _edge_cost_matrix(
+                    edge, dep.candidates[edge.src], candidates, transform_time
+                )
+                if edge.src in matrices:
+                    matrices[edge.src] = matrices[edge.src] + matrix
+                else:
+                    matrices[edge.src] = matrix
+            for src, matrix in matrices.items():
+                options = best_cost[src][:, None] + matrix  # (K_src, K_dst)
+                best_k = options.argmin(axis=0)
+                choice[(src, name)] = best_k
+                costs += options[best_k, np.arange(len(candidates))]
             best_cost[name] = costs
 
         # Backtrack: fix sinks first, then propagate predecessor choices.
         assignment: Dict[str, int] = {}
         for name in reversed(dep.topo_order):
             if name not in assignment:
-                costs = best_cost[name]
-                assignment[name] = min(range(len(costs)), key=costs.__getitem__)
+                assignment[name] = int(best_cost[name].argmin())
             j = assignment[name]
-            for edge in dep.predecessors(name):
+            for edge in predecessors.get(name, []):
                 key = (edge.src, name)
                 if key in choice and edge.src not in assignment:
-                    assignment[edge.src] = choice[key][j]
+                    assignment[edge.src] = int(choice[key][j])
 
         return {
             name: dep.candidates[name][index].schedule
@@ -315,21 +447,14 @@ class GlobalSearch:
 
     # ------------------------------------------------------------------ #
     def _build_pbqp(self, dep: ConvDependencyGraph) -> PBQPProblem:
+        transform_time = _TransformTimeCache(self.cpu, self.num_threads)
         problem = PBQPProblem()
         for name, candidates in dep.candidates.items():
             problem.add_node(name, [c.exec_time_s for c in candidates])
         for edge in dep.edges:
-            src_candidates = dep.candidates[edge.src]
-            dst_candidates = dep.candidates[edge.dst]
-            matrix = [
-                [
-                    _edge_transform_cost(
-                        edge, src.schedule, dst.schedule, self.cpu, self.num_threads
-                    )
-                    for dst in dst_candidates
-                ]
-                for src in src_candidates
-            ]
+            matrix = _edge_cost_matrix(
+                edge, dep.candidates[edge.src], dep.candidates[edge.dst], transform_time
+            )
             problem.add_edge(edge.src, edge.dst, matrix)
         return problem
 

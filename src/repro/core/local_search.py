@@ -9,16 +9,34 @@ Two measurers are provided:
 
 * :class:`CostModelMeasurer` — evaluates the analytical cost model; this is
   the default and the substitute for running each candidate on the paper's
-  hardware (fast enough to tune all 15 models in seconds);
+  hardware (fast enough to tune all 15 models in seconds).  It scores an
+  entire candidate batch per workload in one vectorized numpy pass
+  (:meth:`CostModelMeasurer.measure_batch`), which is what makes tuning the
+  whole model zoo across all CPU presets practical in a single run;
 * :class:`NumpyMeasurer` — actually executes the blocked numpy kernel several
   times and averages wall-clock time, i.e. the honest-to-goodness empirical
   search of the paper, practical here for small workloads and used by tests
   to demonstrate that the machinery really measures and ranks schedules.
+
+Search-pipeline architecture
+----------------------------
+
+``LocalSearch.tune`` ranks one workload: candidates are generated, validated,
+scored in one batch when the measurer supports it (falling back to
+per-candidate calls otherwise), stably argsorted, truncated to ``top_k`` and
+stored in the :class:`TuningDatabase` under a key that includes the search's
+parameter fingerprint (``max_block`` / ``top_k`` / ``reg_n_candidates``), so
+results tuned under different search settings are never silently mixed.
+``LocalSearch.tune_all`` deduplicates a multi-model workload list by workload
+key and tunes the cache misses on a thread pool — the entry point the global
+search uses to warm the database for a whole graph (or model zoo) at once.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Protocol, Sequence
 
@@ -28,11 +46,15 @@ from ..costmodel.conv_cost import ConvCostModel
 from ..costmodel.parallel import THREAD_POOL, ThreadingModel
 from ..hardware.cpu import CPUSpec
 from ..ops.blocked_conv import conv2d_nchwc, prepack_weights
-from ..schedule.candidates import DEFAULT_REG_N_CANDIDATES, generate_candidates
+from ..schedule.candidates import (
+    DEFAULT_REG_N_CANDIDATES,
+    candidate_grid,
+    generate_candidates,
+)
 from ..schedule.template import ConvSchedule, validate_schedule
 from ..schedule.workload import ConvWorkload
 from ..tensor.transform import to_blocked_nchwc
-from .tuning_db import TuningDatabase, TuningRecord
+from .tuning_db import TuningDatabase, TuningRecord, search_fingerprint
 
 __all__ = [
     "Measurer",
@@ -58,12 +80,45 @@ class CostModelMeasurer:
     num_threads: Optional[int] = None
     threading: ThreadingModel = THREAD_POOL
 
+    #: Pure compute, no wall-clock timing: concurrent tuning cannot skew it.
+    parallel_safe = True
+
     def __post_init__(self) -> None:
         self._model = ConvCostModel(self.cpu, self.threading)
 
+    @property
+    def _threads(self) -> int:
+        return self.num_threads if self.num_threads is not None else self.cpu.num_cores
+
+    def fingerprint(self) -> str:
+        """Measurement context that changes candidate costs (and rankings)."""
+        return f"cm-t{self._threads}-{self.threading.name}"
+
     def measure(self, workload: ConvWorkload, schedule: ConvSchedule) -> float:
-        threads = self.num_threads if self.num_threads is not None else self.cpu.num_cores
-        return self._model.estimate(workload, schedule, threads).total_time_s
+        return self._model.estimate(workload, schedule, self._threads).total_time_s
+
+    def measure_batch(
+        self, workload: ConvWorkload, schedules: Sequence[ConvSchedule]
+    ) -> np.ndarray:
+        """Score a whole candidate batch in one vectorized cost-model pass.
+
+        Returns costs identical to per-candidate :meth:`measure` calls (same
+        float64 formulas), just without the per-candidate Python overhead.
+        """
+        return self._model.estimate_batch(workload, schedules, self._threads)
+
+    def measure_arrays(
+        self,
+        workload: ConvWorkload,
+        ic_bn: np.ndarray,
+        oc_bn: np.ndarray,
+        reg_n: np.ndarray,
+        unroll: np.ndarray,
+    ) -> np.ndarray:
+        """Array-native batch scoring (no schedule objects on the hot path)."""
+        return self._model.estimate_arrays(
+            workload, ic_bn, oc_bn, reg_n, unroll, self._threads
+        )
 
 
 @dataclass
@@ -77,6 +132,14 @@ class NumpyMeasurer:
 
     repeats: int = 3
     seed: int = 0
+
+    #: Wall-clock timing: concurrent runs contend for cores and corrupt the
+    #: measurements, so the parallel tuner must not fan this measurer out.
+    parallel_safe = False
+
+    def fingerprint(self) -> str:
+        """Measurement context that changes candidate costs (and rankings)."""
+        return f"np-r{self.repeats}-s{self.seed}"
 
     def measure(self, workload: ConvWorkload, schedule: ConvSchedule) -> float:
         rng = np.random.default_rng(self.seed)
@@ -123,6 +186,20 @@ class LocalSearch:
         self.reg_n_candidates = tuple(reg_n_candidates)
         self.max_block = max_block
         self.top_k = top_k
+        #: Fingerprint of the parameters that shape the search space plus the
+        #: measurer's measurement context (thread count, threading model, ...);
+        #: part of the database key so differently-configured searches never
+        #: silently reuse one another's (incomparable) cached rankings.
+        self.params_fingerprint = search_fingerprint(
+            max_block=max_block, top_k=top_k, reg_n_candidates=self.reg_n_candidates
+        )
+        measurer_fingerprint = getattr(measurer, "fingerprint", None)
+        if measurer_fingerprint is not None:
+            self.params_fingerprint += f"-{measurer_fingerprint()}"
+        else:
+            # Unknown measurers at least get type-keyed entries so two
+            # different measurers sharing a database never mix rankings.
+            self.params_fingerprint += f"-{type(measurer).__qualname__}"
 
     # ------------------------------------------------------------------ #
     # search
@@ -134,6 +211,16 @@ class LocalSearch:
             max_block=self.max_block,
         )
 
+    def _measure_candidates(
+        self, workload: ConvWorkload, schedules: List[ConvSchedule]
+    ) -> np.ndarray:
+        measure_batch = getattr(self.measurer, "measure_batch", None)
+        if measure_batch is not None:
+            return np.asarray(measure_batch(workload, schedules), dtype=np.float64)
+        return np.array(
+            [self.measurer.measure(workload, s) for s in schedules], dtype=np.float64
+        )
+
     def tune(self, workload: ConvWorkload, force: bool = False) -> List[TuningRecord]:
         """Search one workload, returning candidates sorted by ascending cost.
 
@@ -141,36 +228,100 @@ class LocalSearch:
         re-run the search even when a cached entry exists.
         """
         if not force:
-            cached = self.database.get(workload, self.cpu_name)
+            cached = self.database.get(workload, self.cpu_name, self.params_fingerprint)
             if cached:
                 return cached
 
-        records: List[TuningRecord] = []
-        for schedule in self.candidates(workload):
-            try:
-                validate_schedule(schedule, workload)
-            except ValueError:
-                continue
-            cost = self.measurer.measure(workload, schedule)
-            records.append(TuningRecord(schedule=schedule, cost_s=cost))
-        if not records:
-            raise RuntimeError(f"no valid schedule candidates for workload {workload}")
-        records.sort(key=lambda record: record.cost_s)
-        kept = records[: self.top_k]
-        self.database.put(workload, self.cpu_name, kept)
+        measure_arrays = getattr(self.measurer, "measure_arrays", None)
+        if measure_arrays is not None:
+            # Array-native fast path: the whole candidate grid is scored in
+            # one vectorized pass; every grid entry satisfies the template's
+            # divisibility constraints by construction, and only the top_k
+            # winners are materialized as schedule objects.
+            ic_bn, oc_bn, reg_n, unroll = candidate_grid(
+                workload,
+                reg_n_candidates=self.reg_n_candidates,
+                max_block=self.max_block,
+            )
+            costs = measure_arrays(workload, ic_bn, oc_bn, reg_n, unroll)
+            order = np.argsort(costs, kind="stable")[: self.top_k]
+            kept = [
+                TuningRecord(
+                    ConvSchedule(
+                        ic_bn=int(ic_bn[i]),
+                        oc_bn=int(oc_bn[i]),
+                        reg_n=int(reg_n[i]),
+                        unroll_ker=bool(unroll[i]),
+                    ),
+                    float(costs[i]),
+                )
+                for i in order
+            ]
+        else:
+            schedules: List[ConvSchedule] = []
+            for schedule in self.candidates(workload):
+                try:
+                    validate_schedule(schedule, workload)
+                except ValueError:
+                    continue
+                schedules.append(schedule)
+            if not schedules:
+                raise RuntimeError(
+                    f"no valid schedule candidates for workload {workload}"
+                )
+            costs = self._measure_candidates(workload, schedules)
+            order = np.argsort(costs, kind="stable")[: self.top_k]
+            kept = [TuningRecord(schedules[i], float(costs[i])) for i in order]
+        self.database.put(workload, self.cpu_name, kept, self.params_fingerprint)
         return kept
 
     def best(self, workload: ConvWorkload) -> TuningRecord:
         """The single best schedule for a workload (tuning if necessary)."""
         return self.tune(workload)[0]
 
-    def tune_all(self, workloads: Sequence[ConvWorkload]) -> TuningDatabase:
-        """Tune a collection of workloads (deduplicated) and return the DB."""
-        seen = set()
+    def tune_all(
+        self,
+        workloads: Sequence[ConvWorkload],
+        jobs: Optional[int] = None,
+        force: bool = False,
+    ) -> TuningDatabase:
+        """Tune a collection of workloads (deduplicated) and return the DB.
+
+        The workload list of a whole model (or model zoo) is first
+        deduplicated by workload key, cache hits are skipped, and the
+        remaining searches run concurrently on a thread pool — the candidate
+        scoring is numpy-bound, so worker threads overlap well.
+
+        Args:
+            workloads: workloads to tune (duplicates are searched once).
+            jobs: worker threads; defaults to ``min(#misses, cpu_count)`` for
+                measurers that declare ``parallel_safe`` (the analytical cost
+                model) and to 1 for wall-clock measurers like
+                :class:`NumpyMeasurer`, whose timings concurrency would skew.
+                ``jobs=1`` forces the serial path.
+            force: re-run searches even for cached workloads.
+        """
+        unique = {}
         for workload in workloads:
-            key = workload.key()
-            if key in seen:
-                continue
-            seen.add(key)
-            self.tune(workload)
+            unique.setdefault(workload.key(), workload)
+        pending = [
+            workload
+            for workload in unique.values()
+            if force
+            or not self.database.get(workload, self.cpu_name, self.params_fingerprint)
+        ]
+        if not pending:
+            return self.database
+        if jobs is None:
+            if getattr(self.measurer, "parallel_safe", False):
+                jobs = min(len(pending), os.cpu_count() or 1)
+            else:
+                jobs = 1
+        if jobs <= 1 or len(pending) == 1:
+            for workload in pending:
+                self.tune(workload, force=force)
+            return self.database
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            # list() propagates the first worker exception, like the serial path.
+            list(pool.map(lambda w: self.tune(w, force=force), pending))
         return self.database

@@ -7,23 +7,70 @@ in different models."  ResNet-50 and SSD-ResNet-50 share most of their conv
 workloads, as do the members of each model family, so the database pays off
 immediately when compiling the full evaluation suite.
 
-Records are keyed by ``(workload key, cpu name)`` and store the candidate
-schedules in ascending order of estimated/measured cost.  The database can be
-persisted to JSON so that the examples and benchmarks can reuse one another's
-tuning effort.
+Records are keyed by ``(workload key, cpu name, search-parameter
+fingerprint)`` and store the candidate schedules in ascending order of
+estimated/measured cost.  The fingerprint (see :func:`search_fingerprint`)
+encodes the knobs that shape the local search space — ``max_block``,
+``top_k`` and the ``reg_n`` candidate list — so that entries produced by a
+differently-configured search are cache *misses* rather than silently-reused
+wrong answers.
+
+Persistence schema (version 2)
+------------------------------
+
+The JSON file is an object ``{"schema_version": 2, "entries": [...]}`` where
+every entry is ``{"workload": ..., "cpu": ..., "params": ..., "records":
+[...]}``.  Keys are stored as separate JSON fields — never joined with a
+delimiter — so workload keys and CPU names may contain any character
+(including ``|``, which corrupted the legacy v1 format).  Files written by
+the pre-versioning code (a bare mapping of ``"<workload>|<cpu>"`` strings)
+are rejected with :class:`TuningDatabaseMigrationError`: their entries do not
+record the search parameters they were tuned under, so loading them could
+silently return rankings from an incompatible search configuration.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..schedule.template import ConvSchedule
 from ..schedule.workload import ConvWorkload
 
-__all__ = ["TuningRecord", "TuningDatabase"]
+__all__ = [
+    "TuningRecord",
+    "TuningDatabase",
+    "TuningDatabaseMigrationError",
+    "search_fingerprint",
+    "SCHEMA_VERSION",
+]
+
+#: Version of the on-disk JSON schema; bumped whenever the layout or the
+#: meaning of stored records changes.
+SCHEMA_VERSION = 2
+
+
+class TuningDatabaseMigrationError(RuntimeError):
+    """A persisted tuning database cannot be loaded by this code version."""
+
+
+def search_fingerprint(
+    max_block: Optional[int],
+    top_k: int,
+    reg_n_candidates: Sequence[int],
+) -> str:
+    """Stable string identifying the local-search configuration.
+
+    Two searches with the same fingerprint explore the same candidate space
+    and keep the same number of results, so their database entries are
+    interchangeable; any other pair is not.
+    """
+    block = "none" if max_block is None else str(int(max_block))
+    regs = ".".join(str(int(r)) for r in reg_n_candidates)
+    return f"mb{block}-k{int(top_k)}-rn{regs}"
 
 
 @dataclass(frozen=True)
@@ -43,41 +90,56 @@ class TuningRecord:
 
 @dataclass
 class TuningDatabase:
-    """In-memory (optionally JSON-backed) store of local-search results."""
+    """In-memory (optionally JSON-backed) store of local-search results.
 
-    records: Dict[Tuple[str, str], List[TuningRecord]] = field(default_factory=dict)
+    Thread-safe for concurrent ``put``/``get`` from the parallel tuner: all
+    mutations take an internal lock (lookups read a single dict entry, which
+    is atomic, but the lock keeps ``merge`` and future bulk mutations safe).
+    """
+
+    records: Dict[Tuple[str, str, str], List[TuningRecord]] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # access
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _key(workload: ConvWorkload, cpu_name: str) -> Tuple[str, str]:
-        return (workload.key(), cpu_name)
+    def _key(
+        workload: ConvWorkload, cpu_name: str, params: str = ""
+    ) -> Tuple[str, str, str]:
+        return (workload.key(), cpu_name, params)
 
     def put(
         self,
         workload: ConvWorkload,
         cpu_name: str,
         records: List[TuningRecord],
+        params: str = "",
     ) -> None:
         """Store search results (sorted by ascending cost)."""
         ordered = sorted(records, key=lambda record: record.cost_s)
-        self.records[self._key(workload, cpu_name)] = ordered
+        with self._lock:
+            self.records[self._key(workload, cpu_name, params)] = ordered
 
     def get(
-        self, workload: ConvWorkload, cpu_name: str
+        self, workload: ConvWorkload, cpu_name: str, params: str = ""
     ) -> Optional[List[TuningRecord]]:
         """All stored candidates for a workload, best first, or ``None``."""
-        return self.records.get(self._key(workload, cpu_name))
+        return self.records.get(self._key(workload, cpu_name, params))
 
-    def best(self, workload: ConvWorkload, cpu_name: str) -> Optional[TuningRecord]:
+    def best(
+        self, workload: ConvWorkload, cpu_name: str, params: str = ""
+    ) -> Optional[TuningRecord]:
         """The single best stored schedule, or ``None`` when never tuned."""
-        records = self.get(workload, cpu_name)
+        records = self.get(workload, cpu_name, params)
         return records[0] if records else None
 
-    def __contains__(self, key: Tuple[ConvWorkload, str]) -> bool:
-        workload, cpu_name = key
-        return self._key(workload, cpu_name) in self.records
+    def __contains__(self, key: tuple) -> bool:
+        workload, cpu_name = key[0], key[1]
+        params = key[2] if len(key) > 2 else ""
+        return self._key(workload, cpu_name, params) in self.records
 
     def __len__(self) -> int:
         return len(self.records)
@@ -86,25 +148,55 @@ class TuningDatabase:
     # persistence
     # ------------------------------------------------------------------ #
     def save(self, path: "str | Path") -> None:
-        """Serialize the database to a JSON file."""
-        payload = {
-            "|".join(key): [record.to_dict() for record in records]
-            for key, records in self.records.items()
-        }
+        """Serialize the database to a schema-versioned JSON file."""
+        with self._lock:
+            entries = [
+                {
+                    "workload": workload_key,
+                    "cpu": cpu_name,
+                    "params": params,
+                    "records": [record.to_dict() for record in records],
+                }
+                for (workload_key, cpu_name, params), records in self.records.items()
+            ]
+        payload = {"schema_version": SCHEMA_VERSION, "entries": entries}
         Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
     @classmethod
     def load(cls, path: "str | Path") -> "TuningDatabase":
-        """Load a database previously written by :meth:`save`."""
+        """Load a database previously written by :meth:`save`.
+
+        Raises:
+            TuningDatabaseMigrationError: for files written by a different
+                schema version, including the legacy pre-versioning format
+                (entries keyed by ``"<workload>|<cpu>"`` with no record of
+                the search parameters) — those can only be regenerated, never
+                safely reinterpreted.
+        """
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or "schema_version" not in payload:
+            raise TuningDatabaseMigrationError(
+                f"{path} was written by the legacy (unversioned) tuning-db "
+                "format, which recorded neither a schema version nor the "
+                "search parameters its entries were tuned under; re-run the "
+                "search to regenerate it (delete the file and tune again)"
+            )
+        version = payload["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise TuningDatabaseMigrationError(
+                f"{path} uses tuning-db schema version {version}, but this "
+                f"code reads version {SCHEMA_VERSION}; re-run the search to "
+                "regenerate it"
+            )
         database = cls()
-        for key_str, record_dicts in payload.items():
-            workload_key, cpu_name = key_str.split("|")
-            database.records[(workload_key, cpu_name)] = [
-                TuningRecord.from_dict(d) for d in record_dicts
+        for entry in payload["entries"]:
+            key = (entry["workload"], entry["cpu"], entry.get("params", ""))
+            database.records[key] = [
+                TuningRecord.from_dict(d) for d in entry["records"]
             ]
         return database
 
     def merge(self, other: "TuningDatabase") -> None:
         """Merge another database into this one (other wins on conflicts)."""
-        self.records.update(other.records)
+        with self._lock:
+            self.records.update(other.records)

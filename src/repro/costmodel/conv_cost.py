@@ -30,12 +30,13 @@ frameworks on ARM.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..hardware.cpu import CPUSpec
-from ..schedule.loopnest import conv_parallel_chunks
+from ..schedule.loopnest import conv_parallel_chunks, conv_parallel_chunks_for_oc_bn
 from ..schedule.template import ConvSchedule
 from ..schedule.workload import ConvWorkload
 from .parallel import THREAD_POOL, ThreadingModel
@@ -95,39 +96,44 @@ class ConvCostModel:
     # ------------------------------------------------------------------ #
     # efficiency terms
     # ------------------------------------------------------------------ #
-    def _vector_utilization(self, oc_bn: int) -> float:
-        lanes = self.cpu.simd_lanes_fp32
-        vectors = math.ceil(oc_bn / lanes)
-        return oc_bn / (vectors * lanes)
+    def _efficiency_arrays(
+        self,
+        workload: ConvWorkload,
+        ic_bn: np.ndarray,
+        oc_bn: np.ndarray,
+        reg_n: np.ndarray,
+        unroll: np.ndarray,
+    ) -> np.ndarray:
+        """All efficiency terms over a candidate batch, in one float64 pass.
 
-    def _register_utilization(self, schedule: ConvSchedule) -> float:
-        reg_n = schedule.reg_n
+        This is the single implementation of the model's formulas; the scalar
+        :meth:`efficiency` evaluates it on size-1 arrays, so batched and
+        per-candidate estimates can never drift apart.
+        """
+        # Vector-lane utilization: partially filled vectors waste lanes.
         lanes = self.cpu.simd_lanes_fp32
-        utilization = reg_n / (reg_n + _LOAD_OVERHEAD_CYCLES)
+        vectors = -(-oc_bn // lanes)  # ceil division
+        vector_util = oc_bn / (vectors * lanes)
+
+        # Register blocking: reg_n FMAs amortize one kernel-vector load;
+        # accumulators beyond the architectural budget spill to the stack.
         # Registers needed: reg_n accumulators per oc_bn vector group plus one
         # for the broadcast kernel value and a couple of scratch registers.
-        vectors_per_output = math.ceil(schedule.oc_bn / lanes)
-        needed = reg_n * vectors_per_output + 2
+        register_util = reg_n / (reg_n + _LOAD_OVERHEAD_CYCLES)
+        needed = reg_n * vectors + 2
         budget = self.cpu.isa.max_unroll_registers()
-        if needed > budget:
-            utilization *= 0.6  # spill to stack
-        return utilization
+        register_util = np.where(needed > budget, register_util * 0.6, register_util)
 
-    @staticmethod
-    def _remainder_utilization(workload: ConvWorkload, reg_n: int) -> float:
-        tiles = math.ceil(workload.out_width / reg_n)
-        return workload.out_width / (tiles * reg_n)
+        # Output-width remainder: the last reg_n tile may be partially filled.
+        tiles = -(-workload.out_width // reg_n)
+        remainder_util = workload.out_width / (tiles * reg_n)
 
-    @staticmethod
-    def _unroll_factor(workload: ConvWorkload, unroll_ker: bool) -> float:
+        # Kernel-loop unrolling: small benefit for small kernels, slight
+        # front-end cost for large ones.
         taps = workload.kernel_h * workload.kernel_w
-        if unroll_ker:
-            return 1.04 if taps <= 9 else 0.97
-        return 1.0
+        unroll_factor = np.where(unroll, 1.04 if taps <= 9 else 0.97, 1.0)
 
-    def _cache_factor(self, workload: ConvWorkload, schedule: ConvSchedule) -> float:
         dtype_bytes = 4
-        ic_bn, oc_bn, reg_n = schedule.ic_bn, schedule.oc_bn, schedule.reg_n
         # Inner working set: one kernel block slice, the input pixels feeding
         # a reg_n tile, and the accumulators.
         inner_bytes = (
@@ -143,24 +149,42 @@ class ConvCostModel:
             + in_channels * workload.kernel_h * workload.in_width * dtype_bytes
         )
         caches = self.cpu.caches
-        inner_level = caches.level_for_working_set(inner_bytes)
-        inner_factor = 1.0 if inner_level is not None and inner_level.name == "L1" else 0.8
-        mid_factor = caches.residency_factor(mid_bytes)
+        # Full reuse only when the smallest level holding the inner set is the
+        # L1 data cache (mirrors level_for_working_set + name check).
+        if len(caches):
+            inner_factor = np.select(
+                [inner_bytes <= level.size_bytes for level in caches],
+                [1.0 if level.name == "L1" else 0.8 for level in caches],
+                default=0.8,
+            )
+        else:
+            inner_factor = np.full(inner_bytes.shape, 0.8)
+        mid_factor = caches.residency_factor_batch(mid_bytes)
         # Blend: the inner set dominates reuse, the mid set matters for
         # streaming the kernel block.
-        return 0.6 * inner_factor + 0.4 * mid_factor
+        cache_factor = 0.6 * inner_factor + 0.4 * mid_factor
+
+        efficiency = (
+            self.base_efficiency
+            * vector_util
+            * register_util
+            * remainder_util
+            * unroll_factor
+            * cache_factor
+        )
+        return np.clip(efficiency, 1e-3, 1.0)
 
     def efficiency(self, workload: ConvWorkload, schedule: ConvSchedule) -> float:
         """Overall fraction of peak FMA throughput achieved by a schedule."""
-        value = (
-            self.base_efficiency
-            * self._vector_utilization(schedule.oc_bn)
-            * self._register_utilization(schedule)
-            * self._remainder_utilization(workload, schedule.reg_n)
-            * self._unroll_factor(workload, schedule.unroll_ker)
-            * self._cache_factor(workload, schedule)
+        return float(
+            self._efficiency_arrays(
+                workload,
+                np.array([schedule.ic_bn], dtype=np.int64),
+                np.array([schedule.oc_bn], dtype=np.int64),
+                np.array([schedule.reg_n], dtype=np.int64),
+                np.array([schedule.unroll_ker], dtype=bool),
+            )[0]
         )
-        return max(1e-3, min(1.0, value))
 
     # ------------------------------------------------------------------ #
     # time estimates
@@ -193,6 +217,60 @@ class ConvCostModel:
             single_thread_time_s=single_thread,
             total_time_s=total,
             num_threads=num_threads,
+        )
+
+    def estimate_batch(
+        self,
+        workload: ConvWorkload,
+        schedules: Sequence[ConvSchedule],
+        num_threads: int = 1,
+    ) -> np.ndarray:
+        """Estimated wall-clock times of many schedules for one workload.
+
+        Vectorized twin of :meth:`estimate`: every efficiency term is
+        evaluated as one float64 numpy expression over the whole candidate
+        batch, using exactly the formulas (and operation order) of the scalar
+        path, so the returned array matches per-candidate :meth:`estimate`
+        calls and the local search ranks candidates identically.
+        """
+        if not schedules:
+            return np.empty(0, dtype=np.float64)
+        return self.estimate_arrays(
+            workload,
+            np.array([s.ic_bn for s in schedules], dtype=np.int64),
+            np.array([s.oc_bn for s in schedules], dtype=np.int64),
+            np.array([s.reg_n for s in schedules], dtype=np.int64),
+            np.array([s.unroll_ker for s in schedules], dtype=bool),
+            num_threads,
+        )
+
+    def estimate_arrays(
+        self,
+        workload: ConvWorkload,
+        ic_bn: np.ndarray,
+        oc_bn: np.ndarray,
+        reg_n: np.ndarray,
+        unroll: np.ndarray,
+        num_threads: int = 1,
+    ) -> np.ndarray:
+        """Array-native core of :meth:`estimate_batch`.
+
+        Takes the schedule tuple as four parallel arrays (see
+        ``repro.schedule.candidates.candidate_grid``) so the tuning hot path
+        never has to materialize per-candidate schedule objects: scoring the
+        ~O(100) candidates of a workload costs a handful of array operations
+        instead of ~O(100) Python-level model evaluations.
+        """
+        efficiency = self._efficiency_arrays(workload, ic_bn, oc_bn, reg_n, unroll)
+        peak_flops = self.cpu.peak_gflops_per_core * 1e9
+        compute_time = workload.flops / (peak_flops * efficiency)
+        memory_time = workload.bytes_accessed() / (
+            self.cpu.dram_bandwidth_bytes_per_sec * _STREAM_EFFICIENCY
+        )
+        single_thread = np.maximum(compute_time, memory_time) + _OP_LAUNCH_OVERHEAD_S
+        chunks = conv_parallel_chunks_for_oc_bn(workload, oc_bn)
+        return self.threading.parallel_time_batch(
+            single_thread, num_threads, chunks, num_regions=1
         )
 
     def estimate_default_layout(

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["ThreadingModel", "THREAD_POOL", "OPENMP", "OPENMP_EIGEN", "OPENMP_OPENBLAS"]
 
 
@@ -71,8 +73,34 @@ class ThreadingModel:
         """Wall-clock time of a parallel region under this runtime."""
         if num_threads <= 1:
             return serial_time_s
-        speedup = self.effective_speedup(num_threads, num_chunks)
-        return serial_time_s / speedup + num_regions * self.region_overhead(num_threads)
+        return float(
+            self.parallel_time_batch(serial_time_s, num_threads, num_chunks, num_regions)
+        )
+
+    def parallel_time_batch(
+        self,
+        serial_times_s: "np.ndarray",
+        num_threads: int,
+        num_chunks: "np.ndarray",
+        num_regions: int = 1,
+    ) -> "np.ndarray":
+        """Vectorized :meth:`parallel_time` over arrays of regions.
+
+        ``serial_times_s`` and ``num_chunks`` are broadcast together; the
+        result matches element-wise calls to :meth:`parallel_time` exactly
+        (same formulas evaluated in float64), which is what lets the batched
+        local search rank candidates identically to the scalar path.
+        """
+        serial = np.asarray(serial_times_s, dtype=np.float64)
+        chunks = np.asarray(num_chunks, dtype=np.float64)
+        if num_threads <= 1:  # serial early-return, like parallel_time
+            return np.broadcast_arrays(serial, chunks)[0].copy()
+        usable = np.minimum(float(num_threads), np.maximum(1.0, chunks))
+        rounds = np.ceil(np.maximum(chunks, 1.0) / usable)
+        imbalance = np.where(chunks > 0, chunks / (rounds * usable), 1.0)
+        decay = (1.0 - self.efficiency_decay) ** (usable - 1.0)
+        speedup = np.maximum(1.0, usable * imbalance * decay)
+        return serial / speedup + num_regions * self.region_overhead(num_threads)
 
 
 #: NeoCPU's custom thread pool: atomics-based fork/join, SPSC queues, pinned

@@ -13,7 +13,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 __all__ = ["CacheLevel", "CacheHierarchy"]
+
+#: Calibration knobs of :meth:`CacheHierarchy.residency_factor`: efficiency
+#: of a working set resident in each level, with fallbacks for unnamed
+#: levels and for spills to DRAM.  Single source — the vectorized cost model
+#: reads the same table through :meth:`residency_factor_batch`.
+_RESIDENCY_FACTORS = {"L1": 1.0, "L2": 0.85, "L3": 0.6}
+_UNKNOWN_LEVEL_RESIDENCY = 0.5
+_DRAM_RESIDENCY = 0.35
 
 
 @dataclass(frozen=True)
@@ -96,9 +106,23 @@ class CacheHierarchy:
         """
         level = self.level_for_working_set(nbytes)
         if level is None:
-            return 0.35
-        factors = {"L1": 1.0, "L2": 0.85, "L3": 0.6}
-        return factors.get(level.name, 0.5)
+            return _DRAM_RESIDENCY
+        return _RESIDENCY_FACTORS.get(level.name, _UNKNOWN_LEVEL_RESIDENCY)
+
+    def residency_factor_batch(self, nbytes: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`residency_factor` over an array of set sizes.
+
+        Same calibration table, evaluated with one ``np.select`` so the
+        batched conv cost model stays in lock-step with the scalar factor.
+        """
+        if not self.levels:  # everything spills to DRAM, like the scalar path
+            return np.full(np.shape(nbytes), _DRAM_RESIDENCY)
+        conditions = [nbytes <= level.size_bytes for level in self.levels]
+        choices = [
+            _RESIDENCY_FACTORS.get(level.name, _UNKNOWN_LEVEL_RESIDENCY)
+            for level in self.levels
+        ]
+        return np.select(conditions, choices, default=_DRAM_RESIDENCY)
 
     def __iter__(self):
         return iter(self.levels)

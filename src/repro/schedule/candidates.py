@@ -14,7 +14,9 @@ tractable for very deep models) in a deterministic order.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .template import ConvSchedule
 from .workload import ConvWorkload
@@ -25,6 +27,7 @@ __all__ = [
     "candidate_oc_bn",
     "candidate_reg_n",
     "generate_candidates",
+    "candidate_grid",
     "candidate_count",
 ]
 
@@ -101,6 +104,31 @@ def generate_candidates(
                     yield ConvSchedule(
                         ic_bn=ic_bn, oc_bn=oc_bn, reg_n=reg_n, unroll_ker=unroll
                     )
+
+
+def candidate_grid(
+    workload: ConvWorkload,
+    reg_n_candidates: Sequence[int] = DEFAULT_REG_N_CANDIDATES,
+    unroll_candidates: Iterable[bool] = (True, False),
+    max_block: Optional[int] = 64,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The full candidate space as four flat arrays (no schedule objects).
+
+    Returns ``(ic_bn, oc_bn, reg_n, unroll_ker)`` arrays whose ``i``-th
+    entries describe the ``i``-th candidate of :func:`generate_candidates`,
+    in exactly the same nested-loop order.  This is the array-native fast
+    path of the batched local search: the tuner scores the whole grid in one
+    cost-model pass and only materializes :class:`ConvSchedule` objects for
+    the winners.  Every candidate in the grid satisfies the divisibility
+    constraints of ``validate_schedule`` by construction (blocks are channel
+    factors, ``reg_n`` is bounded by the output width).
+    """
+    ic = np.array(candidate_ic_bn(workload, max_block), dtype=np.int64)
+    oc = np.array(candidate_oc_bn(workload, max_block), dtype=np.int64)
+    reg = np.array(candidate_reg_n(workload, reg_n_candidates), dtype=np.int64)
+    unroll = np.array(list(unroll_candidates), dtype=bool)
+    grids = np.meshgrid(ic, oc, reg, unroll, indexing="ij")
+    return tuple(g.ravel() for g in grids)
 
 
 def candidate_count(

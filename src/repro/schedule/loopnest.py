@@ -16,7 +16,13 @@ from typing import List, Tuple
 from .template import ConvSchedule
 from .workload import ConvWorkload
 
-__all__ = ["Loop", "LoopNest", "build_conv_loopnest"]
+__all__ = [
+    "Loop",
+    "LoopNest",
+    "build_conv_loopnest",
+    "conv_parallel_chunks",
+    "conv_parallel_chunks_for_oc_bn",
+]
 
 
 @dataclass(frozen=True)
@@ -143,5 +149,15 @@ def conv_parallel_chunks(workload: ConvWorkload, schedule: ConvSchedule) -> int:
     we count batch x outer-output-channel x output-height chunks, which is what
     the runtime splits across the thread pool.
     """
+    return conv_parallel_chunks_for_oc_bn(workload, schedule.oc_bn)
+
+
+def conv_parallel_chunks_for_oc_bn(workload: ConvWorkload, oc_bn):
+    """Chunk-count formula over a scalar or array of ``oc_bn`` values.
+
+    Single definition shared by :func:`conv_parallel_chunks` and the batched
+    conv cost model (which passes the whole candidate grid's ``oc_bn`` array),
+    so the two can never drift apart.
+    """
     out_channels = workload.out_channels // workload.groups
-    return workload.batch * workload.groups * (out_channels // schedule.oc_bn) * workload.out_height
+    return workload.batch * workload.groups * (out_channels // oc_bn) * workload.out_height

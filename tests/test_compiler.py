@@ -124,3 +124,38 @@ class TestCompilePipeline:
         out = module.run({"data": tiny_input}, seed=21)[0]
         reference = GraphExecutor(build_tiny_cnn(), seed=21).run({"data": tiny_input})[0]
         np.testing.assert_allclose(out, reference, atol=1e-4)
+
+    def test_auto_method_reports_actual_solver(self, skylake):
+        """'auto' resolves to the solver actually used, not the config string."""
+        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        assert module.search_method == "dp"  # tiny graph is under the threshold
+
+    def test_reused_config_is_not_mutated_and_reports_fresh_method(self, skylake):
+        """A user-owned config reused across compilations stays pristine."""
+        config = CompileConfig(global_search_method="pbqp")
+        before = dict(vars(config))
+        first = compile_model(build_tiny_cnn("m1"), skylake, config)
+        assert vars(config) == before  # no side-channel keys stashed/popped
+        # A later compile at a different level with its own config must not
+        # inherit anything; and reusing the pbqp config reports pbqp again.
+        baseline = compile_model(
+            build_tiny_cnn("m2"), skylake, CompileConfig(opt_level=OptLevel.BASELINE)
+        )
+        second = compile_model(build_tiny_cnn("m3"), skylake, config)
+        assert first.search_method == "pbqp"
+        assert baseline.search_method == "none"
+        assert second.search_method == "pbqp"
+        assert vars(config) == before
+
+    def test_select_schedules_returns_method(self, skylake):
+        from repro.core import select_schedules
+
+        graph = build_tiny_cnn()
+        infer_shapes(graph)
+        schedules, method = select_schedules(graph, skylake, CompileConfig())
+        assert method == "dp"
+        assert set(schedules) == {"conv1", "conv2a", "conv3"}
+        _, manual = select_schedules(
+            graph, skylake, CompileConfig(opt_level=OptLevel.TRANSFORM_ELIM)
+        )
+        assert manual == "manual"

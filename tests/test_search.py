@@ -1,5 +1,7 @@
 """Tests for the tuning database, local search, PBQP solver and global search."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -11,8 +13,10 @@ from repro.core import (
     NumpyMeasurer,
     PBQPProblem,
     TuningDatabase,
+    TuningDatabaseMigrationError,
     TuningRecord,
     extract_dependency_graph,
+    search_fingerprint,
     solve_pbqp,
 )
 from repro.core.global_search import ConvCandidate, ConvDependencyGraph, DependencyEdge
@@ -54,6 +58,54 @@ class TestTuningDatabase:
         b.put(WORKLOAD, "y", [TuningRecord(ConvSchedule(8, 8, 4), 2.0)])
         a.merge(b)
         assert len(a) == 2
+
+    def test_round_trip_with_delimiter_in_names(self, tmp_path):
+        """Keys are stored as JSON fields, so '|' in names cannot corrupt them."""
+        db = TuningDatabase()
+        cpu_name = "weird|cpu|name"
+        params = "mb64-k8|custom"
+        db.put(WORKLOAD, cpu_name, [TuningRecord(ConvSchedule(8, 16, 4), 3e-4)], params)
+        path = tmp_path / "tuning.json"
+        db.save(path)
+        loaded = TuningDatabase.load(path)
+        best = loaded.best(WORKLOAD, cpu_name, params)
+        assert best is not None
+        assert best.schedule == ConvSchedule(8, 16, 4)
+        assert loaded.records == db.records
+
+    def test_legacy_unversioned_file_fails_loudly(self, tmp_path):
+        """A v1 file ('workload|cpu' keys, no version) raises a migration error."""
+        legacy = {
+            f"{WORKLOAD.key()}|cpu-x": [
+                {"schedule": ConvSchedule(8, 8, 4).to_dict(), "cost_s": 1e-3}
+            ]
+        }
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(legacy), encoding="utf-8")
+        with pytest.raises(TuningDatabaseMigrationError, match="legacy"):
+            TuningDatabase.load(path)
+
+    def test_future_schema_version_fails_loudly(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema_version": 99, "entries": []}))
+        with pytest.raises(TuningDatabaseMigrationError, match="schema version 99"):
+            TuningDatabase.load(path)
+
+    def test_params_fingerprint_separates_entries(self):
+        db = TuningDatabase()
+        db.put(WORKLOAD, "cpu-x", [TuningRecord(ConvSchedule(8, 8, 4), 1.0)], "fp-a")
+        assert db.get(WORKLOAD, "cpu-x", "fp-b") is None
+        assert db.get(WORKLOAD, "cpu-x") is None  # default params differ too
+        assert db.get(WORKLOAD, "cpu-x", "fp-a") is not None
+        assert (WORKLOAD, "cpu-x", "fp-a") in db
+        assert (WORKLOAD, "cpu-x", "fp-b") not in db
+
+    def test_search_fingerprint_encodes_all_knobs(self):
+        base = search_fingerprint(64, 8, (32, 16, 8, 4, 2))
+        assert base != search_fingerprint(None, 8, (32, 16, 8, 4, 2))
+        assert base != search_fingerprint(64, 4, (32, 16, 8, 4, 2))
+        assert base != search_fingerprint(64, 8, (16, 8))
+        assert base == search_fingerprint(64, 8, [32, 16, 8, 4, 2])
 
 
 class TestLocalSearch:
@@ -100,6 +152,96 @@ class TestLocalSearch:
         # ARM NEON has 4 lanes; its best oc_bn need not be 16-aligned like AVX-512.
         assert best_skl.schedule.oc_bn % 16 == 0
         assert best_arm.schedule.oc_bn % 4 == 0
+
+    def test_batched_scoring_matches_per_candidate_path(self, skylake):
+        """The vectorized batch pass ranks exactly like per-candidate calls."""
+
+        class ScalarOnly:
+            """CostModelMeasurer stripped of measure_batch (the seed path)."""
+
+            def __init__(self, cpu):
+                self._inner = CostModelMeasurer(cpu)
+
+            def measure(self, workload, schedule):
+                return self._inner.measure(workload, schedule)
+
+        batched = LocalSearch(CostModelMeasurer(skylake), skylake.name).tune(WORKLOAD)
+        scalar = LocalSearch(ScalarOnly(skylake), skylake.name).tune(WORKLOAD)
+        assert [r.schedule for r in batched] == [r.schedule for r in scalar]
+        assert [r.cost_s for r in batched] == [r.cost_s for r in scalar]
+
+    def test_measure_batch_agrees_with_measure(self, skylake):
+        measurer = CostModelMeasurer(skylake)
+        schedules = [
+            ConvSchedule(16, 16, 8, True),
+            ConvSchedule(8, 32, 4, False),
+            ConvSchedule(32, 8, 2, True),
+        ]
+        batch = measurer.measure_batch(WORKLOAD, schedules)
+        for cost, schedule in zip(batch, schedules):
+            assert cost == measurer.measure(WORKLOAD, schedule)
+
+    def test_tune_all_parallel_matches_serial(self, skylake):
+        workloads = [
+            ConvWorkload(1, 16 * (i + 1), 14, 14, 32, 3, 3, (1, 1), (1, 1))
+            for i in range(4)
+        ]
+        serial_db = LocalSearch(CostModelMeasurer(skylake), skylake.name).tune_all(
+            workloads, jobs=1
+        )
+        parallel_db = LocalSearch(CostModelMeasurer(skylake), skylake.name).tune_all(
+            workloads, jobs=4
+        )
+        assert len(parallel_db) == len(serial_db) == 4
+        assert parallel_db.records == serial_db.records
+
+    def test_differently_configured_searches_do_not_share_cache(self, skylake):
+        """Same DB, different top_k: the second search must not reuse entries."""
+        db = TuningDatabase()
+        wide = LocalSearch(CostModelMeasurer(skylake), skylake.name, database=db, top_k=8)
+        narrow = LocalSearch(CostModelMeasurer(skylake), skylake.name, database=db, top_k=2)
+        assert len(wide.tune(WORKLOAD)) == 8
+        assert len(db) == 1
+        assert len(narrow.tune(WORKLOAD)) == 2  # re-tuned, not truncated leftovers
+        assert len(db) == 2  # both configurations cached side by side
+
+    def test_differently_threaded_searches_do_not_share_cache(self, skylake):
+        """Thread count changes rankings, so it must be part of the DB key."""
+        db = TuningDatabase()
+        serial = LocalSearch(
+            CostModelMeasurer(skylake, num_threads=1), skylake.name, database=db
+        )
+        threaded = LocalSearch(
+            CostModelMeasurer(skylake, num_threads=18), skylake.name, database=db
+        )
+        assert serial.params_fingerprint != threaded.params_fingerprint
+        serial.tune(WORKLOAD)
+        threaded.tune(WORKLOAD)
+        assert len(db) == 2  # no silent reuse of the 1-thread rankings
+
+    def test_tune_all_stays_serial_for_wallclock_measurers(self, skylake):
+        """Measurers without parallel_safe must not be fanned out (their
+        wall-clock timings would be corrupted by contention)."""
+        import threading as _threading
+
+        thread_ids = set()
+
+        class TimingMeasurer:  # no parallel_safe attribute, like NumpyMeasurer
+            def __init__(self, cpu):
+                self._inner = CostModelMeasurer(cpu)
+
+            def measure(self, workload, schedule):
+                thread_ids.add(_threading.get_ident())
+                return self._inner.measure(workload, schedule)
+
+        workloads = [
+            ConvWorkload(1, 8 * (i + 1), 8, 8, 16, 3, 3, (1, 1), (1, 1))
+            for i in range(3)
+        ]
+        LocalSearch(TimingMeasurer(skylake), skylake.name).tune_all(workloads)
+        assert thread_ids == {_threading.get_ident()}  # main thread only
+        assert NumpyMeasurer.parallel_safe is False
+        assert CostModelMeasurer.parallel_safe is True
 
 
 class TestPBQP:
@@ -274,3 +416,201 @@ def build_and_infer():
     graph = build_tiny_cnn()
     infer_shapes(graph)
     return graph
+
+
+def build_diamond_cnn(image: int = 16):
+    """conv_in fans out to two branch convs rejoined by a residual add."""
+    from repro.graph import GraphBuilder
+
+    builder = GraphBuilder("diamond")
+    data = builder.input("data", (1, 8, image, image))
+    stem = builder.conv2d(data, 16, 3, padding=1, name="conv_in")
+    stem = builder.relu(stem)
+    left = builder.conv2d(stem, 16, 3, padding=1, name="conv_left")
+    right = builder.conv2d(stem, 16, 1, name="conv_right")
+    joined = builder.elemwise_add(left, right, name="join")
+    out = builder.conv2d(joined, 32, 1, name="conv_out")
+    graph = builder.build(out)
+    infer_shapes(graph)
+    return graph
+
+
+class TestGlobalSearchGraphShapes:
+    """Diamond/residual structures, sibling accounting and edge cases."""
+
+    def test_diamond_dp_vs_pbqp_parity(self, skylake):
+        """On a diamond graph both solvers stay within the paper's ~88% bound."""
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, top_k=4)
+        dp = GlobalSearch(skylake, search, method="dp").run(build_diamond_cnn())
+        pbqp = GlobalSearch(skylake, search, method="pbqp").run(build_diamond_cnn())
+        assert dp.num_convs == pbqp.num_convs == 4
+        assert dp.total_cost_s > 0 and pbqp.total_cost_s > 0
+        assert dp.total_cost_s / pbqp.total_cost_s >= 0.88
+        assert pbqp.total_cost_s / dp.total_cost_s >= 0.88
+
+    def test_residual_graph_has_sibling_edge(self, skylake):
+        graph = build_diamond_cnn()
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, top_k=3)
+        dep = extract_dependency_graph(graph, search)
+        kinds = {(e.src, e.dst): e.kind for e in dep.edges}
+        assert kinds.get(("conv_left", "conv_right")) == "sibling"
+
+    def test_dp_backtrack_accounts_sibling_cost(self, skylake):
+        """With a dominant sibling transform the DP must align oc_bn blocks.
+
+        Exec times alone favour the mismatched pair (0.9 + 1.0 ms); the huge
+        join tensor makes any oc_bn mismatch far more expensive, so both the
+        forward sweep and the backtrack must propagate the matched choice.
+        """
+        dep = ConvDependencyGraph()
+        oc16 = ConvSchedule(16, 16, 8)
+        oc8 = ConvSchedule(16, 8, 8)
+        dep.candidates["a"] = [ConvCandidate(oc8, 0.9e-3), ConvCandidate(oc16, 1.0e-3)]
+        dep.candidates["b"] = [ConvCandidate(oc16, 1.0e-3), ConvCandidate(oc8, 1.05e-3)]
+        dep.topo_order = ["a", "b"]
+        dep.add_edge(DependencyEdge("a", "b", tensor_bytes=1 << 26, kind="sibling"))
+
+        assignment = DynamicProgrammingSearch(skylake, 18).solve(dep)
+        assert assignment["a"].oc_bn == assignment["b"].oc_bn == 8  # matched pair
+
+        matched_cost = dep.total_cost(assignment, skylake, 18)
+        greedy = {"a": oc8, "b": oc16}  # locally best but mismatched
+        assert matched_cost == pytest.approx(0.9e-3 + 1.05e-3)
+        assert dep.total_cost(greedy, skylake, 18) > matched_cost
+
+    def test_dp_joint_minimization_of_parallel_edges(self, skylake):
+        """A residual pair linked by BOTH a dataflow and a sibling edge must
+        be minimized jointly — independent per-edge minima are unattainable
+        and pick inconsistent predecessor choices."""
+        import itertools
+
+        dep = ConvDependencyGraph()
+        x_a = ConvSchedule(16, 8, 4)   # oc 8
+        x_b = ConvSchedule(16, 4, 4)   # oc 4
+        y_a = ConvSchedule(8, 4, 4)    # ic 8 / oc 4
+        y_b = ConvSchedule(4, 8, 4)    # ic 4 / oc 8
+        dep.candidates["x"] = [ConvCandidate(x_a, 0.0), ConvCandidate(x_b, 1e-4)]
+        dep.candidates["y"] = [ConvCandidate(y_a, 0.0), ConvCandidate(y_b, 0.0)]
+        dep.topo_order = ["x", "y"]
+        dep.add_edge(DependencyEdge("x", "y", tensor_bytes=1 << 20, kind="dataflow"))
+        dep.add_edge(DependencyEdge("x", "y", tensor_bytes=1 << 22, kind="sibling"))
+
+        assignment = DynamicProgrammingSearch(skylake, 18).solve(dep)
+        dp_cost = dep.total_cost(assignment, skylake, 18)
+        brute_force = min(
+            dep.total_cost({"x": xs, "y": ys}, skylake, 18)
+            for xs, ys in itertools.product((x_a, x_b), (y_a, y_b))
+        )
+        assert dp_cost == pytest.approx(brute_force)
+
+    def test_single_conv_graph(self, skylake):
+        from repro.graph import GraphBuilder
+
+        builder = GraphBuilder("single")
+        data = builder.input("data", (1, 8, 16, 16))
+        graph = builder.build(builder.conv2d(data, 16, 3, padding=1, name="only"))
+        infer_shapes(graph)
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name)
+        result = GlobalSearch(skylake, search).run(graph)
+        assert result.num_convs == 1 and result.num_edges == 0
+        # With no edges the global optimum is each conv's local optimum.
+        from repro.costmodel.graph_cost import conv_workload_from_node
+
+        workload = conv_workload_from_node(graph.op_nodes("conv2d")[0])
+        assert result.schedules["only"] == search.best(workload).schedule
+
+    def test_dataflow_edge_prices_transformed_tensor_on_pooled_chain(self, skylake):
+        """Across a downsampling chain the edge prices the post-pool tensor
+        (where AlterOpLayout inserts the transform), not the larger producer
+        output."""
+        from repro.graph import GraphBuilder
+
+        builder = GraphBuilder("pooled")
+        data = builder.input("data", (1, 8, 16, 16))
+        x = builder.conv2d(data, 32, 3, padding=1, name="producer")
+        x = builder.max_pool2d(x, 2, 2, name="pool")
+        x = builder.conv2d(x, 32, 3, padding=1, name="consumer")
+        graph = builder.build(x)
+        infer_shapes(graph)
+
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, top_k=2)
+        dep = extract_dependency_graph(graph, search)
+        (edge,) = [e for e in dep.edges if e.kind == "dataflow"]
+        producer = next(n for n in graph.op_nodes("conv2d") if n.name == "producer")
+        consumer = next(n for n in graph.op_nodes("conv2d") if n.name == "consumer")
+        # Pooling halves H and W, so the transformed tensor is 4x smaller
+        # than the producer's output.
+        assert edge.tensor_bytes == consumer.inputs[0].spec.nbytes
+        assert 4 * edge.tensor_bytes == producer.spec.nbytes
+
+    def test_concat_sibling_edge_prices_branch_not_join(self, skylake):
+        """A concat sibling pays a transform on its own slice, not the join."""
+        from repro.graph import GraphBuilder
+
+        builder = GraphBuilder("sibling_concat")
+        data = builder.input("data", (1, 8, 16, 16))
+        small = builder.conv2d(data, 8, 1, name="small")
+        large = builder.conv2d(data, 32, 1, name="large")
+        joined = builder.concat([small, large], name="cat")
+        graph = builder.build(builder.relu(joined))
+        infer_shapes(graph)
+
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, top_k=2)
+        dep = extract_dependency_graph(graph, search)
+        (edge,) = [e for e in dep.edges if e.kind == "sibling"]
+        small_node = next(n for n in graph.op_nodes("conv2d") if n.name == "small")
+        cat_node = graph.op_nodes("concat")[0]
+        assert edge.tensor_bytes == small_node.spec.nbytes
+        assert edge.tensor_bytes < cat_node.spec.nbytes
+
+    def test_concat_consumer_prices_each_producer_separately(self, skylake):
+        """Multi-input consumers get per-producer tensor sizes on their edges."""
+        from repro.graph import GraphBuilder
+
+        builder = GraphBuilder("concat")
+        data = builder.input("data", (1, 8, 16, 16))
+        small = builder.conv2d(data, 8, 1, name="small")
+        large = builder.conv2d(data, 32, 1, name="large")
+        joined = builder.concat([small, large], name="cat")
+        out = builder.conv2d(joined, 16, 1, name="consumer")
+        graph = builder.build(out)
+        infer_shapes(graph)
+
+        search = LocalSearch(CostModelMeasurer(skylake), skylake.name, top_k=2)
+        dep = extract_dependency_graph(graph, search)
+        bytes_by_src = {
+            e.src: e.tensor_bytes
+            for e in dep.edges
+            if e.kind == "dataflow" and e.dst == "consumer"
+        }
+        small_node = next(n for n in graph.op_nodes("conv2d") if n.name == "small")
+        large_node = next(n for n in graph.op_nodes("conv2d") if n.name == "large")
+        assert bytes_by_src["small"] == small_node.spec.nbytes
+        assert bytes_by_src["large"] == large_node.spec.nbytes
+        assert bytes_by_src["large"] == 4 * bytes_by_src["small"]
+
+    def test_predecessor_index_tracks_added_edges(self):
+        dep = ConvDependencyGraph()
+        dep.candidates = {"a": [], "b": [], "c": []}
+        dep.add_edge(DependencyEdge("a", "c", 128))
+        assert [e.src for e in dep.predecessors("c")] == ["a"]
+        assert dep.predecessors("b") == []
+        dep.add_edge(DependencyEdge("b", "c", 256))  # index must pick this up
+        assert [e.src for e in dep.predecessors("c")] == ["a", "b"]
+
+    def test_total_cost_rejects_unknown_candidate(self, skylake):
+        dep = ConvDependencyGraph()
+        dep.candidates["a"] = [ConvCandidate(ConvSchedule(8, 8, 4), 1.0)]
+        dep.topo_order = ["a"]
+        with pytest.raises(KeyError):
+            dep.total_cost({"a": ConvSchedule(4, 4, 2)}, skylake, 4)
+
+    def test_total_cost_reflects_candidate_mutation(self, skylake):
+        """Replacing a candidate list (same length) must not serve stale costs."""
+        dep = ConvDependencyGraph()
+        schedule = ConvSchedule(8, 8, 4)
+        dep.candidates["a"] = [ConvCandidate(schedule, 1.0)]
+        dep.topo_order = ["a"]
+        assert dep.total_cost({"a": schedule}, skylake, 4) == pytest.approx(1.0)
+        dep.candidates["a"] = [ConvCandidate(schedule, 5.0)]  # e.g. force re-tune
+        assert dep.total_cost({"a": schedule}, skylake, 4) == pytest.approx(5.0)
