@@ -5,26 +5,49 @@ output of each experiment is written to ``benchmarks/results/`` so that the
 numbers can be compared side by side with the published tables (see
 EXPERIMENTS.md), in addition to the timing statistics pytest-benchmark
 collects about the harness itself.
+
+The tuning database is session-scoped *and* persistent: it lives in an
+:class:`repro.api.Optimizer`-layout cache directory
+(``benchmarks/.tuning_cache/``), is loaded at session start and saved at
+session end, so repeated benchmark runs skip the local search entirely
+instead of re-tuning every workload from scratch.  Delete the directory to
+force a cold run.
 """
 
 from pathlib import Path
 
 import pytest
 
-from repro.core import TuningDatabase
+from repro.api import Optimizer
 
 RESULTS_DIR = Path(__file__).parent / "results"
+TUNING_CACHE_DIR = Path(__file__).parent / ".tuning_cache"
 
 
 @pytest.fixture(scope="session")
-def tuning_db():
+def tuning_cache_dir():
+    """The on-disk cache directory shared by every benchmark session.
+
+    Uses the :class:`~repro.api.Optimizer` cache layout, so pointing an
+    Optimizer at it (``Optimizer(target, cache_dir=tuning_cache_dir)``)
+    shares the same persisted state.
+    """
+    TUNING_CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    return TUNING_CACHE_DIR
+
+
+@pytest.fixture(scope="session")
+def tuning_db(tuning_cache_dir):
     """One tuning database shared by every benchmark in the session.
 
     The paper (section 3.3.1) stores local-search results per workload and CPU
     so that models sharing convolution workloads do not repeat the search —
-    sharing the database across benchmarks exercises exactly that reuse.
+    sharing the database across benchmarks exercises exactly that reuse, and
+    persisting it across sessions (ROADMAP item) makes re-runs start warm.
     """
-    return TuningDatabase()
+    database = Optimizer.load_tuning_database(tuning_cache_dir)
+    yield database
+    database.save(tuning_cache_dir / Optimizer.TUNING_DB_FILENAME)
 
 
 @pytest.fixture(scope="session")

@@ -10,14 +10,8 @@
 
 from conftest import write_result
 
-from repro.core import (
-    CompileConfig,
-    CostModelMeasurer,
-    GlobalSearch,
-    LocalSearch,
-    OptLevel,
-    compile_model,
-)
+from repro.api import CompileConfig, OptLevel, Optimizer
+from repro.core import CostModelMeasurer, GlobalSearch, LocalSearch
 from repro.costmodel import ConvCostModel
 from repro.graph import infer_shapes
 from repro.hardware import get_target
@@ -61,11 +55,11 @@ def test_uniform_vs_per_conv_split_factor(benchmark, tuning_db, results_dir):
     cpu = get_target("skylake")
 
     def run_levels():
+        optimizer = Optimizer(cpu, database=tuning_db)
         latencies = {}
         for level in (OptLevel.TRANSFORM_ELIM, OptLevel.GLOBAL):
-            graph = get_model("resnet-50")
-            module = compile_model(
-                graph, cpu, CompileConfig(opt_level=level), tuning_database=tuning_db
+            module = optimizer.compile(
+                "resnet-50", config=CompileConfig(opt_level=level)
             )
             latencies[level] = module.estimate_latency_ms()
         return latencies

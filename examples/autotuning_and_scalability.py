@@ -3,7 +3,13 @@
 Part 1 — local search anatomy (section 3.3.1): enumerate the candidate space
 of one real ResNet-50 convolution workload, rank it with the analytical cost
 model, and cross-check the top choice by actually timing the blocked numpy
-kernel on a scaled-down copy of the workload with the empirical measurer.
+kernel on a scaled-down copy of the workload with the empirical measurer
+(whose batch interface allocates the input/weight buffers once per workload
+rather than once per candidate).
+
+These are the search internals that :class:`repro.api.Optimizer` drives for
+every convolution when you call ``optimizer.compile(model)``; see
+``examples/quickstart.py`` for the session-level view.
 
 Part 2 — scalability (section 4.2.4 / Figure 4a): sweep the thread count for
 ResNet-50 on the Skylake target and compare NeoCPU under its custom thread
@@ -32,6 +38,8 @@ def local_search_demo():
         print(f"  {record.schedule}   {record.cost_s * 1e6:8.1f} us")
 
     # Empirical cross-check on a scaled-down copy (numpy timing, 1 thread).
+    # LocalSearch feeds the whole candidate list to NumpyMeasurer.measure_batch,
+    # so the data/weight buffers are allocated once for the entire search.
     small = ConvWorkload(1, 32, 14, 14, 32, 3, 3, (1, 1), (1, 1))
     empirical = LocalSearch(NumpyMeasurer(repeats=2), cpu.name, top_k=3,
                             max_block=16)

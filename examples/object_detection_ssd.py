@@ -17,15 +17,14 @@ Run with:  python examples/object_detection_ssd.py
 
 import numpy as np
 
-from repro.core import CompileConfig, compile_model
-from repro.models import get_model
+from repro.api import CompileConfig, Optimizer
 from repro.ops import multibox_detection, multibox_prior, softmax
 
 
 def compile_ssd():
     print("Compiling SSD-ResNet-50 for the Intel Skylake target (PBQP search)...")
-    config = CompileConfig(global_search_method="pbqp")
-    module = compile_model(get_model("ssd-resnet-50"), "skylake", config)
+    optimizer = Optimizer("skylake", CompileConfig(global_search_method="pbqp"))
+    module = optimizer.compile("ssd-resnet-50")
     print(module.summary())
 
     report = module.profile()

@@ -1,21 +1,30 @@
-"""Quickstart: compile a small CNN with NeoCPU and run it.
+"""Quickstart: compile a small CNN with NeoCPU and serve it.
 
-Demonstrates the end-to-end flow on a CIFAR-sized network that is small
-enough for the functional (numpy) executor to run in well under a second:
+Demonstrates the layered public API end-to-end on a CIFAR-sized network that
+is small enough for the functional (numpy) executor to run in well under a
+second:
 
 1. describe the model with the graph builder;
-2. compile it for a CPU target (full pipeline: simplification, local +
-   global schedule search, layout alteration, transform elimination, fusion);
-3. run one inference and check the optimized graph computes exactly the same
-   probabilities as the unoptimized one;
-4. look at the estimated latency and the per-operator profile.
+2. open an :class:`repro.api.Optimizer` session for a CPU target and compile
+   the model (full pipeline: simplification, local + global schedule search,
+   layout alteration, transform elimination, fusion).  Compilation works on a
+   copy — the original graph stays untouched, which is what lets us run it
+   as the unoptimized reference afterwards;
+3. serve the compiled module through an :class:`repro.api.InferenceEngine`
+   (single request, a batch, and a concurrent burst) and check the optimized
+   module computes exactly the same probabilities as the unoptimized graph;
+4. save the compiled artifact, load it back, and confirm the round trip;
+5. look at the estimated latency and the per-operator profile.
 
 Run with:  python examples/quickstart.py
 """
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
-from repro.core import CompileConfig, OptLevel, compile_model
+from repro.api import CompiledModule, InferenceEngine, Optimizer
 from repro.graph import GraphBuilder, infer_shapes
 from repro.runtime import GraphExecutor, format_report
 
@@ -42,29 +51,60 @@ def build_cifar_cnn():
 def main():
     image = np.random.default_rng(0).standard_normal((1, 3, 32, 32)).astype(np.float32)
 
-    # Reference: run the unoptimized graph.
-    reference_graph = build_cifar_cnn()
-    infer_shapes(reference_graph)
-    reference = GraphExecutor(reference_graph, seed=42).run({"data": image})[0]
-
     # Compile with the full NeoCPU pipeline for the Intel Skylake target.
+    # The Optimizer owns the tuning database; give it a cache_dir and a later
+    # session would reload both the tuned schedules and the compiled module.
     graph = build_cifar_cnn()
-    module = compile_model(graph, "skylake", CompileConfig(opt_level=OptLevel.GLOBAL))
+    optimizer = Optimizer("skylake")
+    module = optimizer.compile(graph)
     print(module.summary())
     print()
 
-    # The optimization must not change the numbers (paper section 4 sanity check).
-    optimized = module.run({"data": image}, seed=42)[0]
+    # Serving surface: the engine binds parameters once and reuses its
+    # buffers across requests.
+    engine = InferenceEngine(module, seed=42)
+    optimized = engine.run({"data": image})[0]
+
+    # The optimization must not change the numbers (paper section 4 sanity
+    # check).  compile() worked on a copy, so the original graph is still the
+    # unoptimized reference model.
+    infer_shapes(graph)
+    reference = GraphExecutor(graph, seed=42).run({"data": image})[0]
     max_diff = float(np.abs(optimized - reference).max())
     print(f"max |optimized - reference| = {max_diff:.2e}  (should be ~1e-6)")
     assert np.allclose(optimized, reference, atol=1e-4)
+
+    # Batched and concurrent serving amortize setup across requests.
+    rng = np.random.default_rng(1)
+    requests = [
+        {"data": rng.standard_normal((1, 3, 32, 32)).astype(np.float32)}
+        for _ in range(8)
+    ]
+    batch_outputs = engine.run_batch(requests)
+    concurrent_outputs = engine.serve_concurrent(requests, max_workers=4)
+    for sequential, concurrent in zip(batch_outputs, concurrent_outputs):
+        assert np.array_equal(sequential[0], concurrent[0])
+    print(f"served {engine.requests_served} requests "
+          f"(batch of {len(requests)} + concurrent burst), results identical")
+
+    # The compiled artifact round-trips through disk: same schedules, same
+    # latency estimate, ready to serve without recompiling.  (A private temp
+    # dir — artifacts are pickles, so never load them from a path another
+    # user could have written.)
+    artifact = Path(tempfile.mkdtemp(prefix="neocpu_quickstart_")) / "cifar_cnn.neocpu"
+    module.save(artifact)
+    reloaded = CompiledModule.load(artifact)
+    assert reloaded.schedules == module.schedules
+    assert reloaded.estimate_latency() == module.estimate_latency()
+    print(f"artifact round trip via {artifact} ok "
+          f"({len(reloaded.schedules)} schedules, search={reloaded.search_method})")
 
     # Chosen schedules and per-operator latency estimate.
     print("\nChosen convolution schedules:")
     for name, schedule in sorted(module.schedules.items()):
         print(f"  {name:<22s} {schedule}")
     print()
-    print(format_report(module.profile(), k=10))
+    print(format_report(engine.profile(), k=10))
 
 
 if __name__ == "__main__":

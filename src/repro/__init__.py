@@ -8,13 +8,33 @@ passes, a convolution schedule template with local (per-operation) and global
 custom thread pool, the paper's model zoo, and calibrated baseline framework
 models used by the evaluation harness.
 
-Public entry points:
+Public entry points (see README.md for the layered-API overview):
 
+* :class:`repro.api.Optimizer` — persistent compile session with tuning-DB
+  and on-disk artifact caches.
+* :class:`repro.api.InferenceEngine` — the serving surface over a compiled
+  module (single, batched and concurrent requests).
 * :func:`repro.models.get_model` — build any of the 15 evaluation models.
-* :func:`repro.core.compile_model` — run the NeoCPU optimization pipeline.
 * :mod:`repro.evaluation` — regenerate the paper's tables and figures.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["__version__"]
+from .api import (  # noqa: E402  (re-exported convenience surface)
+    CompileConfig,
+    CompiledModule,
+    InferenceEngine,
+    OptLevel,
+    Optimizer,
+)
+from .models import get_model  # noqa: E402
+
+__all__ = [
+    "CompileConfig",
+    "CompiledModule",
+    "InferenceEngine",
+    "OptLevel",
+    "Optimizer",
+    "__version__",
+    "get_model",
+]

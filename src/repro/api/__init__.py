@@ -1,0 +1,38 @@
+"""The public, layered API of the NeoCPU reproduction.
+
+Layering (each layer only reaches down):
+
+* ``repro.api`` — this package: the :class:`Optimizer` compile session
+  (tuning-database + artifact caches) and the :class:`InferenceEngine`
+  serving surface.
+* ``repro.core`` — the compilation pipeline and the local/global schedule
+  search.
+* ``repro.schedule`` / ``repro.costmodel`` — the convolution schedule
+  template and the analytical CPU cost model that prices candidates.
+* ``repro.runtime`` — functional execution, the compiled-module artifact
+  format, thread pool and profiler.
+
+Most programs need only this package::
+
+    from repro.api import InferenceEngine, Optimizer
+
+    optimizer = Optimizer("skylake", cache_dir="~/.cache/neocpu")
+    engine = InferenceEngine(optimizer.compile("resnet-50"))
+    outputs = engine.run({"data": image})
+"""
+
+from ..core.config import CompileConfig, OptLevel
+from ..runtime.artifact import ArtifactError, StaleArtifactError
+from ..runtime.module import CompiledModule
+from .engine import InferenceEngine
+from .optimizer import Optimizer
+
+__all__ = [
+    "ArtifactError",
+    "CompileConfig",
+    "CompiledModule",
+    "InferenceEngine",
+    "OptLevel",
+    "Optimizer",
+    "StaleArtifactError",
+]

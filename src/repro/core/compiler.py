@@ -1,6 +1,6 @@
 """The NeoCPU compilation pipeline.
 
-``compile_model`` stitches together everything below it, in the same order
+``compile_graph`` stitches together everything below it, in the same order
 the paper describes:
 
 1. generic graph optimizations inherited from the base stack — inference
@@ -13,10 +13,16 @@ the paper describes:
    ones, weights are pre-transformed at compile time (section 3.2);
 4. operation fusion and a final constant-folding sweep;
 5. packaging into a :class:`~repro.runtime.module.CompiledModule`.
+
+``compile_model`` is the deprecated free-function entry point kept for
+backward compatibility; new code should go through the session API
+(:class:`repro.api.Optimizer`), which adds tuning-database persistence and an
+on-disk artifact cache on top of this pipeline.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
@@ -42,7 +48,7 @@ from .global_search import GlobalSearch
 from .local_search import CostModelMeasurer, LocalSearch
 from .tuning_db import TuningDatabase
 
-__all__ = ["compile_model", "select_schedules"]
+__all__ = ["compile_graph", "compile_model", "select_schedules"]
 
 
 def _local_search(cpu: CPUSpec, config: CompileConfig,
@@ -109,17 +115,21 @@ def select_schedules(
     return result.schedules, result.method
 
 
-def compile_model(
+def compile_graph(
     graph: Graph,
     target: "CPUSpec | str",
     config: Optional[CompileConfig] = None,
     params: Optional[Mapping[str, np.ndarray]] = None,
     tuning_database: Optional[TuningDatabase] = None,
+    in_place: bool = False,
 ) -> CompiledModule:
     """Optimize ``graph`` for ``target`` and return a compiled module.
 
     Args:
-        graph: the model graph (mutated in place by the passes).
+        graph: the model graph.  Compiled from a structural copy by default,
+            so the caller's graph is left untouched; pass ``in_place=True``
+            to optimize the given graph directly (the historical behavior —
+            marginally cheaper, but surprising).
         target: a :class:`CPUSpec` or one of the preset target aliases
             (``"skylake"``, ``"epyc"``, ``"arm"`` ...).
         config: compilation options; defaults to the full NeoCPU pipeline.
@@ -128,6 +138,7 @@ def compile_model(
             weight layout transforms and folded batch-norm parameters.
         tuning_database: shared tuning database (reused across models and
             compilations to avoid repeated local searches).
+        in_place: mutate ``graph`` instead of compiling a copy.
 
     Returns:
         A :class:`CompiledModule` ready for execution and latency estimation.
@@ -135,6 +146,8 @@ def compile_model(
     cpu = target if isinstance(target, CPUSpec) else get_target(target)
     config = config if config is not None else CompileConfig()
 
+    if not in_place:
+        graph = graph.copy()
     infer_shapes(graph)
     if params:
         initialize_parameters(graph, params)
@@ -170,4 +183,36 @@ def compile_model(
         schedules=schedules,
         search_method=search_method,
         pass_report="\n".join([pre.report(), post.report()]),
+    )
+
+
+def compile_model(
+    graph: Graph,
+    target: "CPUSpec | str",
+    config: Optional[CompileConfig] = None,
+    params: Optional[Mapping[str, np.ndarray]] = None,
+    tuning_database: Optional[TuningDatabase] = None,
+    in_place: bool = False,
+) -> CompiledModule:
+    """Deprecated free-function entry point; use :class:`repro.api.Optimizer`.
+
+    Thin wrapper over :func:`compile_graph` with the same signature and
+    semantics (including compiling from a copy of ``graph`` unless
+    ``in_place=True``).  Kept so existing callers continue to work; the
+    session API additionally persists tuning results and caches compiled
+    artifacts on disk.
+    """
+    warnings.warn(
+        "compile_model is deprecated; use repro.api.Optimizer(target, config)"
+        ".compile(graph) (or repro.core.compile_graph for the bare pipeline)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return compile_graph(
+        graph,
+        target,
+        config=config,
+        params=params,
+        tuning_database=tuning_database,
+        in_place=in_place,
     )

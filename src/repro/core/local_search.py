@@ -38,7 +38,7 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Protocol, Sequence
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -141,20 +141,59 @@ class NumpyMeasurer:
         """Measurement context that changes candidate costs (and rankings)."""
         return f"np-r{self.repeats}-s{self.seed}"
 
-    def measure(self, workload: ConvWorkload, schedule: ConvSchedule) -> float:
+    def _buffers(self, workload: ConvWorkload) -> Tuple[np.ndarray, np.ndarray]:
         rng = np.random.default_rng(self.seed)
         data = rng.standard_normal(workload.input_shape).astype(np.float32)
         weight = rng.standard_normal(workload.weight_shape).astype(np.float32)
-        data_blocked = to_blocked_nchwc(data, schedule.ic_bn)
+        return data, weight
+
+    def _time_candidate(
+        self,
+        data: np.ndarray,
+        weight: np.ndarray,
+        workload: ConvWorkload,
+        schedule: ConvSchedule,
+        blocked_cache: Optional[dict] = None,
+    ) -> float:
+        blocked = None if blocked_cache is None else blocked_cache.get(schedule.ic_bn)
+        if blocked is None:
+            blocked = to_blocked_nchwc(data, schedule.ic_bn)
+            if blocked_cache is not None:
+                blocked_cache[schedule.ic_bn] = blocked
         weight_packed = prepack_weights(weight, schedule)
         # Warm-up run (page in buffers, JIT-free but still fair).
-        conv2d_nchwc(data_blocked, weight_packed, workload, schedule)
+        conv2d_nchwc(blocked, weight_packed, workload, schedule)
         elapsed = 0.0
         for _ in range(self.repeats):
             start = time.perf_counter()
-            conv2d_nchwc(data_blocked, weight_packed, workload, schedule)
+            conv2d_nchwc(blocked, weight_packed, workload, schedule)
             elapsed += time.perf_counter() - start
         return elapsed / self.repeats
+
+    def measure(self, workload: ConvWorkload, schedule: ConvSchedule) -> float:
+        data, weight = self._buffers(workload)
+        return self._time_candidate(data, weight, workload, schedule)
+
+    def measure_batch(
+        self, workload: ConvWorkload, schedules: Sequence[ConvSchedule]
+    ) -> np.ndarray:
+        """Time a whole candidate batch per single buffer allocation.
+
+        The input and weight arrays are generated once per workload (instead
+        of once per candidate, the dominant non-kernel cost for large feature
+        maps), and the blocked input is reused across candidates sharing an
+        ``ic_bn``.  Each candidate is still warmed up and timed individually,
+        exactly like :meth:`measure`.
+        """
+        data, weight = self._buffers(workload)
+        blocked_cache: dict = {}
+        return np.array(
+            [
+                self._time_candidate(data, weight, workload, schedule, blocked_cache)
+                for schedule in schedules
+            ],
+            dtype=np.float64,
+        )
 
 
 class LocalSearch:

@@ -19,9 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api.optimizer import Optimizer
 from ..baselines.frameworks import estimate_baseline_latency
 from ..baselines.profiles import baseline_profiles_for
-from ..core.compiler import compile_model
 from ..core.config import CompileConfig
 from ..core.tuning_db import TuningDatabase
 from ..costmodel.parallel import OPENMP, THREAD_POOL
@@ -124,10 +124,10 @@ def run_figure4(
 
     # NeoCPU with OpenMP and with its custom thread pool: compile once (the
     # schedules do not depend on the thread count) and re-estimate.
-    graph = get_model(model_name)
-    module = compile_model(
-        graph, cpu, CompileConfig(num_threads=cpu.num_cores), tuning_database=database
+    optimizer = Optimizer(
+        cpu, CompileConfig(num_threads=cpu.num_cores), database=database
     )
+    module = optimizer.compile(model_name)
     for stack, threading in (
         ("NeoCPU w/ OMP", OPENMP),
         ("NeoCPU w/ thread pool", THREAD_POOL),

@@ -5,9 +5,10 @@ The paper's Table 2 has three sub-tables — (a) 18-core Intel Skylake,
 end-to-end latency (ms, batch 1) of every model under every stack.
 
 ``run_table2`` regenerates one sub-table: NeoCPU latencies come from the full
-compilation pipeline (local + global search) evaluated by the cost model, and
-each baseline comes from its calibrated framework profile over the same
-models and the same CPU description.
+compilation pipeline (local + global search) driven through an
+:class:`~repro.api.Optimizer` session (one per sub-table, so all 15 models
+share the tuning database), and each baseline comes from its calibrated
+framework profile over the same models and the same CPU description.
 """
 
 from __future__ import annotations
@@ -15,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api.optimizer import Optimizer
 from ..baselines.frameworks import estimate_baseline_latency
 from ..baselines.profiles import baseline_profiles_for
-from ..core.compiler import compile_model
 from ..core.config import CompileConfig
 from ..core.tuning_db import TuningDatabase
 from ..hardware.cpu import CPUSpec
@@ -105,9 +106,9 @@ def neocpu_latency_ms(
     config: Optional[CompileConfig] = None,
 ) -> float:
     """End-to-end NeoCPU latency (ms) for one model on one CPU."""
-    graph = get_model(model_name)
     cfg = config if config is not None else CompileConfig(num_threads=num_threads)
-    module = compile_model(graph, cpu, cfg, tuning_database=tuning_db)
+    optimizer = Optimizer(cpu, cfg, database=tuning_db)
+    module = optimizer.compile(model_name)
     return module.estimate_latency_ms(num_threads)
 
 
@@ -122,6 +123,7 @@ def run_table2(
     threads = num_threads if num_threads is not None else cpu.num_cores
     database = tuning_db if tuning_db is not None else TuningDatabase()
     profiles = baseline_profiles_for(cpu.vendor)
+    optimizer = Optimizer(cpu, CompileConfig(num_threads=threads), database=database)
 
     result = Table2Result(cpu=cpu.name, vendor=cpu.vendor, num_threads=threads)
     for model_name in models:
@@ -132,6 +134,6 @@ def run_table2(
                 model_name, graph, cpu, profile, num_threads=threads
             )
             row[profile.name] = baseline.latency_ms if baseline.supported else float("inf")
-        row["NeoCPU"] = neocpu_latency_ms(model_name, cpu, threads, database)
+        row["NeoCPU"] = optimizer.compile(model_name).estimate_latency_ms(threads)
         result.latencies_ms[model_name] = row
     return result

@@ -14,12 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core.compiler import compile_model
+from ..api.optimizer import Optimizer
 from ..core.config import CompileConfig, OptLevel
 from ..core.tuning_db import TuningDatabase
 from ..hardware.cpu import CPUSpec
 from ..hardware.presets import get_target
-from ..models.zoo import get_model
 from .reporting import format_table
 
 __all__ = ["Table3Result", "run_table3", "TABLE3_MODELS", "PAPER_TABLE3_SPEEDUPS"]
@@ -103,6 +102,9 @@ def run_table3(
     cpu = target if isinstance(target, CPUSpec) else get_target(target)
     threads = num_threads if num_threads is not None else cpu.num_cores
     database = tuning_db if tuning_db is not None else TuningDatabase()
+    # One session for all rows: the per-row opt level is a per-compile config
+    # override, and every row shares the session's tuning database.
+    optimizer = Optimizer(cpu, CompileConfig(num_threads=threads), database=database)
 
     result = Table3Result(cpu=cpu.name, num_threads=threads)
     for label, _ in ROW_LEVELS:
@@ -110,8 +112,7 @@ def run_table3(
 
     for model_name in models:
         for label, level in ROW_LEVELS:
-            graph = get_model(model_name)
             config = CompileConfig(opt_level=level, num_threads=threads)
-            module = compile_model(graph, cpu, config, tuning_database=database)
+            module = optimizer.compile(model_name, config=config)
             result.latencies_ms[label][model_name] = module.estimate_latency_ms(threads)
     return result

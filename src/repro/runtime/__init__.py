@@ -1,19 +1,38 @@
-"""Runtime substrate: graph executor, compiled module, thread pool, profiler."""
+"""Runtime substrate: graph executor, compiled module + artifact format,
+thread pool, profiler."""
 
+from .artifact import (
+    ARTIFACT_VERSION,
+    ArtifactError,
+    StaleArtifactError,
+    compilation_fingerprint,
+    graph_fingerprint,
+    load_module,
+    read_manifest,
+    save_module,
+)
 from .executor import GraphExecutor, initialize_parameters
 from .module import CompiledModule
 from .profiler import Timer, format_report, time_callable, top_costs
 from .threadpool import SPSCQueue, ThreadPool, parallel_for, static_partition
 
 __all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
     "CompiledModule",
     "GraphExecutor",
     "SPSCQueue",
+    "StaleArtifactError",
     "ThreadPool",
     "Timer",
+    "compilation_fingerprint",
     "format_report",
+    "graph_fingerprint",
     "initialize_parameters",
+    "load_module",
     "parallel_for",
+    "read_manifest",
+    "save_module",
     "static_partition",
     "time_callable",
     "top_costs",

@@ -1,0 +1,287 @@
+"""Durable compiled-module artifacts.
+
+The paper's value proposition is compile-once/serve-forever: the expensive
+joint schedule search happens at compilation time, and the result is a
+standalone module that can be deployed.  This module gives that workflow a
+durable on-disk form: :func:`save_module` / :func:`load_module` round-trip a
+:class:`~repro.runtime.module.CompiledModule` — optimized graph, chosen
+per-convolution schedules, pre-transformed parameter values, search method,
+target description and compile configuration — through a single artifact
+file.
+
+Artifact file format (version 1)
+--------------------------------
+
+``NEOCPU-ARTIFACT\\n`` magic, one line of JSON manifest (human-readable
+metadata plus the compilation fingerprint), then a pickle of the module
+payload.  The manifest can be read without unpickling anything, which is how
+the :class:`~repro.api.Optimizer` cache decides cheaply whether an artifact
+is fresh.
+
+Fingerprinting
+--------------
+
+An artifact records the fingerprint of everything its contents depend on:
+the artifact format version, the target CPU description, the compile
+configuration, and (when the :class:`~repro.api.Optimizer` saves it) the
+structure of the source graph and a digest of the bound parameters.  Loading
+with a different expected fingerprint raises :class:`StaleArtifactError`
+instead of silently serving schedules tuned for another target or
+configuration — the caller recompiles and overwrites.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Mapping, Optional, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..graph.graph import Graph
+    from ..hardware.cpu import CPUSpec
+    from .module import CompiledModule
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "StaleArtifactError",
+    "compilation_fingerprint",
+    "graph_fingerprint",
+    "params_fingerprint",
+    "read_manifest",
+    "save_module",
+    "load_module",
+]
+
+#: Version of the artifact container; bumped when the layout or the meaning
+#: of the stored payload changes.
+ARTIFACT_VERSION = 1
+
+_MAGIC = b"NEOCPU-ARTIFACT\n"
+
+
+class ArtifactError(RuntimeError):
+    """A compiled-module artifact cannot be loaded."""
+
+
+class StaleArtifactError(ArtifactError):
+    """An artifact exists but was compiled under a different fingerprint.
+
+    Serving it would silently apply schedules tuned for another target,
+    configuration, model or parameter set; the caller should recompile.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------------- #
+def _stable(value):
+    """Reduce ``value`` to a deterministic JSON-encodable structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_stable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _stable(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest(),
+            "shape": list(value.shape),
+            "dtype": str(value.dtype),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _stable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+            if not field.name.startswith("_")
+        }
+    # Layout, DType, Node, ... — anything with a meaningful repr/str.
+    return f"{type(value).__name__}:{value}"
+
+
+def _digest(payload) -> str:
+    encoded = json.dumps(_stable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def compilation_fingerprint(cpu: "CPUSpec", config) -> str:
+    """Fingerprint of the (target, configuration) pair an artifact serves."""
+    return _digest(
+        {
+            "artifact_version": ARTIFACT_VERSION,
+            "cpu": cpu,
+            "config": config,
+        }
+    )
+
+
+def graph_fingerprint(graph: "Graph") -> str:
+    """Structural fingerprint of a model graph (pre-compilation).
+
+    Covers node kinds, operator names, attributes, connectivity and tensor
+    specs — two structurally identical builds of the same model fingerprint
+    identically; any edit to the model changes it.  Bound constant values are
+    deliberately excluded (parameters are fingerprinted separately so that
+    spec-only graphs and value-bound graphs of the same architecture share a
+    structure hash).
+    """
+    nodes = []
+    for node in graph.topological_order():
+        attrs = {k: v for k, v in node.attrs.items()}
+        nodes.append(
+            {
+                "kind": node.kind,
+                "op": node.op,
+                "name": node.name,
+                "inputs": [producer.name for producer in node.inputs],
+                "attrs": attrs,
+                "spec": None if node.spec is None else str(node.spec.layout)
+                + str(node.spec.logical_shape) + node.spec.dtype.name,
+            }
+        )
+    return _digest({"name": graph.name, "nodes": nodes})
+
+
+def params_fingerprint(params: Optional[Mapping[str, np.ndarray]]) -> str:
+    """Digest of explicitly-bound parameter values (empty mapping included)."""
+    if not params:
+        return "none"
+    return _digest({name: np.asarray(value) for name, value in params.items()})
+
+
+# --------------------------------------------------------------------------- #
+# save / load
+# --------------------------------------------------------------------------- #
+def save_module(
+    module: "CompiledModule",
+    path: "str | Path",
+    fingerprint: Optional[str] = None,
+) -> Path:
+    """Serialize ``module`` (graph, schedules, params, config) to ``path``.
+
+    Args:
+        module: the compiled module to persist.
+        path: destination file.
+        fingerprint: compilation fingerprint to record; defaults to the
+            (target, config) fingerprint.  The :class:`~repro.api.Optimizer`
+            passes its richer fingerprint that also covers the source graph
+            and parameters.
+    """
+    from .. import __version__
+
+    if fingerprint is None:
+        fingerprint = compilation_fingerprint(module.cpu, module.config)
+    manifest = {
+        "artifact_version": ARTIFACT_VERSION,
+        "repro_version": __version__,
+        "model": module.graph.name,
+        "target": module.cpu.name,
+        "search_method": module.search_method,
+        "num_schedules": len(module.schedules),
+        "fingerprint": fingerprint,
+    }
+    payload = {
+        "graph": module.graph,
+        "cpu": module.cpu,
+        "config": module.config,
+        "schedules": module.schedules,
+        "search_method": module.search_method,
+        "pass_report": module.pass_report,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    buffer.write(json.dumps(manifest, sort_keys=True).encode("utf-8"))
+    buffer.write(b"\n")
+    pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    # Write-then-rename so a killed process (or a concurrent session sharing
+    # the cache dir) never leaves a truncated artifact under the final name.
+    temp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    temp.write_bytes(buffer.getvalue())
+    os.replace(temp, path)
+    return path
+
+
+def read_manifest(path: "str | Path") -> dict:
+    """Read just the JSON manifest of an artifact (no unpickling).
+
+    Raises:
+        ArtifactError: when the file is not a NeoCPU artifact or was written
+            by a different artifact format version.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ArtifactError(f"{path} is not a NeoCPU compiled-module artifact")
+        try:
+            manifest = json.loads(handle.readline().decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ArtifactError(f"{path} has a corrupt artifact manifest") from error
+    version = manifest.get("artifact_version")
+    if version != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"{path} uses artifact format version {version}, but this code "
+            f"reads version {ARTIFACT_VERSION}; recompile to regenerate it"
+        )
+    return manifest
+
+
+def load_module(
+    path: "str | Path",
+    expected_fingerprint: Optional[str] = None,
+) -> "CompiledModule":
+    """Load a module previously written by :func:`save_module`.
+
+    Args:
+        path: artifact file.
+        expected_fingerprint: when given, the artifact's recorded fingerprint
+            must match exactly.
+
+    Raises:
+        ArtifactError: for non-artifact or version-mismatched files.
+        StaleArtifactError: when ``expected_fingerprint`` does not match the
+            recorded one — the artifact was compiled for a different target,
+            configuration, model or parameter set.
+    """
+    from .module import CompiledModule
+
+    path = Path(path)
+    manifest = read_manifest(path)
+    recorded = manifest.get("fingerprint")
+    if expected_fingerprint is not None and recorded != expected_fingerprint:
+        raise StaleArtifactError(
+            f"{path} was compiled under fingerprint "
+            f"{str(recorded)[:16]}..., expected "
+            f"{expected_fingerprint[:16]}...; recompile to refresh it"
+        )
+    try:
+        with path.open("rb") as handle:
+            handle.read(len(_MAGIC))
+            handle.readline()  # manifest
+            payload = pickle.load(handle)
+        return CompiledModule(
+            graph=payload["graph"],
+            cpu=payload["cpu"],
+            config=payload["config"],
+            schedules=payload["schedules"],
+            search_method=payload["search_method"],
+            pass_report=payload["pass_report"],
+            fingerprint=recorded or "",
+        )
+    except ArtifactError:
+        raise
+    except Exception as error:
+        # Truncated pickle (EOFError), a class that moved between versions
+        # (AttributeError), a missing payload key, ... — all mean the same
+        # thing to the caller: this artifact cannot be served and should be
+        # recompiled, so surface them uniformly as ArtifactError.
+        raise ArtifactError(f"{path} has a corrupt artifact payload: {error}") from error

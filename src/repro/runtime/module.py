@@ -4,14 +4,16 @@ The paper emphasizes that NeoCPU "produces a standalone module with minimal
 size that does not depend on either the frameworks or the high-performance
 kernel libraries".  Here the module bundles the optimized graph, the chosen
 per-convolution schedules, the target description and the compile
-configuration, and offers the two things a user wants from it: functional
-execution (:meth:`create_executor`) and latency estimation / profiling
-(:meth:`estimate_latency`, :meth:`profile`).
+configuration, and offers the three things a user wants from it: functional
+execution (:meth:`create_executor`), latency estimation / profiling
+(:meth:`estimate_latency`, :meth:`profile`), and durable persistence
+(:meth:`save` / :meth:`load` — see :mod:`repro.runtime.artifact`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Mapping, Optional
 
 import numpy as np
@@ -36,6 +38,9 @@ class CompiledModule:
     schedules: Dict[str, ConvSchedule] = field(default_factory=dict)
     search_method: str = "none"
     pass_report: str = ""
+    #: Compilation fingerprint this module was built (or loaded) under; empty
+    #: for modules compiled outside an :class:`~repro.api.Optimizer` session.
+    fingerprint: str = ""
 
     # ------------------------------------------------------------------ #
     # execution
@@ -94,6 +99,35 @@ class CompiledModule:
     ) -> float:
         """Estimated end-to-end latency in milliseconds."""
         return self.estimate_latency(num_threads, threading) * 1e3
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: "str | Path", fingerprint: Optional[str] = None) -> Path:
+        """Persist this module (graph, schedules, params, config) to a file.
+
+        The artifact records a compilation fingerprint (defaulting to the
+        target + configuration fingerprint) so a later :meth:`load` can
+        refuse to serve schedules compiled under different settings.
+        """
+        from .artifact import save_module
+
+        return save_module(self, path, fingerprint=fingerprint or self.fingerprint or None)
+
+    @classmethod
+    def load(
+        cls,
+        path: "str | Path",
+        expected_fingerprint: Optional[str] = None,
+    ) -> "CompiledModule":
+        """Load a module saved by :meth:`save`.
+
+        Raises :class:`~repro.runtime.artifact.StaleArtifactError` when
+        ``expected_fingerprint`` is given and does not match the artifact.
+        """
+        from .artifact import load_module
+
+        return load_module(path, expected_fingerprint=expected_fingerprint)
 
     # ------------------------------------------------------------------ #
     # reporting

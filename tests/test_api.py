@@ -1,0 +1,346 @@
+"""Tests for the public session/serving API (repro.api) and its caches."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CompileConfig,
+    CompiledModule,
+    InferenceEngine,
+    OptLevel,
+    Optimizer,
+    StaleArtifactError,
+)
+from repro.core import CostModelMeasurer, LocalSearch, NumpyMeasurer, compile_model
+from repro.graph import infer_shapes
+from repro.runtime import GraphExecutor, read_manifest
+from repro.schedule import ConvWorkload
+
+from tests.conftest import build_tiny_cnn
+
+
+@pytest.fixture
+def no_measurer_calls(monkeypatch):
+    """Make every search-measurer entry point explode if touched."""
+
+    def boom(*args, **kwargs):
+        raise AssertionError("search measurer invoked on a warm cache")
+
+    monkeypatch.setattr(CostModelMeasurer, "measure", boom)
+    monkeypatch.setattr(CostModelMeasurer, "measure_batch", boom)
+    monkeypatch.setattr(CostModelMeasurer, "measure_arrays", boom)
+    monkeypatch.setattr(NumpyMeasurer, "measure", boom)
+    monkeypatch.setattr(NumpyMeasurer, "measure_batch", boom)
+
+
+class TestOptimizerSession:
+    def test_compile_accepts_graph_and_model_name(self, skylake):
+        optimizer = Optimizer(skylake)
+        from_graph = optimizer.compile(build_tiny_cnn())
+        assert from_graph.schedules
+        from_name = optimizer.compile("resnet-18")
+        assert from_name.graph.name == "resnet18"
+        assert from_name.schedules
+
+    def test_session_shares_tuning_database_across_models(self, skylake):
+        optimizer = Optimizer(skylake)
+        optimizer.compile(build_tiny_cnn("m1"))
+        entries = len(optimizer.database)
+        assert entries > 0
+        optimizer.compile(build_tiny_cnn("m2"))  # same workloads: all DB hits
+        assert len(optimizer.database) == entries
+
+    def test_compile_does_not_mutate_caller_graph(self, skylake):
+        graph = build_tiny_cnn()
+        histogram_before = graph.op_histogram()
+        Optimizer(skylake).compile(graph)
+        assert graph.op_histogram() == histogram_before
+
+    def test_per_call_config_override(self, skylake):
+        optimizer = Optimizer(skylake)
+        baseline = optimizer.compile(
+            build_tiny_cnn(), config=CompileConfig(opt_level=OptLevel.BASELINE)
+        )
+        assert baseline.schedules == {}
+        full = optimizer.compile(build_tiny_cnn())
+        assert full.schedules  # session default: global search
+
+    def test_fingerprint_sensitive_to_config_target_graph(self, skylake):
+        graph = build_tiny_cnn()
+        infer_shapes(graph)
+        optimizer = Optimizer(skylake)
+        base = optimizer.fingerprint(graph)
+        assert optimizer.fingerprint(graph) == base  # deterministic
+        other_config = optimizer.fingerprint(
+            graph, config=CompileConfig(opt_level=OptLevel.LAYOUT)
+        )
+        other_target = Optimizer("arm").fingerprint(graph)
+        other_graph = optimizer.fingerprint(build_tiny_cnn(with_branch=False))
+        params = {"conv1_weight": np.zeros((32, 3, 3, 3), np.float32)}
+        other_params = optimizer.fingerprint(graph, params=params)
+        fingerprints = {base, other_config, other_target, other_graph, other_params}
+        assert len(fingerprints) == 5
+
+
+class TestArtifactCache:
+    def test_save_load_round_trip_identical(self, skylake, tmp_path):
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        path = tmp_path / "tiny.neocpu"
+        module.save(path)
+
+        loaded = CompiledModule.load(path)
+        # Byte-identical schedules and identical latency estimate.
+        assert pickle.dumps(sorted(loaded.schedules.items())) == pickle.dumps(
+            sorted(module.schedules.items())
+        )
+        assert loaded.estimate_latency() == module.estimate_latency()
+        assert loaded.search_method == module.search_method
+        assert loaded.profile().total_s == module.profile().total_s
+
+    def test_loaded_module_serves_identical_outputs(self, skylake, tmp_path, tiny_input):
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        path = tmp_path / "tiny.neocpu"
+        module.save(path)
+        loaded = CompiledModule.load(path)
+        expected = InferenceEngine(module, seed=7).run({"data": tiny_input})[0]
+        served = InferenceEngine(loaded, seed=7).run({"data": tiny_input})[0]
+        np.testing.assert_array_equal(served, expected)
+
+    def test_manifest_readable_without_unpickling(self, skylake, tmp_path):
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        path = tmp_path / "tiny.neocpu"
+        module.save(path)
+        manifest = read_manifest(path)
+        assert manifest["model"] == "tinynet"
+        assert manifest["target"] == skylake.name
+        assert manifest["num_schedules"] == len(module.schedules)
+
+    def test_stale_fingerprint_rejected(self, skylake, tmp_path):
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        path = tmp_path / "tiny.neocpu"
+        module.save(path)
+        with pytest.raises(StaleArtifactError):
+            CompiledModule.load(path, expected_fingerprint="something-else")
+
+    def test_cold_cache_must_search(self, skylake, tmp_path, no_measurer_calls):
+        cold = Optimizer(skylake, cache_dir=tmp_path)
+        with pytest.raises(AssertionError, match="warm cache"):
+            cold.compile(build_tiny_cnn())  # cold cache: the search must run
+
+    def test_corrupt_artifact_recompiles_instead_of_crashing(self, skylake, tmp_path):
+        optimizer = Optimizer(skylake, cache_dir=tmp_path)
+        module = optimizer.compile(build_tiny_cnn())
+        # Truncate the pickle payload, keeping magic + manifest intact (as a
+        # killed process would): a fresh session must recompile, not crash.
+        (artifact,) = (tmp_path / Optimizer.MODULE_CACHE_DIRNAME).iterdir()
+        artifact.write_bytes(artifact.read_bytes()[:-200])
+        recompiled = Optimizer(skylake, cache_dir=tmp_path).compile(build_tiny_cnn())
+        assert recompiled.schedules == module.schedules
+
+    def test_in_place_compile_bypasses_artifact_cache(self, skylake, tmp_path):
+        optimizer = Optimizer(skylake, cache_dir=tmp_path)
+        optimizer.compile(build_tiny_cnn())  # warm the artifact cache
+        graph = build_tiny_cnn()
+        module = Optimizer(skylake, cache_dir=tmp_path).compile(graph, in_place=True)
+        # The promise of in_place is that *this* graph object was optimized —
+        # even when a matching artifact exists.
+        assert module.graph is graph
+        assert "batch_norm" not in graph.op_histogram()
+
+    def test_stale_artifact_recompiles_fresh(self, skylake, tmp_path):
+        optimizer = Optimizer(skylake, cache_dir=tmp_path)
+        module = optimizer.compile(build_tiny_cnn())
+        # A different configuration must not be served the cached artifact.
+        other = optimizer.compile(
+            build_tiny_cnn(), config=CompileConfig(opt_level=OptLevel.TRANSFORM_ELIM)
+        )
+        assert other.fingerprint != module.fingerprint
+        assert other.search_method == "manual"
+
+
+class TestWarmCaches:
+    def test_second_session_artifact_hit_zero_measurer_calls(
+        self, skylake, tmp_path, monkeypatch
+    ):
+        first = Optimizer(skylake, cache_dir=tmp_path)
+        module = first.compile(build_tiny_cnn())
+        assert (tmp_path / Optimizer.TUNING_DB_FILENAME).exists()
+
+        calls = []
+        monkeypatch.setattr(
+            CostModelMeasurer,
+            "measure_arrays",
+            lambda *a, **k: calls.append(1) or (_ for _ in ()).throw(AssertionError),
+        )
+        monkeypatch.setattr(
+            CostModelMeasurer,
+            "measure_batch",
+            lambda *a, **k: calls.append(1) or (_ for _ in ()).throw(AssertionError),
+        )
+        monkeypatch.setattr(
+            CostModelMeasurer,
+            "measure",
+            lambda *a, **k: calls.append(1) or (_ for _ in ()).throw(AssertionError),
+        )
+        second = Optimizer(skylake, cache_dir=tmp_path)
+        warm = second.compile(build_tiny_cnn())
+        assert calls == []  # pure artifact load: no search at all
+        assert warm.schedules == module.schedules
+        assert warm.estimate_latency() == module.estimate_latency()
+
+    def test_tuning_db_persistence_roundtrip(self, skylake, tmp_path, monkeypatch):
+        first = Optimizer(skylake, cache_dir=tmp_path)
+        first.compile(build_tiny_cnn("m1"))
+
+        # Remove module artifacts, keep the tuning DB: a new session compiling
+        # a *different* graph with the same workloads must do zero measuring.
+        for artifact in (tmp_path / Optimizer.MODULE_CACHE_DIRNAME).iterdir():
+            artifact.unlink()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("measurer invoked despite persisted tuning DB")
+
+        monkeypatch.setattr(CostModelMeasurer, "measure_arrays", boom)
+        monkeypatch.setattr(CostModelMeasurer, "measure_batch", boom)
+        monkeypatch.setattr(CostModelMeasurer, "measure", boom)
+        second = Optimizer(skylake, cache_dir=tmp_path)
+        assert len(second.database) > 0
+        module = second.compile(build_tiny_cnn("m2"))
+        assert module.schedules
+
+
+class TestInferenceEngine:
+    def test_output_parity_with_graph_executor(self, skylake, tiny_input):
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        engine = InferenceEngine(module, seed=21)
+        engine_out = engine.run({"data": tiny_input})[0]
+
+        # Exact parity with a GraphExecutor over the same optimized graph...
+        executor_out = GraphExecutor(module.graph, seed=21).run({"data": tiny_input})[0]
+        np.testing.assert_array_equal(engine_out, executor_out)
+
+        # ...and numerical parity with the unoptimized reference model.
+        reference = GraphExecutor(build_tiny_cnn(), seed=21).run({"data": tiny_input})[0]
+        np.testing.assert_allclose(engine_out, reference, atol=1e-4)
+
+    def test_run_batch_matches_sequential_runs(self, skylake):
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        engine = InferenceEngine(module, seed=3)
+        rng = np.random.default_rng(5)
+        requests = [
+            {"data": rng.standard_normal((1, 3, 16, 16)).astype(np.float32)}
+            for _ in range(4)
+        ]
+        batched = engine.run_batch(requests)
+        assert len(batched) == len(requests)
+        for request, outputs in zip(requests, batched):
+            np.testing.assert_array_equal(outputs[0], engine.run(request)[0])
+        assert engine.requests_served == 8
+
+    def test_serve_concurrent_preserves_order_and_values(self, skylake):
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        engine = InferenceEngine(module, seed=3)
+        rng = np.random.default_rng(6)
+        requests = [
+            {"data": rng.standard_normal((1, 3, 16, 16)).astype(np.float32)}
+            for _ in range(6)
+        ]
+        sequential = engine.run_batch(requests)
+        concurrent = engine.serve_concurrent(requests, max_workers=3)
+        for expected, got in zip(sequential, concurrent):
+            np.testing.assert_array_equal(got[0], expected[0])
+        assert engine.serve_concurrent([]) == []
+
+    def test_engine_profile_delegates_to_module(self, skylake):
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        engine = InferenceEngine(module)
+        assert engine.estimate_latency_ms() == module.estimate_latency_ms()
+        assert engine.profile().total_s == module.profile().total_s
+
+    def test_optimizer_engine_shortcut(self, skylake, tiny_input):
+        engine = Optimizer(skylake).engine(build_tiny_cnn(), seed=21)
+        out = engine.run({"data": tiny_input})[0]
+        assert out.shape == (1, 10)
+
+
+class TestCompileModelCompat:
+    def test_compile_model_deprecated_but_working(self, skylake, tiny_input):
+        graph = build_tiny_cnn()
+        with pytest.warns(DeprecationWarning, match="Optimizer"):
+            module = compile_model(graph, skylake, CompileConfig())
+        out = module.run({"data": tiny_input}, seed=21)[0]
+        reference = GraphExecutor(build_tiny_cnn(), seed=21).run({"data": tiny_input})[0]
+        np.testing.assert_allclose(out, reference, atol=1e-4)
+
+    def test_compile_model_copies_by_default(self, skylake):
+        graph = build_tiny_cnn()
+        histogram = graph.op_histogram()
+        with pytest.warns(DeprecationWarning):
+            compile_model(graph, skylake, CompileConfig())
+        # batch_norm / dropout survive in the caller's graph.
+        assert graph.op_histogram() == histogram
+
+    def test_compile_model_in_place_opt_out(self, skylake):
+        graph = build_tiny_cnn()
+        with pytest.warns(DeprecationWarning):
+            module = compile_model(graph, skylake, CompileConfig(), in_place=True)
+        assert module.graph is graph  # historical behavior on request
+        assert "batch_norm" not in graph.op_histogram()
+
+
+class TestGraphCopy:
+    def test_copy_is_structurally_identical_and_independent(self, tiny_input):
+        graph = build_tiny_cnn()
+        clone = graph.copy()
+        assert [n.name for n in clone.topological_order()] == [
+            n.name for n in graph.topological_order()
+        ]
+        assert all(
+            a is not b
+            for a, b in zip(graph.topological_order(), clone.topological_order())
+        )
+        # Same computation (identical deterministic parameters by name).
+        out_a = GraphExecutor(graph, seed=9).run({"data": tiny_input})[0]
+        out_b = GraphExecutor(clone, seed=9).run({"data": tiny_input})[0]
+        np.testing.assert_array_equal(out_a, out_b)
+
+    def test_copy_does_not_leak_derived_constant_bindings(self, skylake, tiny_input):
+        """Binding values while executing a compiled copy leaves the original
+        spec-only (the historical in-place mutation this PR fixes)."""
+        graph = build_tiny_cnn()
+        module = Optimizer(skylake).compile(graph)
+        InferenceEngine(module, seed=4).run({"data": tiny_input})
+        assert all(node.value is None for node in graph.constant_nodes())
+
+
+class TestNumpyMeasurerBatch:
+    def test_measure_batch_shape_and_positive(self):
+        measurer = NumpyMeasurer(repeats=1)
+        workload = ConvWorkload(1, 8, 8, 8, 8, 3, 3, (1, 1), (1, 1))
+        from repro.schedule import ConvSchedule
+
+        schedules = [ConvSchedule(8, 8, 4, True), ConvSchedule(4, 4, 8, False)]
+        costs = measurer.measure_batch(workload, schedules)
+        assert costs.shape == (2,)
+        assert np.all(np.isfinite(costs)) and np.all(costs > 0)
+
+    def test_local_search_uses_batch_interface(self, monkeypatch):
+        measurer = NumpyMeasurer(repeats=1)
+        batch_calls = []
+        original = NumpyMeasurer.measure_batch
+        monkeypatch.setattr(
+            NumpyMeasurer,
+            "measure_batch",
+            lambda self, w, s: batch_calls.append(len(s)) or original(self, w, s),
+        )
+
+        def no_single(*args, **kwargs):
+            raise AssertionError("per-candidate measure() used despite batch API")
+
+        monkeypatch.setattr(NumpyMeasurer, "measure", no_single)
+        search = LocalSearch(measurer, "testcpu", top_k=2, max_block=8)
+        records = search.tune(ConvWorkload(1, 8, 8, 8, 8, 3, 3, (1, 1), (1, 1)))
+        assert len(records) == 2
+        assert batch_calls and batch_calls[0] >= 2

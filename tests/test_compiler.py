@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CompileConfig, OptLevel, TuningDatabase, compile_model
+from repro.core import CompileConfig, OptLevel, TuningDatabase, compile_graph
 from repro.costmodel import OPENMP
 from repro.graph import infer_shapes
 from repro.hardware import get_target
@@ -27,21 +27,21 @@ class TestCompileConfig:
 
 class TestCompilePipeline:
     def test_baseline_has_no_schedules_or_blocked_layouts(self, skylake):
-        module = compile_model(
+        module = compile_graph(
             build_tiny_cnn(), skylake, CompileConfig(opt_level=OptLevel.BASELINE)
         )
         assert module.schedules == {}
         assert not module.graph.op_nodes("layout_transform")
 
     def test_global_level_assigns_schedule_to_every_conv(self, skylake):
-        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(), skylake, CompileConfig())
         assert set(module.schedules) == {"conv1", "conv2a", "conv3"}
         for conv in module.graph.op_nodes("conv2d"):
             assert "schedule" in conv.attrs
             assert conv.attrs["out_layout"].endswith("c")
 
     def test_simplification_always_applies(self, skylake):
-        module = compile_model(
+        module = compile_graph(
             build_tiny_cnn(), skylake, CompileConfig(opt_level=OptLevel.BASELINE)
         )
         histogram = module.graph.op_histogram()
@@ -51,7 +51,7 @@ class TestCompilePipeline:
         db = TuningDatabase()
         latencies = {}
         for level in OptLevel.ALL:
-            module = compile_model(
+            module = compile_graph(
                 build_tiny_cnn(image=56),
                 skylake,
                 CompileConfig(opt_level=level),
@@ -67,7 +67,7 @@ class TestCompilePipeline:
     def test_all_levels_preserve_output_values(self, skylake, tiny_input):
         reference = GraphExecutor(build_tiny_cnn(), seed=21).run({"data": tiny_input})[0]
         for level in OptLevel.ALL:
-            module = compile_model(
+            module = compile_graph(
                 build_tiny_cnn(), skylake, CompileConfig(opt_level=level)
             )
             out = module.run({"data": tiny_input}, seed=21)[0]
@@ -81,7 +81,7 @@ class TestCompilePipeline:
         from repro.runtime import initialize_parameters
 
         params = initialize_parameters(build_tiny_cnn(), seed=33)
-        module = compile_model(graph, skylake, CompileConfig(), params=params)
+        module = compile_graph(graph, skylake, CompileConfig(), params=params)
         runtime_compile_time = [
             node for node in module.graph.op_nodes("layout_transform")
             if node.attrs.get("compile_time")
@@ -93,29 +93,29 @@ class TestCompilePipeline:
         np.testing.assert_allclose(out, reference, atol=1e-4)
 
     def test_target_accepts_string_alias(self):
-        module = compile_model(build_tiny_cnn(), "arm", CompileConfig())
+        module = compile_graph(build_tiny_cnn(), "arm", CompileConfig())
         assert module.cpu.vendor == "arm"
 
     def test_tuning_database_reused_across_models(self, skylake):
         db = TuningDatabase()
-        compile_model(build_tiny_cnn("m1"), skylake, CompileConfig(), tuning_database=db)
+        compile_graph(build_tiny_cnn("m1"), skylake, CompileConfig(), tuning_database=db)
         entries_after_first = len(db)
-        compile_model(build_tiny_cnn("m2"), skylake, CompileConfig(), tuning_database=db)
+        compile_graph(build_tiny_cnn("m2"), skylake, CompileConfig(), tuning_database=db)
         assert len(db) == entries_after_first  # same workloads, no re-tuning
 
     def test_threading_model_respected(self, skylake):
         omp_config = CompileConfig(threading=OPENMP)
-        module = compile_model(build_tiny_cnn(image=64), skylake, omp_config)
-        pool_module = compile_model(build_tiny_cnn(image=64), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(image=64), skylake, omp_config)
+        pool_module = compile_graph(build_tiny_cnn(image=64), skylake, CompileConfig())
         assert module.estimate_latency(18) > pool_module.estimate_latency(18)
 
     def test_pass_report_present(self, skylake):
-        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(), skylake, CompileConfig())
         assert "alter_op_layout" in module.pass_report
         assert module.search_method in ("dp", "pbqp", "auto")
 
     def test_pbqp_method_forced(self, skylake, tiny_input):
-        module = compile_model(
+        module = compile_graph(
             build_tiny_cnn(),
             skylake,
             CompileConfig(global_search_method="pbqp"),
@@ -127,21 +127,21 @@ class TestCompilePipeline:
 
     def test_auto_method_reports_actual_solver(self, skylake):
         """'auto' resolves to the solver actually used, not the config string."""
-        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(), skylake, CompileConfig())
         assert module.search_method == "dp"  # tiny graph is under the threshold
 
     def test_reused_config_is_not_mutated_and_reports_fresh_method(self, skylake):
         """A user-owned config reused across compilations stays pristine."""
         config = CompileConfig(global_search_method="pbqp")
         before = dict(vars(config))
-        first = compile_model(build_tiny_cnn("m1"), skylake, config)
+        first = compile_graph(build_tiny_cnn("m1"), skylake, config)
         assert vars(config) == before  # no side-channel keys stashed/popped
         # A later compile at a different level with its own config must not
         # inherit anything; and reusing the pbqp config reports pbqp again.
-        baseline = compile_model(
+        baseline = compile_graph(
             build_tiny_cnn("m2"), skylake, CompileConfig(opt_level=OptLevel.BASELINE)
         )
-        second = compile_model(build_tiny_cnn("m3"), skylake, config)
+        second = compile_graph(build_tiny_cnn("m3"), skylake, config)
         assert first.search_method == "pbqp"
         assert baseline.search_method == "none"
         assert second.search_method == "pbqp"

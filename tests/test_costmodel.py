@@ -16,7 +16,7 @@ from repro.costmodel import (
     layout_transform_time,
     memory_bound_op_time,
 )
-from repro.core import CompileConfig, OptLevel, compile_model
+from repro.core import CompileConfig, OptLevel, compile_graph
 from repro.hardware import get_target
 from repro.schedule import ConvSchedule, ConvWorkload, default_schedule
 
@@ -145,7 +145,7 @@ class TestTransformAndMemoryCosts:
 
 class TestGraphCostModel:
     def test_report_totals_and_categories(self, skylake):
-        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(), skylake, CompileConfig())
         report = GraphCostModel(skylake).estimate(module.graph, 8)
         assert report.total_ms > 0
         categories = report.by_category()
@@ -155,13 +155,13 @@ class TestGraphCostModel:
         )
 
     def test_fused_followers_are_free(self, skylake):
-        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(), skylake, CompileConfig())
         report = GraphCostModel(skylake).estimate(module.graph, 8)
         fused = [c for c in report.node_costs if c.category == "free" and "fused" in c.detail]
         assert fused and all(c.time_s == 0 for c in fused)
 
     def test_compile_time_transforms_are_free(self, skylake):
-        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(), skylake, CompileConfig())
         report = GraphCostModel(skylake).estimate(module.graph, 8)
         compile_time = [c for c in report.node_costs if c.detail == "compile-time"]
         assert compile_time and all(c.time_s == 0 for c in compile_time)
@@ -174,10 +174,10 @@ class TestGraphCostModel:
             conv_workload_from_node(tiny_cnn.find("fc"))
 
     def test_optimized_graph_cheaper_than_baseline(self, skylake):
-        baseline = compile_model(
+        baseline = compile_graph(
             build_tiny_cnn("a", image=32), skylake, CompileConfig(opt_level=OptLevel.BASELINE)
         )
-        optimized = compile_model(
+        optimized = compile_graph(
             build_tiny_cnn("b", image=32), skylake, CompileConfig(opt_level=OptLevel.GLOBAL)
         )
         assert optimized.estimate_latency() < baseline.estimate_latency()

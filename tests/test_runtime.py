@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.core import CompileConfig, OptLevel, compile_model
+from repro.core import CompileConfig, OptLevel, compile_graph
 from repro.costmodel import OPENMP, THREAD_POOL
 from repro.runtime import (
     GraphExecutor,
@@ -160,7 +160,7 @@ class TestProfilerAndModule:
         assert time_callable(lambda: None, repeats=2, warmup=0) >= 0.0
 
     def test_module_profile_and_report(self, skylake):
-        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(), skylake, CompileConfig())
         report = module.profile(num_threads=4)
         assert report.total_s > 0
         text = format_report(report, k=5)
@@ -170,19 +170,19 @@ class TestProfilerAndModule:
     def test_module_latency_thread_scaling(self, skylake):
         # Use a larger input so the convolutions have enough work for the
         # parallel speedup to outweigh the fork/join overhead.
-        module = compile_model(build_tiny_cnn(image=64), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(image=64), skylake, CompileConfig())
         serial = module.estimate_latency(num_threads=1)
         parallel = module.estimate_latency(num_threads=8)
         assert parallel < serial
 
     def test_module_threading_override(self, skylake):
-        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(), skylake, CompileConfig())
         pool = module.estimate_latency(num_threads=18, threading=THREAD_POOL)
         omp = module.estimate_latency(num_threads=18, threading=OPENMP)
         assert pool < omp
 
     def test_module_summary_and_run(self, skylake, tiny_input):
-        module = compile_model(build_tiny_cnn(), skylake, CompileConfig())
+        module = compile_graph(build_tiny_cnn(), skylake, CompileConfig())
         assert "CompiledModule" in module.summary()
         out = module.run({"data": tiny_input}, seed=1)[0]
         assert out.shape == (1, 10)
