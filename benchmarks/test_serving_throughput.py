@@ -1,0 +1,99 @@
+"""Serving throughput: dynamic batching vs the naive thread-pool map.
+
+PR 2's ``serve_concurrent`` mapped each request to its own executor pass on a
+thread pool — under the GIL that buys nothing (the blocked-conv loop nest is
+Python), so a request stream cost N full passes.  The request scheduler
+coalesces compatible requests into single stacked executor passes, and the
+kernels carry the batch axis through the micro-kernel, so one pass over N
+samples pays the interpreter overhead once.
+
+Two claims are gated here on a ResNet-50 request stream:
+
+* scheduler-batched serving is at least **2x** the naive pool-map throughput;
+* the batched responses are **byte-identical** to the naive (per-request)
+  path — dynamic batching must never change the numbers.
+
+The model is the full 50-layer ResNet at reduced input resolution (32x32),
+keeping the stream large enough to exercise coalescing while the functional
+numpy executor stays CI-sized; the tuning database is shared with the other
+benchmarks through the session cache.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+from conftest import write_result
+
+from repro.api import InferenceEngine, Optimizer
+from repro.graph import infer_shapes
+from repro.models.resnet import resnet50
+
+NUM_REQUESTS = 24
+MAX_BATCH_SIZE = 8
+SPEEDUP_GATE = 2.0
+
+
+def build_requests(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        {"data": rng.standard_normal((1, 3, 32, 32)).astype(np.float32)}
+        for _ in range(count)
+    ]
+
+
+def naive_pool_map(executor, requests, max_workers=4):
+    """PR 2's serve_concurrent: one executor pass per request on a pool."""
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(executor.run, requests))
+
+
+def test_resnet50_stream_batched_serving_2x(benchmark, results_dir, tuning_db):
+    graph = resnet50(image_size=32)
+    infer_shapes(graph)
+    module = Optimizer("skylake", database=tuning_db).compile(graph)
+    requests = build_requests(NUM_REQUESTS)
+
+    # Naive baseline: thread-pool map over per-request executor passes.
+    naive_executor = module.create_executor(seed=0)
+    naive_executor.run(requests[0])  # warm the constant cache
+    start = time.perf_counter()
+    naive_outputs = naive_pool_map(naive_executor, requests)
+    naive_s = time.perf_counter() - start
+
+    # Dynamic batching through the request scheduler.
+    with InferenceEngine(
+        module, seed=0, max_batch_size=MAX_BATCH_SIZE, batch_timeout_ms=20.0
+    ) as engine:
+        engine.run(requests[0])  # warm-up outside the timed region
+
+        def serve():
+            return engine.serve_concurrent(requests)
+
+        batched_outputs = benchmark.pedantic(serve, rounds=1, iterations=1)
+        start = time.perf_counter()
+        batched_outputs = serve()
+        batched_s = time.perf_counter() - start
+        stats = engine.stats()
+
+    # Byte-identical responses, in request order.
+    for naive, batched in zip(naive_outputs, batched_outputs):
+        assert len(naive) == len(batched)
+        for naive_out, batched_out in zip(naive, batched):
+            assert np.array_equal(naive_out, batched_out)
+
+    speedup = naive_s / batched_s
+    lines = [
+        f"ResNet-50 serving throughput ({NUM_REQUESTS} requests, 32x32, skylake)",
+        f"  naive pool map          : {naive_s * 1e3:8.1f} ms "
+        f"({NUM_REQUESTS / naive_s:6.1f} req/s)",
+        f"  dynamic batching        : {batched_s * 1e3:8.1f} ms "
+        f"({NUM_REQUESTS / batched_s:6.1f} req/s)",
+        f"  speedup                 : {speedup:8.1f}x",
+        f"  mean batch size         : {stats.mean_batch_size:8.2f} "
+        f"(max {stats.max_batch_size}, {stats.batches} executor passes)",
+    ]
+    write_result(results_dir, "serving_throughput_resnet50", "\n".join(lines))
+
+    assert stats.batched > 0, "scheduler never coalesced a batch"
+    assert speedup >= SPEEDUP_GATE

@@ -7,4 +7,15 @@ so that ``pip install -e . --no-use-pep517`` works on environments without the
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # Mirrors the CI install: pytest-timeout keeps a scheduler deadlock
+        # from hanging the suite, pytest-benchmark drives benchmarks/.
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-timeout",
+            "hypothesis",
+        ],
+    },
+)

@@ -26,13 +26,17 @@ from ..runtime.artifact import ArtifactError, StaleArtifactError
 from ..runtime.module import CompiledModule
 from .engine import InferenceEngine
 from .optimizer import Optimizer
+from .scheduler import DeadlineExceeded, RequestScheduler, SchedulerStats
 
 __all__ = [
     "ArtifactError",
     "CompileConfig",
     "CompiledModule",
+    "DeadlineExceeded",
     "InferenceEngine",
     "OptLevel",
     "Optimizer",
+    "RequestScheduler",
+    "SchedulerStats",
     "StaleArtifactError",
 ]

@@ -2,27 +2,66 @@
 
 A :class:`InferenceEngine` is what a deployment holds on to: it binds the
 parameters once, keeps the executor (and its constant-tensor buffers) alive
-across requests, and offers single-request (:meth:`run`), batched
-(:meth:`run_batch`) and thread-pooled concurrent (:meth:`serve_concurrent`)
-entry points plus the analytical profile of the module it serves.  This
-replaces handing a raw :class:`~repro.runtime.executor.GraphExecutor` to
-callers: the engine owns executor construction, so the expensive parts
-(parameter initialization, derived-constant resolution, constant wrapping)
-are paid once per engine, not once per request.
+across requests, and serves every request through a
+:class:`~repro.api.scheduler.RequestScheduler` — a bounded queue with
+per-request deadlines and dynamic batching.  ``run``, ``run_batch`` and
+``serve_concurrent`` are all views over the same scheduler: concurrent
+shape-compatible requests are coalesced into a single executor pass over the
+stacked batch (the batch axis of every kernel is vectorized, so one pass over
+N samples costs far less than N passes), while response order, per-request
+deadlines and error attribution are preserved by per-request futures.
+
+Batching changes nothing about the numbers: the kernels are batch-invariant
+(each sample takes the same arithmetic path at any batch size), so a
+dynamically batched response is byte-identical to a sequential ``run`` —
+the stress suite in ``tests/test_scheduler.py`` asserts exactly that.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..costmodel.graph_cost import LatencyReport
+from ..graph.graph import Graph
 from ..runtime.module import CompiledModule
+from ..runtime.threadpool import BufferPool
+from ..tensor.tensor import Tensor
+from .scheduler import RequestScheduler, SchedulerStats, _attach_index
 
 __all__ = ["InferenceEngine"]
+
+
+def _graph_is_batchable(graph: Graph) -> bool:
+    """Can requests for this graph be coalesced along the batch axis?
+
+    True when every input and output carries the batch as its leading,
+    unblocked ``N`` axis and no operator bakes a fixed batch extent into its
+    attributes (a ``reshape`` to a literal ``(1, ...)`` shape, or a
+    ``transpose`` that moves the batch axis, as the SSD detection heads do).
+    Non-batchable graphs still get queueing and deadlines; their requests
+    simply execute one at a time.
+    """
+    input_nodes = [node for node in graph.topological_order() if node.is_input]
+    for node in input_nodes + list(graph.outputs):
+        spec = node.spec
+        if spec is None:
+            return False
+        axes = spec.layout.primal_axes
+        if not axes or axes[0] != "N" or spec.layout.has_axis("n"):
+            return False
+    for node in graph.topological_order():
+        if node.op == "reshape":
+            new_shape = list(node.attrs.get("new_shape", ()))
+            if not new_shape or new_shape[0] != -1:
+                return False
+        elif node.op == "transpose":
+            axes = tuple(int(a) for a in node.attrs.get("axes", ()))
+            if not axes or axes[0] != 0:
+                return False
+    return True
 
 
 class InferenceEngine:
@@ -34,6 +73,19 @@ class InferenceEngine:
             initialized deterministically from ``seed`` (matching
             :class:`~repro.runtime.executor.GraphExecutor` semantics).
         seed: RNG seed for parameters without explicit values.
+        max_batch_size: largest number of concurrent requests coalesced into
+            one executor pass (ignored — forced to 1 — when the graph cannot
+            be batch-stacked).
+        batch_timeout_ms: how long the scheduler waits for additional
+            compatible requests before dispatching a partial batch; bounds
+            the latency cost of batching.
+        queue_depth: bound of the request queue; submission blocks (up to the
+            request deadline) while the queue is full.
+        num_workers: scheduler worker threads executing dispatched batches.
+            Defaults to 2 for batchable graphs (coalescing, not thread
+            parallelism, is the throughput lever there) and to the target's
+            core count (capped at 8) for non-batchable graphs, whose only
+            overlap is concurrent executor passes.
     """
 
     def __init__(
@@ -41,11 +93,126 @@ class InferenceEngine:
         module: CompiledModule,
         params: Optional[Mapping[str, np.ndarray]] = None,
         seed: int = 0,
+        *,
+        max_batch_size: int = 8,
+        batch_timeout_ms: float = 2.0,
+        queue_depth: int = 256,
+        num_workers: Optional[int] = None,
     ) -> None:
         self.module = module
         self._executor = module.create_executor(params, seed)
-        self._lock = threading.Lock()
-        self._requests_served = 0
+        self._input_specs = {
+            node.name: node.spec
+            for node in module.graph.topological_order()
+            if node.is_input
+        }
+        self.batchable = _graph_is_batchable(module.graph)
+        self.max_batch_size = max_batch_size if self.batchable else 1
+        self.batch_timeout_ms = batch_timeout_ms
+        self.queue_depth = queue_depth
+        if num_workers is None:
+            num_workers = 2 if self.batchable else min(8, module.cpu.num_cores)
+        self.num_workers = num_workers
+        self._buffers = BufferPool()
+        self._scheduler: Optional[RequestScheduler] = None
+        self._scheduler_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # scheduler plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def scheduler(self) -> RequestScheduler:
+        """The engine's request scheduler (created on first use)."""
+        if self._scheduler is None:
+            with self._scheduler_lock:
+                if self._scheduler is None:
+                    self._scheduler = RequestScheduler(
+                        self._execute_group,
+                        max_batch_size=self.max_batch_size,
+                        batch_timeout_ms=self.batch_timeout_ms,
+                        queue_depth=self.queue_depth,
+                        num_workers=self.num_workers,
+                        signature=self._request_signature,
+                        name=f"neocpu-{self.module.graph.name}",
+                    )
+        return self._scheduler
+
+    def _request_signature(self, inputs: Mapping[str, object]) -> Tuple:
+        """Batching compatibility key: per-sample shapes and dtypes.
+
+        The leading (batch) extent is excluded for batchable graphs, so a
+        2-sample request can share an executor pass with 1-sample requests —
+        they concatenate along the same axis.
+        """
+        items = []
+        for name in sorted(inputs):
+            value = inputs[name]
+            shape = tuple(np.shape(value.data if isinstance(value, Tensor) else value))
+            dtype = getattr(value, "dtype", None)
+            if dtype is None:
+                dtype = np.asarray(value).dtype
+            items.append((name, shape[1:] if self.batchable else shape, str(dtype)))
+        return tuple(items)
+
+    def _coerce(self, name: str, value) -> np.ndarray:
+        """A request input as the plain array the executor would see."""
+        if isinstance(value, Tensor):
+            return value.data
+        spec = self._input_specs.get(name)
+        dtype = spec.dtype.name if spec is not None else None
+        return np.asarray(value, dtype=dtype)
+
+    def _execute_group(
+        self, requests: List[Mapping[str, np.ndarray]]
+    ) -> List[List[np.ndarray]]:
+        """Runner for the scheduler: one executor pass per coalesced group.
+
+        A single request goes straight to the executor.  A group is stacked
+        along the batch axis into reusable staging buffers, executed once,
+        and the outputs are split back per request — each request receives
+        an owned copy so no response aliases the shared batch output.
+        """
+        if len(requests) == 1:
+            return [self._executor.run(requests[0])]
+
+        anchor = next(iter(self._input_specs))
+        counts = [
+            int(np.shape(self._coerce(anchor, request[anchor]))[0])
+            for request in requests
+        ]
+        total = sum(counts)
+        stacked: dict = {}
+        staged: List[np.ndarray] = []
+        try:
+            for name in self._input_specs:
+                arrays = [self._coerce(name, request[name]) for request in requests]
+                buffer = self._buffers.acquire(
+                    (total,) + tuple(arrays[0].shape[1:]), arrays[0].dtype
+                )
+                staged.append(buffer)
+                np.concatenate(arrays, axis=0, out=buffer)
+                stacked[name] = buffer
+            outputs = self._executor.run(stacked)
+            for out in outputs:
+                if np.shape(out)[0] != total:
+                    raise RuntimeError(
+                        f"batched output has leading extent {np.shape(out)[0]}, "
+                        f"expected {total}; graph is not batch-stackable"
+                    )
+            results: List[List[np.ndarray]] = []
+            offset = 0
+            for count in counts:
+                # .copy(), not a view: responses must not alias each other or
+                # the staging buffers (released to the pool below), and one
+                # request's response must not pin the whole batch output.
+                results.append(
+                    [out[offset : offset + count].copy() for out in outputs]
+                )
+                offset += count
+            return results
+        finally:
+            for buffer in staged:
+                self._buffers.release(buffer)
 
     # ------------------------------------------------------------------ #
     # serving
@@ -53,56 +220,101 @@ class InferenceEngine:
     @property
     def requests_served(self) -> int:
         """Total number of inference requests this engine has completed."""
-        return self._requests_served
+        return self.stats().completed
 
-    def run(self, inputs: Mapping[str, np.ndarray]) -> List[np.ndarray]:
-        """Serve one request: input-name -> array mapping, outputs as a list."""
-        outputs = self._executor.run(inputs)
-        with self._lock:
-            self._requests_served += 1
-        return outputs
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        timeout_ms: Optional[float] = None,
+    ) -> List[np.ndarray]:
+        """Serve one request: input-name -> array mapping, outputs as a list.
+
+        Args:
+            inputs: the request.
+            timeout_ms: optional deadline; raises
+                :class:`~repro.api.DeadlineExceeded` when the request cannot
+                be dispatched in time.
+        """
+        return self.scheduler.run(inputs, timeout_ms=timeout_ms)
 
     def run_single(self, **inputs: np.ndarray) -> np.ndarray:
         """Convenience wrapper returning the first output only."""
         return self.run(inputs)[0]
 
     def run_batch(
-        self, requests: Sequence[Mapping[str, np.ndarray]]
+        self,
+        requests: Sequence[Mapping[str, np.ndarray]],
+        timeout_ms: Optional[float] = None,
     ) -> List[List[np.ndarray]]:
-        """Serve a sequence of requests on the same executor.
+        """Serve a request sequence; results in request order.
 
-        Buffer allocation is amortized across the batch: parameters were
-        bound at engine construction and the executor reuses its cached
-        constant tensors for every request, so each element only pays for the
-        actual operator computation.
+        The whole sequence is submitted up front, so shape-compatible
+        requests coalesce into stacked executor passes.  A failing request
+        re-raises its original worker exception with ``request_index`` set to
+        its position in ``requests``.
         """
-        return [self.run(request) for request in requests]
+        return self._collect(self.scheduler.submit_all(requests, timeout_ms=timeout_ms))
 
     def serve_concurrent(
         self,
         requests: Sequence[Mapping[str, np.ndarray]],
         max_workers: Optional[int] = None,
+        timeout_ms: Optional[float] = None,
     ) -> List[List[np.ndarray]]:
-        """Serve many requests concurrently on a thread pool.
+        """Serve many requests concurrently through the scheduler.
 
-        Results are returned in request order.  The executor is stateless
-        across runs (each request builds its own value table), so concurrent
-        requests are safe and, the kernels being numpy-bound, overlap well —
-        this is the multi-request throughput mode of the engine.
+        Results are returned in request order and are byte-identical to
+        sequential :meth:`run` calls (the kernels are batch-invariant).
 
         Args:
-            requests: the request list.
-            max_workers: thread-pool size; defaults to
-                ``min(len(requests), cpu_cores of the target)``.
+            requests: the request stream.
+            max_workers: worker-pool sizing hint kept from the PR 2
+                signature.  Honored only when the scheduler has not started
+                yet (its pool is sized once, at creation); afterwards the
+                existing pool is used and the hint is ignored.
+            timeout_ms: optional per-request deadline.
         """
+        if max_workers is not None and self._scheduler is None:
+            with self._scheduler_lock:
+                if self._scheduler is None:
+                    self.num_workers = max(1, int(max_workers))
         if not requests:
             return []
-        if max_workers is None:
-            max_workers = min(len(requests), self.module.cpu.num_cores)
-        if max_workers <= 1 or len(requests) == 1:
-            return self.run_batch(requests)
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(self.run, requests))
+        return self.run_batch(requests, timeout_ms=timeout_ms)
+
+    @staticmethod
+    def _collect(futures) -> List[List[np.ndarray]]:
+        results = []
+        for position, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except Exception as error:
+                # Attribute the failure to its position in this call's
+                # request list (the scheduler tagged the engine-global
+                # submission index; the position is what the caller can use).
+                raise _attach_index(error, position)
+        return results
+
+    def stats(self) -> SchedulerStats:
+        """Scheduler counters: queued/completed/batched/deadline_misses/...
+
+        Returns zeroed stats when no request was ever submitted (the
+        scheduler is created lazily).
+        """
+        if self._scheduler is None:
+            return SchedulerStats()
+        return self._scheduler.stats()
+
+    def close(self, wait: bool = True) -> None:
+        """Drain and shut down the scheduler (no-op if never used)."""
+        if self._scheduler is not None:
+            self._scheduler.close(wait=wait)
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -119,14 +331,22 @@ class InferenceEngine:
         return self.module.estimate_latency_ms(num_threads)
 
     def summary(self) -> str:
+        stats = self.stats()
         lines = [
             f"InferenceEngine({self.module.graph.name} on {self.module.cpu.name})",
-            f"  requests served: {self._requests_served}",
+            f"  requests served: {stats.completed}",
+            f"  dynamic batching: "
+            + (
+                f"on (max_batch_size={self.max_batch_size}, "
+                f"mean batch {stats.mean_batch_size:.2f})"
+                if self.batchable
+                else "off (graph is not batch-stackable)"
+            ),
         ]
         return "\n".join(lines) + "\n" + self.module.summary()
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"InferenceEngine(model={self.module.graph.name!r}, "
-            f"target={self.module.cpu.name!r}, served={self._requests_served})"
+            f"target={self.module.cpu.name!r}, served={self.stats().completed})"
         )

@@ -1,0 +1,420 @@
+"""Dynamic-batching request scheduler for the serving surface.
+
+PR 2's ``serve_concurrent`` was a bare thread-pool map: every request ran
+alone, requests never shared an executor pass, a slow queue meant a silent
+hang, and a worker exception lost track of which request caused it.  This
+module is the real scheduler the ROADMAP called for:
+
+* a **bounded request queue** (:class:`~repro.runtime.threadpool.BoundedQueue`)
+  — submitters block when the queue is at ``queue_depth``, which is the
+  backpressure that keeps a burst from growing tail latency without bound;
+* **per-request deadlines** — a request that cannot be served before its
+  deadline fails fast with :class:`DeadlineExceeded` instead of hanging, and
+  an expired request is dropped *before* execution so it never wastes
+  executor time or poisons the requests behind it;
+* **dynamic batching** — the collector thread coalesces consecutive
+  shape-compatible requests (up to ``max_batch_size``, waiting at most
+  ``batch_timeout_ms`` for stragglers) into one executor pass over the
+  stacked batch.  Per-request :class:`~concurrent.futures.Future` objects
+  keep response order and error attribution exact: each caller observes only
+  its own result or its own exception (tagged with ``request_index``).
+
+The scheduler is deliberately engine-agnostic: it schedules *requests* and
+delegates execution to a ``runner`` callable that maps a list of compatible
+request inputs to a list of per-request outputs.
+:class:`~repro.api.engine.InferenceEngine` supplies a runner that stacks the
+inputs along the batch axis and splits the outputs back — see
+``InferenceEngine._execute_group``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..runtime.threadpool import BoundedQueue
+
+__all__ = [
+    "DeadlineExceeded",
+    "RequestScheduler",
+    "SchedulerStats",
+    "request_signature",
+]
+
+
+class DeadlineExceeded(TimeoutError):
+    """A request missed its deadline before it could be served.
+
+    Raised (via the request's future) when the request expired while queued,
+    or when the bounded queue stayed full past the deadline.  The request is
+    discarded without executing; requests behind it are unaffected.
+    """
+
+
+def request_signature(inputs: Mapping[str, object]) -> Tuple:
+    """Default batching signature: input names with full shapes and dtypes.
+
+    Two requests may share one executor pass only if their signatures are
+    equal.  The engine overrides this with a batch-axis-insensitive variant
+    (shape minus the leading extent) for graphs that can be stacked.
+    """
+    items = []
+    for name in sorted(inputs):
+        value = inputs[name]
+        dtype = getattr(value, "dtype", None)
+        if dtype is None:
+            value = np.asarray(value)
+            dtype = value.dtype
+        items.append((name, tuple(np.shape(value)), str(dtype)))
+    return tuple(items)
+
+
+@dataclass
+class SchedulerStats:
+    """Counters exposed through :meth:`RequestScheduler.stats`.
+
+    ``queued`` counts every accepted request; each of them ends up in exactly
+    one of ``completed``, ``failed`` or ``deadline_misses``.  ``batches`` and
+    ``batched`` describe coalescing quality: ``batched`` is the number of
+    requests that shared an executor pass with at least one other request,
+    and ``mean_batch_size`` is requests-per-executor-pass (1.0 means the
+    scheduler never managed to coalesce anything).
+    """
+
+    queued: int = 0
+    completed: int = 0
+    failed: int = 0
+    deadline_misses: int = 0
+    batched: int = 0
+    batches: int = 0
+    executed: int = 0
+    max_batch_size: int = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Requests accepted but not yet resolved."""
+        return self.queued - self.completed - self.failed - self.deadline_misses
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests per executor dispatch."""
+        return self.executed / self.batches if self.batches else 0.0
+
+
+class _Request:
+    __slots__ = ("inputs", "future", "deadline", "index", "signature")
+
+    def __init__(self, inputs, future, deadline, index, signature) -> None:
+        self.inputs = inputs
+        self.future = future
+        self.deadline = deadline
+        self.index = index
+        self.signature = signature
+
+
+def _attach_index(error: BaseException, index: int) -> BaseException:
+    """Tag an exception with the index of the request that raised it."""
+    try:
+        error.request_index = index
+    except AttributeError:  # exceptions with __slots__: degrade gracefully
+        pass
+    return error
+
+
+class RequestScheduler:
+    """Queue, deadline-check and dynamically batch inference requests.
+
+    Args:
+        runner: executes one coalesced group — takes a list of
+            signature-compatible request input mappings, returns one output
+            list per request, in order.  Called from scheduler worker
+            threads; it must be thread-safe.
+        max_batch_size: largest number of requests coalesced into one runner
+            call.  1 disables batching (requests still get queueing and
+            deadlines).
+        batch_timeout_ms: how long the collector waits for additional
+            compatible requests before dispatching a partial batch.  The
+            latency cost of batching is bounded by this knob.
+        queue_depth: bound of the request queue; submitters block (up to
+            their deadline) while the queue is full.
+        num_workers: worker threads executing dispatched batches.  Two by
+            default so a batch can execute while the collector gathers the
+            next one.
+        name: thread-name prefix, for debuggability of stress-test dumps.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[List[Mapping[str, np.ndarray]]], List[List[np.ndarray]]],
+        *,
+        max_batch_size: int = 8,
+        batch_timeout_ms: float = 2.0,
+        queue_depth: int = 256,
+        num_workers: int = 2,
+        signature: Callable[[Mapping[str, object]], Tuple] = request_signature,
+        name: str = "neocpu-scheduler",
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if batch_timeout_ms < 0:
+            raise ValueError("batch_timeout_ms must be >= 0")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._runner = runner
+        self.max_batch_size = max_batch_size
+        self.batch_timeout_s = batch_timeout_ms / 1e3
+        self.queue_depth = queue_depth
+        self._signature = signature
+        self._queue = BoundedQueue(queue_depth)
+        self._stats = SchedulerStats()
+        self._stats_lock = threading.Lock()
+        self._counter = itertools.count()
+        self._closed = False
+        self._workers = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix=f"{name}-worker"
+        )
+        self._collector = threading.Thread(
+            target=self._collect_loop, name=f"{name}-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------ #
+    # submission side
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        timeout_ms: Optional[float] = None,
+    ) -> "Future[List[np.ndarray]]":
+        """Enqueue one request; resolve its future when served.
+
+        Args:
+            inputs: input-name -> array mapping, as for ``InferenceEngine.run``.
+            timeout_ms: per-request deadline.  When the request cannot be
+                *dispatched for execution* within this budget (queue full, or
+                still queued past the deadline), the future fails with
+                :class:`DeadlineExceeded`.  An already-executing request is
+                not interrupted.
+
+        Returns:
+            A future resolving to the request's output list.  Failures carry
+            the original worker exception, tagged with ``request_index``.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        future: "Future[List[np.ndarray]]" = Future()
+        now = time.monotonic()
+        deadline = now + timeout_ms / 1e3 if timeout_ms is not None else None
+        request = _Request(
+            inputs, future, deadline, next(self._counter), self._signature(inputs)
+        )
+        with self._stats_lock:
+            self._stats.queued += 1
+        queue_timeout = None if deadline is None else max(0.0, deadline - now)
+        if not self._queue.put(request, timeout=queue_timeout):
+            if self._queue.closed:
+                self._resolve_error(
+                    request, RuntimeError("scheduler closed while request queued")
+                )
+            else:
+                self._resolve_deadline(request, "request queue stayed full")
+        return future
+
+    def submit_all(
+        self,
+        requests: Sequence[Mapping[str, np.ndarray]],
+        timeout_ms: Optional[float] = None,
+    ) -> List["Future[List[np.ndarray]]"]:
+        """Enqueue a request stream; one future per request, in order."""
+        return [self.submit(request, timeout_ms=timeout_ms) for request in requests]
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        timeout_ms: Optional[float] = None,
+    ) -> List[np.ndarray]:
+        """Submit one request and block for its outputs."""
+        return self.submit(inputs, timeout_ms=timeout_ms).result()
+
+    def stats(self) -> SchedulerStats:
+        """A consistent snapshot of the scheduler counters."""
+        with self._stats_lock:
+            return replace(self._stats)
+
+    # ------------------------------------------------------------------ #
+    # collector / execution side
+    # ------------------------------------------------------------------ #
+    def _collect_loop(self) -> None:
+        while True:
+            # Blocking get: close() wakes the wait, so an idle scheduler
+            # parks here without polling.
+            request = self._queue.get()
+            if request is None:
+                if self._queue.closed and not len(self._queue):
+                    return
+                continue
+            batch = [request]
+            # Gather only when more requests are already queued: a lone
+            # synchronous caller must not pay batch_timeout_ms of latency
+            # waiting for stragglers that cannot arrive (the caller is
+            # blocked on this very request).
+            if self.max_batch_size > 1 and len(self._queue) > 0:
+                self._gather(batch)
+            try:
+                self._workers.submit(self._execute_batch, batch)
+            except RuntimeError as error:  # executor shut down under us
+                for queued in batch:
+                    self._resolve_error(queued, error)
+
+    def _gather(self, batch: List[_Request]) -> None:
+        """Coalesce consecutive compatible requests into ``batch``.
+
+        Strict FIFO: only the queue head is ever considered, so an
+        incompatible request never overtakes (or is overtaken by) the batch
+        being formed — response *dispatch* order is submission order.
+        """
+        signature = batch[0].signature
+        wait_until = time.monotonic() + self.batch_timeout_s
+        while len(batch) < self.max_batch_size:
+            remaining = wait_until - time.monotonic()
+            request, status = self._queue.pop_matching(
+                lambda r: r.signature == signature, timeout=max(0.0, remaining)
+            )
+            if request is not None:
+                batch.append(request)
+                continue
+            if status == "mismatch" or remaining <= 0 or self._closed:
+                return
+
+    def _execute_batch(self, batch: List[_Request]) -> None:
+        now = time.monotonic()
+        live: List[_Request] = []
+        for request in batch:
+            if request.deadline is not None and now > request.deadline:
+                self._resolve_deadline(request, "request expired while queued")
+            elif request.future.set_running_or_notify_cancel():
+                live.append(request)
+            else:  # caller cancelled the future while it was queued
+                with self._stats_lock:
+                    self._stats.failed += 1
+        if not live:
+            return
+        with self._stats_lock:
+            self._stats.batches += 1
+            self._stats.executed += len(live)
+            self._stats.max_batch_size = max(self._stats.max_batch_size, len(live))
+            if len(live) > 1:
+                self._stats.batched += len(live)
+        try:
+            outputs = self._runner([request.inputs for request in live])
+            if len(outputs) != len(live):
+                raise RuntimeError(
+                    f"runner returned {len(outputs)} results for {len(live)} requests"
+                )
+        except BaseException as error:
+            # BaseException, not Exception: a KeyboardInterrupt/SystemExit
+            # raised into a worker must still resolve the futures, or every
+            # caller blocked on result() hangs forever.
+            if not isinstance(error, Exception):
+                for request in live:
+                    self._resolve_error(request, error)
+                raise
+            if len(live) == 1:
+                self._resolve_error(live[0], error)
+            else:
+                # One request of the batch is bad (wrong input name, shape
+                # drift, NaN guard, ...), but a coalesced execution cannot
+                # say which.  Re-run each request alone: the offender fails
+                # with its own exception and index, the rest complete.
+                for request in live:
+                    self._execute_single(request)
+        else:
+            for request, out in zip(live, outputs):
+                self._resolve_ok(request, out)
+
+    def _execute_single(self, request: _Request) -> None:
+        try:
+            outputs = self._runner([request.inputs])
+        except BaseException as error:
+            self._resolve_error(request, error)
+            if not isinstance(error, Exception):
+                raise
+        else:
+            self._resolve_ok(request, outputs[0])
+
+    # ------------------------------------------------------------------ #
+    # resolution helpers
+    # ------------------------------------------------------------------ #
+    def _resolve_ok(self, request: _Request, outputs: List[np.ndarray]) -> None:
+        with self._stats_lock:
+            self._stats.completed += 1
+        try:
+            request.future.set_result(outputs)
+        except InvalidStateError:  # pragma: no cover - cancelled mid-flight
+            pass
+
+    def _resolve_error(self, request: _Request, error: BaseException) -> None:
+        with self._stats_lock:
+            self._stats.failed += 1
+        try:
+            request.future.set_exception(_attach_index(error, request.index))
+        except InvalidStateError:  # pragma: no cover - cancelled mid-flight
+            pass
+
+    def _resolve_deadline(self, request: _Request, reason: str) -> None:
+        with self._stats_lock:
+            self._stats.deadline_misses += 1
+        try:
+            request.future.set_exception(
+                _attach_index(
+                    DeadlineExceeded(f"request {request.index}: {reason}"),
+                    request.index,
+                )
+            )
+        except InvalidStateError:  # pragma: no cover - cancelled mid-flight
+            pass
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and shut the scheduler down.
+
+        Already-queued requests are still served (the collector drains the
+        queue before exiting); with ``wait=True`` the call blocks until every
+        in-flight request resolved.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.close()
+        if wait:
+            self._collector.join(timeout=30.0)
+        self._workers.shutdown(wait=wait)
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown path
+        try:
+            self.close(wait=False)
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        stats = self.stats()
+        return (
+            f"RequestScheduler(max_batch_size={self.max_batch_size}, "
+            f"batch_timeout_ms={self.batch_timeout_s * 1e3:g}, "
+            f"queue_depth={self.queue_depth}, queued={stats.queued}, "
+            f"mean_batch={stats.mean_batch_size:.2f})"
+        )

@@ -26,7 +26,21 @@ def dense(
         raise ValueError(
             f"dense weight shape {weight.shape} incompatible with input {data.shape}"
         )
-    out = data @ weight.T
+    if data.shape[0] <= 1:
+        out = data @ weight.T
+    else:
+        # Row-at-a-time matmul keeps the result batch-invariant: each row goes
+        # through the exact (1, I) @ (I, O) BLAS call a single-request
+        # execution makes, whereas a full (N, I) gemm may pick a different
+        # kernel (and accumulation order) per N.  The serving scheduler relies
+        # on this to keep dynamically batched outputs byte-identical to
+        # sequential runs; the dense layers of the model zoo are a negligible
+        # slice of inference time, so the per-row dispatch overhead is noise.
+        out = np.empty(
+            (data.shape[0], weight.shape[0]), dtype=np.result_type(data, weight)
+        )
+        for row in range(data.shape[0]):
+            out[row] = data[row : row + 1] @ weight.T
     if bias is not None:
         out = out + bias.reshape(1, -1)
     return out

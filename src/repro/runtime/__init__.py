@@ -14,11 +14,20 @@ from .artifact import (
 from .executor import GraphExecutor, initialize_parameters
 from .module import CompiledModule
 from .profiler import Timer, format_report, time_callable, top_costs
-from .threadpool import SPSCQueue, ThreadPool, parallel_for, static_partition
+from .threadpool import (
+    BoundedQueue,
+    BufferPool,
+    SPSCQueue,
+    ThreadPool,
+    parallel_for,
+    static_partition,
+)
 
 __all__ = [
     "ARTIFACT_VERSION",
     "ArtifactError",
+    "BoundedQueue",
+    "BufferPool",
     "CompiledModule",
     "GraphExecutor",
     "SPSCQueue",

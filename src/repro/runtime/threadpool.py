@@ -21,11 +21,21 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-__all__ = ["SPSCQueue", "ThreadPool", "parallel_for", "static_partition"]
+import numpy as np
+
+__all__ = [
+    "BoundedQueue",
+    "BufferPool",
+    "SPSCQueue",
+    "ThreadPool",
+    "parallel_for",
+    "static_partition",
+]
 
 
 class SPSCQueue:
@@ -62,6 +72,143 @@ class SPSCQueue:
 
     def __len__(self) -> int:
         return len(self._items)
+
+
+class BoundedQueue:
+    """A bounded multi-producer single-consumer FIFO.
+
+    This is the request queue of the serving scheduler
+    (:class:`repro.api.scheduler.RequestScheduler`): many submitter threads
+    :meth:`put` concurrently, one collector thread consumes.  ``put`` blocks
+    while the queue is at capacity — that is the backpressure that keeps a
+    traffic burst from growing the queue (and the tail latency) without bound
+    — and both sides honor timeouts so a caller with a deadline is never
+    parked forever.
+
+    Unlike :class:`SPSCQueue`, every operation takes the lock: with multiple
+    producers the lock-free deque trick no longer applies, and the consumer
+    needs an atomic look-at-head-then-pop (:meth:`pop_matching`) to gather
+    shape-compatible requests without reordering the stream.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._mutex = threading.Lock()
+        self._not_full = threading.Condition(self._mutex)
+        self._not_empty = threading.Condition(self._mutex)
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item, timeout: Optional[float] = None) -> bool:
+        """Enqueue ``item``, blocking while the queue is full.
+
+        Returns True on success, False when the queue stayed full past
+        ``timeout`` or was closed while waiting.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._mutex:
+            while len(self._items) >= self.capacity:
+                if self._closed:
+                    return False
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._not_full.wait(remaining)
+            if self._closed:
+                return False
+            self._items.append(item)
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = None):
+        """Dequeue the head item, or return None on timeout / closed-and-empty."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._mutex:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def pop_matching(
+        self, predicate: Callable[[object], bool], timeout: Optional[float] = None
+    ) -> Tuple[Optional[object], str]:
+        """Pop the head item only if ``predicate(head)`` holds.
+
+        Waits up to ``timeout`` for an item to arrive when empty.  Returns
+        ``(item, "ok")`` on a match, ``(None, "mismatch")`` when the head
+        exists but does not match (it stays queued, FIFO order preserved), and
+        ``(None, "empty")`` on timeout or close.  This is the batching
+        collector's gather step: coalesce *consecutive* compatible requests,
+        stop at the first incompatible one.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._mutex:
+            while not self._items:
+                if self._closed:
+                    return None, "empty"
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None, "empty"
+                self._not_empty.wait(remaining)
+            if not predicate(self._items[0]):
+                return None, "mismatch"
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item, "ok"
+
+    def close(self) -> None:
+        """Refuse further puts and wake every waiter; queued items stay readable."""
+        with self._mutex:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class BufferPool:
+    """Reusable numpy buffers, keyed by (shape, dtype).
+
+    The scheduler coalesces requests by concatenating their input arrays into
+    one batch array per graph input; without reuse every dispatched batch
+    allocates (and garbage-collects) those staging arrays.  The pool checks
+    buffers out per batch — concurrent batches of the same signature each get
+    their own array, so an in-flight executor run never shares a buffer —
+    and keeps up to ``max_free`` released buffers per key for the next batch.
+    """
+
+    def __init__(self, max_free: int = 4) -> None:
+        self._free: dict = {}
+        self._mutex = threading.Lock()
+        self._max_free = max_free
+
+    def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (tuple(int(d) for d in shape), str(dtype))
+        with self._mutex:
+            stack = self._free.get(key)
+            if stack:
+                return stack.pop()
+        return np.empty(key[0], dtype=key[1])
+
+    def release(self, buffer: np.ndarray) -> None:
+        key = (tuple(buffer.shape), str(buffer.dtype))
+        with self._mutex:
+            stack = self._free.setdefault(key, [])
+            if len(stack) < self._max_free:
+                stack.append(buffer)
 
 
 @dataclass

@@ -1,11 +1,13 @@
 """Tests for the public session/serving API (repro.api) and its caches."""
 
+import json
 import pickle
 
 import numpy as np
 import pytest
 
 from repro.api import (
+    ArtifactError,
     CompileConfig,
     CompiledModule,
     InferenceEngine,
@@ -19,6 +21,65 @@ from repro.runtime import GraphExecutor, read_manifest
 from repro.schedule import ConvWorkload
 
 from tests.conftest import build_tiny_cnn
+
+
+_ARTIFACT_MAGIC = b"NEOCPU-ARTIFACT\n"
+
+
+def _split_artifact(path):
+    """(magic, manifest-line bytes, pickle payload) of an artifact file."""
+    data = path.read_bytes()
+    assert data.startswith(_ARTIFACT_MAGIC)
+    rest = data[len(_ARTIFACT_MAGIC):]
+    newline = rest.index(b"\n")
+    return _ARTIFACT_MAGIC, rest[: newline + 1], rest[newline + 1:]
+
+
+def _tamper_manifest(path, **overrides):
+    """Rewrite manifest fields while keeping the payload byte-identical."""
+    magic, manifest_line, payload = _split_artifact(path)
+    manifest = json.loads(manifest_line.decode("utf-8"))
+    manifest.update(overrides)
+    path.write_bytes(
+        magic + json.dumps(manifest, sort_keys=True).encode("utf-8") + b"\n" + payload
+    )
+
+
+def _corrupt_truncate_payload(path):
+    path.write_bytes(path.read_bytes()[:-200])
+
+
+def _corrupt_wrong_magic(path):
+    data = path.read_bytes()
+    path.write_bytes(b"TOTALLY-NOT-CNN\n" + data[len(_ARTIFACT_MAGIC):])
+
+
+def _corrupt_garbage_manifest(path):
+    magic, _, payload = _split_artifact(path)
+    path.write_bytes(magic + b'{"artifact_version": 1, oops\n' + payload)
+
+
+def _corrupt_fingerprint(path):
+    _tamper_manifest(path, fingerprint="0" * 64)
+
+
+def _corrupt_format_version(path):
+    _tamper_manifest(path, artifact_version=999)
+
+
+CORRUPTIONS = [
+    ("truncated-payload", _corrupt_truncate_payload),
+    ("wrong-magic", _corrupt_wrong_magic),
+    ("garbage-manifest", _corrupt_garbage_manifest),
+    ("fingerprint-mismatch", _corrupt_fingerprint),
+    ("format-version-bump", _corrupt_format_version),
+]
+
+
+@pytest.fixture(params=CORRUPTIONS, ids=[name for name, _ in CORRUPTIONS])
+def corruption(request):
+    """One (name, corrupting function) pair of the artifact corruption matrix."""
+    return request.param
 
 
 @pytest.fixture
@@ -148,6 +209,48 @@ class TestArtifactCache:
         # even when a matching artifact exists.
         assert module.graph is graph
         assert "batch_norm" not in graph.op_histogram()
+
+    def test_artifact_corruption_matrix_load_never_mis_serves(
+        self, skylake, tmp_path, corruption
+    ):
+        """Every way an artifact can rot must raise, never silently serve."""
+        _, corrupt = corruption
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        path = tmp_path / "tiny.neocpu"
+        fingerprint = module.fingerprint or "fp"
+        module.save(path, fingerprint=fingerprint)
+        corrupt(path)
+        with pytest.raises(ArtifactError):
+            CompiledModule.load(path, expected_fingerprint=fingerprint)
+
+    def test_artifact_corruption_matrix_optimizer_recompiles(
+        self, skylake, tmp_path, tiny_input, corruption
+    ):
+        """A corrupt cache entry recompiles transparently — same outputs."""
+        _, corrupt = corruption
+        optimizer = Optimizer(skylake, cache_dir=tmp_path)
+        module = optimizer.compile(build_tiny_cnn())
+        expected = InferenceEngine(module, seed=7).run({"data": tiny_input})[0]
+
+        (artifact,) = (tmp_path / Optimizer.MODULE_CACHE_DIRNAME).iterdir()
+        corrupt(artifact)
+        recompiled = Optimizer(skylake, cache_dir=tmp_path).compile(build_tiny_cnn())
+        assert recompiled.schedules == module.schedules
+        served = InferenceEngine(recompiled, seed=7).run({"data": tiny_input})[0]
+        np.testing.assert_array_equal(served, expected)
+        # The recompile also healed the cache: the artifact loads again.
+        (healed,) = (tmp_path / Optimizer.MODULE_CACHE_DIRNAME).iterdir()
+        assert CompiledModule.load(healed).schedules == module.schedules
+
+    def test_tampered_fingerprint_is_stale_not_served(self, skylake, tmp_path):
+        """Fingerprint tampering specifically raises StaleArtifactError."""
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        path = tmp_path / "tiny.neocpu"
+        fingerprint = module.fingerprint or "fp"
+        module.save(path, fingerprint=fingerprint)
+        _tamper_manifest(path, fingerprint="0" * 64)
+        with pytest.raises(StaleArtifactError):
+            CompiledModule.load(path, expected_fingerprint=fingerprint)
 
     def test_stale_artifact_recompiles_fresh(self, skylake, tmp_path):
         optimizer = Optimizer(skylake, cache_dir=tmp_path)

@@ -9,6 +9,8 @@ import pytest
 from repro.core import CompileConfig, OptLevel, compile_graph
 from repro.costmodel import OPENMP, THREAD_POOL
 from repro.runtime import (
+    BoundedQueue,
+    BufferPool,
     GraphExecutor,
     SPSCQueue,
     ThreadPool,
@@ -112,6 +114,85 @@ class TestSPSCQueue:
         queue.push("item")
         thread.join(timeout=2)
         assert result == ["item"]
+
+
+class TestBoundedQueue:
+    def test_fifo_order_and_len(self):
+        queue = BoundedQueue(8)
+        for i in range(5):
+            assert queue.put(i, timeout=0.1)
+        assert len(queue) == 5
+        assert [queue.get(timeout=0.1) for _ in range(5)] == list(range(5))
+
+    def test_put_times_out_when_full(self):
+        queue = BoundedQueue(1)
+        assert queue.put("a", timeout=0.1)
+        start = time.monotonic()
+        assert not queue.put("b", timeout=0.05)  # backpressure, not a hang
+        assert time.monotonic() - start < 2.0
+
+    def test_blocked_put_wakes_when_consumer_drains(self):
+        queue = BoundedQueue(1)
+        queue.put("a")
+        done = []
+
+        def producer():
+            done.append(queue.put("b", timeout=5.0))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert queue.get(timeout=1.0) == "a"
+        thread.join(timeout=2)
+        assert done == [True]
+        assert queue.get(timeout=1.0) == "b"
+
+    def test_pop_matching_respects_head_only(self):
+        queue = BoundedQueue(4)
+        queue.put("apple")
+        queue.put("banana")
+        item, status = queue.pop_matching(lambda x: x == "banana", timeout=0.0)
+        assert (item, status) == (None, "mismatch")  # banana must wait its turn
+        item, status = queue.pop_matching(lambda x: x == "apple", timeout=0.0)
+        assert (item, status) == ("apple", "ok")
+        item, status = queue.pop_matching(lambda x: x == "banana", timeout=0.0)
+        assert (item, status) == ("banana", "ok")
+        item, status = queue.pop_matching(lambda x: True, timeout=0.0)
+        assert (item, status) == (None, "empty")
+
+    def test_close_wakes_getters_and_refuses_puts(self):
+        queue = BoundedQueue(2)
+        queue.put("x")
+        queue.close()
+        assert not queue.put("y", timeout=0.1)
+        assert queue.get(timeout=0.1) == "x"  # queued items stay readable
+        assert queue.get(timeout=0.1) is None
+
+
+class TestBufferPool:
+    def test_buffers_are_reused_after_release(self):
+        pool = BufferPool()
+        first = pool.acquire((4, 3), "float32")
+        assert first.shape == (4, 3) and str(first.dtype) == "float32"
+        pool.release(first)
+        again = pool.acquire((4, 3), "float32")
+        assert again is first
+
+    def test_concurrent_checkouts_get_distinct_buffers(self):
+        pool = BufferPool()
+        a = pool.acquire((2, 2), "float32")
+        b = pool.acquire((2, 2), "float32")
+        assert a is not b
+        pool.release(a)
+        pool.release(b)
+
+    def test_free_list_is_bounded(self):
+        pool = BufferPool(max_free=1)
+        a = pool.acquire((2,), "float32")
+        b = pool.acquire((2,), "float32")
+        pool.release(a)
+        pool.release(b)  # beyond max_free: dropped, not hoarded
+        assert len(pool._free[((2,), "float32")]) == 1
 
 
 class TestThreadPool:

@@ -1,0 +1,322 @@
+"""Concurrency stress suite for the dynamic-batching request scheduler.
+
+The scheduler is the hardest code in the serving surface to trust: it mixes
+threads, a bounded queue, deadlines and request coalescing, and a bug shows
+up as a wrong *response pairing* or a hang rather than a crash.  This suite
+pins down the contracts the engine relies on:
+
+* a deep in-flight stream (64+ requests) preserves request -> response
+  pairing, and every coalesced response is byte-identical to a sequential
+  ``run`` (the kernels are batch-invariant);
+* expired deadlines raise :class:`DeadlineExceeded` without poisoning the
+  queue — requests behind the expired one still complete;
+* a failing request surfaces its *own* exception, tagged with its request
+  index, while the rest of the stream completes.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DeadlineExceeded,
+    InferenceEngine,
+    Optimizer,
+    RequestScheduler,
+)
+from repro.api.engine import _graph_is_batchable
+from repro.graph import GraphBuilder, infer_shapes
+from repro.runtime import GraphExecutor
+
+from tests.conftest import build_tiny_cnn
+
+RESULT_TIMEOUT_S = 60.0  # generous guard so a scheduler bug fails, not hangs
+
+
+# --------------------------------------------------------------------------- #
+# scheduler unit tests (stub runners, no compiled module)
+# --------------------------------------------------------------------------- #
+class RecordingRunner:
+    """Echo runner that records the size of every dispatched group."""
+
+    def __init__(self):
+        self.batch_sizes = []
+        self._lock = threading.Lock()
+
+    def __call__(self, requests):
+        with self._lock:
+            self.batch_sizes.append(len(requests))
+        return [[np.asarray(request["x"], dtype=np.float64) * 2] for request in requests]
+
+
+class GatedRunner(RecordingRunner):
+    """Runner that blocks every dispatch until released (deadline tests)."""
+
+    def __init__(self):
+        super().__init__()
+        self.release = threading.Event()
+
+    def __call__(self, requests):
+        assert self.release.wait(RESULT_TIMEOUT_S), "test forgot to release the gate"
+        return super().__call__(requests)
+
+
+def make_request(value, n=3):
+    return {"x": np.full((1, n), value, dtype=np.float64)}
+
+
+class TestRequestScheduler:
+    def test_coalesces_compatible_requests(self):
+        runner = RecordingRunner()
+        with RequestScheduler(
+            runner, max_batch_size=16, batch_timeout_ms=200.0
+        ) as scheduler:
+            futures = scheduler.submit_all([make_request(i) for i in range(16)])
+            results = [f.result(timeout=RESULT_TIMEOUT_S) for f in futures]
+        for i, outputs in enumerate(results):
+            np.testing.assert_array_equal(outputs[0], np.full((1, 3), 2.0 * i))
+        # 16 identically-shaped requests submitted at once must coalesce into
+        # far fewer executor passes than 16 (the first may dispatch alone).
+        assert sum(runner.batch_sizes) == 16
+        assert max(runner.batch_sizes) > 1
+        stats = scheduler.stats()
+        assert stats.queued == stats.completed == 16
+        assert stats.batched > 0 and stats.mean_batch_size > 1.0
+
+    def test_incompatible_shapes_never_share_a_batch(self):
+        seen = []
+        lock = threading.Lock()
+
+        def runner(requests):
+            with lock:
+                seen.append({np.shape(r["x"]) for r in requests})
+            return [[np.asarray(r["x"])] for r in requests]
+
+        with RequestScheduler(runner, max_batch_size=8, batch_timeout_ms=50.0) as sched:
+            futures = sched.submit_all(
+                [make_request(i, n=3 if i % 2 else 5) for i in range(12)]
+            )
+            for f in futures:
+                f.result(timeout=RESULT_TIMEOUT_S)
+        for shapes in seen:
+            assert len(shapes) == 1  # every dispatched group is homogeneous
+
+    def test_expired_deadline_raises_without_poisoning_the_queue(self):
+        runner = GatedRunner()
+        scheduler = RequestScheduler(
+            runner, max_batch_size=1, batch_timeout_ms=0.0, num_workers=1
+        )
+        try:
+            blocker = scheduler.submit(make_request(0.0))
+            # The worker is gated, so this request's 20 ms budget expires
+            # while it waits behind the blocker.
+            doomed = scheduler.submit(make_request(1.0), timeout_ms=20.0)
+            survivor = scheduler.submit(make_request(2.0))  # no deadline
+            time.sleep(0.05)
+            runner.release.set()
+
+            blocker.result(timeout=RESULT_TIMEOUT_S)
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=RESULT_TIMEOUT_S)
+            # The miss did not poison the queue: the request behind it and a
+            # fresh submission both complete normally.
+            np.testing.assert_array_equal(
+                survivor.result(timeout=RESULT_TIMEOUT_S)[0], np.full((1, 3), 4.0)
+            )
+            np.testing.assert_array_equal(
+                scheduler.run(make_request(3.0))[0], np.full((1, 3), 6.0)
+            )
+            stats = scheduler.stats()
+            assert stats.deadline_misses == 1
+            assert stats.completed == 3
+        finally:
+            runner.release.set()
+            scheduler.close()
+
+    def test_failing_request_in_batch_is_attributed_rest_complete(self):
+        def runner(requests):
+            outputs = []
+            for request in requests:
+                if float(request["x"][0, 0]) == 7.0:
+                    raise ValueError("poisoned request")
+                outputs.append([np.asarray(request["x"])])
+            return outputs
+
+        with RequestScheduler(runner, max_batch_size=16, batch_timeout_ms=100.0) as sched:
+            futures = sched.submit_all([make_request(i) for i in range(12)])
+            for i, future in enumerate(futures):
+                if i == 7:
+                    with pytest.raises(ValueError, match="poisoned") as excinfo:
+                        future.result(timeout=RESULT_TIMEOUT_S)
+                    assert excinfo.value.request_index == 7
+                else:
+                    outputs = future.result(timeout=RESULT_TIMEOUT_S)
+                    np.testing.assert_array_equal(outputs[0], np.full((1, 3), float(i)))
+        stats = sched.stats()
+        assert stats.failed == 1 and stats.completed == 11
+
+    def test_runner_result_count_mismatch_is_surfaced(self):
+        def runner(requests):
+            return []  # broken runner: wrong arity
+
+        with RequestScheduler(runner, max_batch_size=1) as sched:
+            with pytest.raises(RuntimeError, match="returned 0 results"):
+                sched.run(make_request(1.0))
+
+    def test_close_drains_queued_requests_then_refuses_new_ones(self):
+        runner = RecordingRunner()
+        scheduler = RequestScheduler(runner, max_batch_size=4, batch_timeout_ms=5.0)
+        futures = scheduler.submit_all([make_request(i) for i in range(8)])
+        scheduler.close()
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(
+                future.result(timeout=RESULT_TIMEOUT_S)[0], np.full((1, 3), 2.0 * i)
+            )
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.submit(make_request(0.0))
+        scheduler.close()  # idempotent
+
+    def test_rejects_nonsensical_knobs(self):
+        runner = RecordingRunner()
+        with pytest.raises(ValueError):
+            RequestScheduler(runner, max_batch_size=0)
+        with pytest.raises(ValueError):
+            RequestScheduler(runner, batch_timeout_ms=-1.0)
+        with pytest.raises(ValueError):
+            RequestScheduler(runner, num_workers=0)
+
+
+# --------------------------------------------------------------------------- #
+# engine-level stress tests (real compiled module)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def tiny_module():
+    return Optimizer("skylake").compile(build_tiny_cnn())
+
+
+def tiny_requests(count, seed=11):
+    rng = np.random.default_rng(seed)
+    return [
+        {"data": rng.standard_normal((1, 3, 16, 16)).astype(np.float32)}
+        for _ in range(count)
+    ]
+
+
+class TestEngineStress:
+    def test_64_in_flight_requests_ordering_and_byte_identity(self, tiny_module):
+        requests = tiny_requests(64)
+        reference = GraphExecutor(tiny_module.graph, seed=5)
+        expected = [reference.run(request) for request in requests]
+
+        with InferenceEngine(tiny_module, seed=5, max_batch_size=8) as engine:
+            futures = engine.scheduler.submit_all(requests)  # all 64 in flight
+            results = [f.result(timeout=RESULT_TIMEOUT_S) for f in futures]
+            stats = engine.stats()
+
+        for want, got in zip(expected, results):
+            assert len(want) == len(got)
+            for expected_out, out in zip(want, got):
+                np.testing.assert_array_equal(out, expected_out)
+        assert stats.completed == 64
+        # With 64 requests in flight the collector must actually coalesce.
+        assert stats.batched > 0
+        assert stats.mean_batch_size > 1.0
+        assert stats.max_batch_size <= 8
+
+    def test_mixed_batch_extents_coalesce_and_split_correctly(self, tiny_module):
+        rng = np.random.default_rng(3)
+        requests = [
+            {"data": rng.standard_normal((n, 3, 16, 16)).astype(np.float32)}
+            for n in [1, 2, 1, 3, 1, 2, 1, 1]
+        ]
+        reference = GraphExecutor(tiny_module.graph, seed=0)
+        expected = [reference.run(request) for request in requests]
+        with InferenceEngine(tiny_module, seed=0, batch_timeout_ms=50.0) as engine:
+            results = engine.serve_concurrent(requests)
+        for want, got in zip(expected, results):
+            np.testing.assert_array_equal(got[0], want[0])
+
+    def test_failing_request_index_rest_complete(self, tiny_module):
+        requests = tiny_requests(16)
+        bad_index = 9
+        requests[bad_index] = {"data": np.zeros((1, 3, 7, 7), np.float32)}  # bad shape
+
+        with InferenceEngine(tiny_module, seed=5) as engine:
+            futures = engine.scheduler.submit_all(requests)
+            failures, completions = 0, 0
+            for i, future in enumerate(futures):
+                try:
+                    outputs = future.result(timeout=RESULT_TIMEOUT_S)
+                except Exception as error:
+                    failures += 1
+                    assert i == bad_index
+                    assert getattr(error, "request_index", None) is not None
+                else:
+                    completions += 1
+                    assert outputs[0].shape == (1, 10)
+        assert failures == 1 and completions == 15
+
+    def test_run_batch_reraises_with_request_position(self, tiny_module):
+        requests = tiny_requests(6)
+        requests[4] = {"wrong_name": requests[4]["data"]}
+        with InferenceEngine(tiny_module, seed=5) as engine:
+            with pytest.raises(KeyError) as excinfo:
+                engine.run_batch(requests)
+            assert excinfo.value.request_index == 4
+
+    def test_deadline_miss_does_not_poison_engine_queue(self, tiny_module):
+        requests = tiny_requests(4)
+        with InferenceEngine(tiny_module, seed=5) as engine:
+            baseline = engine.run(requests[0])
+            with pytest.raises(DeadlineExceeded):
+                engine.run(requests[0], timeout_ms=0.0)
+            after = engine.run(requests[0])
+            np.testing.assert_array_equal(after[0], baseline[0])
+            stats = engine.stats()
+            assert stats.deadline_misses == 1
+            assert stats.completed == 2
+
+    def test_non_batchable_graph_falls_back_to_serial_scheduling(self):
+        builder = GraphBuilder("fixed_batch_net")
+        data = builder.input("data", (1, 3, 8, 8))
+        x = builder.conv2d(data, 8, 3, padding=1, name="conv")
+        x = builder.relu(x)
+        x = builder.global_avg_pool2d(x)
+        x = builder.flatten(x)
+        x = builder.dense(x, 10, name="fc")
+        x = builder.reshape(x, (1, 10), name="fix")  # literal batch extent
+        graph = builder.build(x)
+        infer_shapes(graph)
+        assert not _graph_is_batchable(graph)
+
+        module = Optimizer("skylake").compile(graph)
+        rng = np.random.default_rng(2)
+        requests = [
+            {"data": rng.standard_normal((1, 3, 8, 8)).astype(np.float32)}
+            for _ in range(8)
+        ]
+        with InferenceEngine(module, seed=1) as engine:
+            assert not engine.batchable
+            expected = [engine.run(request) for request in requests]
+            results = engine.serve_concurrent(requests)
+            stats = engine.stats()
+        for want, got in zip(expected, results):
+            np.testing.assert_array_equal(got[0], want[0])
+        assert stats.batched == 0  # every request executed alone
+        assert stats.max_batch_size == 1
+
+    def test_batchable_probe_accepts_the_test_cnn(self, tiny_module):
+        assert _graph_is_batchable(tiny_module.graph)
+
+    def test_stats_summary_and_lazy_scheduler(self, tiny_module):
+        engine = InferenceEngine(tiny_module, seed=5)
+        # No scheduler threads before first use; stats still readable.
+        assert engine._scheduler is None
+        assert engine.stats().queued == 0
+        assert "dynamic batching: on" in engine.summary()
+        engine.run(tiny_requests(1)[0])
+        assert engine.requests_served == 1
+        engine.close()
+        engine.close()  # idempotent
