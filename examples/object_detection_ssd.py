@@ -27,6 +27,15 @@ def compile_ssd():
     module = optimizer.compile("ssd-resnet-50")
     print(module.summary())
 
+    # The detection-head reshapes declare -1 batch extents, so the compiled
+    # graph keeps a free leading batch dim: an InferenceEngine over this
+    # module reports batchable=True and coalesces concurrent SSD requests
+    # exactly like the classification models.
+    from repro.api import batchability_report
+
+    assert batchability_report(module.graph) is None
+    print("\nbatch-stackable: yes (detection heads carry a free batch dim)")
+
     report = module.profile()
     categories = report.by_category()
     detection_ms = categories.get("detection", 0.0) * 1e3

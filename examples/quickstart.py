@@ -87,6 +87,12 @@ def main():
     # batch-invariant, so the coalesced responses are byte-identical to
     # sequential run() calls.  A per-request deadline (timeout_ms) turns an
     # overloaded queue into a fast DeadlineExceeded instead of a hang.
+    # Graphs are batch-polymorphic — the leading extent is a free batch dim,
+    # so requests of any batch extent stack (this holds for every zoo model,
+    # SSD's detection heads included: their reshapes declare -1 batch dims).
+    # describe() shows the batchability verdict — and, for a graph that
+    # cannot be stacked, names the node that broke it.
+    print(engine.describe())
     rng = np.random.default_rng(1)
     requests = [
         {"data": rng.standard_normal((1, 3, 32, 32)).astype(np.float32)}

@@ -24,7 +24,7 @@ Most programs need only this package::
 from ..core.config import CompileConfig, OptLevel
 from ..runtime.artifact import ArtifactError, StaleArtifactError
 from ..runtime.module import CompiledModule
-from .engine import InferenceEngine
+from .engine import InferenceEngine, batchability_report
 from .optimizer import Optimizer
 from .scheduler import DeadlineExceeded, RequestScheduler, SchedulerStats
 
@@ -38,5 +38,6 @@ __all__ = [
     "Optimizer",
     "RequestScheduler",
     "SchedulerStats",
+    "batchability_report",
     "StaleArtifactError",
 ]

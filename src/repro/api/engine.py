@@ -20,7 +20,7 @@ the stress suite in ``tests/test_scheduler.py`` asserts exactly that.
 from __future__ import annotations
 
 import threading
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,37 +31,92 @@ from ..runtime.threadpool import BufferPool
 from ..tensor.tensor import Tensor
 from .scheduler import RequestScheduler, SchedulerStats, _attach_index
 
-__all__ = ["InferenceEngine"]
+__all__ = ["InferenceEngine", "batchability_report"]
 
 
-def _graph_is_batchable(graph: Graph) -> bool:
-    """Can requests for this graph be coalesced along the batch axis?
+def batchability_report(graph: Graph) -> Optional[str]:
+    """Why requests for this graph cannot be coalesced — or ``None`` if they can.
 
-    True when every input and output carries the batch as its leading,
-    unblocked ``N`` axis and no operator bakes a fixed batch extent into its
-    attributes (a ``reshape`` to a literal ``(1, ...)`` shape, or a
-    ``transpose`` that moves the batch axis, as the SSD detection heads do).
-    Non-batchable graphs still get queueing and deadlines; their requests
-    simply execute one at a time.
+    A graph is *batch-stackable* when the batch axis is a free leading extent
+    end to end: every input and output carries a symbolic batch dim (the
+    builder declares one on any leading, unblocked ``N`` axis, and shape
+    inference propagates it), and no operator folds the batch into another
+    extent — a ``reshape`` to a literal leading shape, a ``-1`` reshape whose
+    wildcard does not resolve to the batch, a ``transpose`` that moves axis
+    0, a ``concat``/``softmax`` along the batch axis.  The first offending
+    node is named so :meth:`InferenceEngine.describe` can say exactly what
+    broke batchability.  Non-batchable graphs still get queueing and
+    deadlines; their requests simply execute one at a time.
     """
-    input_nodes = [node for node in graph.topological_order() if node.is_input]
-    for node in input_nodes + list(graph.outputs):
-        spec = node.spec
-        if spec is None:
-            return False
-        axes = spec.layout.primal_axes
-        if not axes or axes[0] != "N" or spec.layout.has_axis("n"):
-            return False
     for node in graph.topological_order():
+        if node.is_input:
+            spec = node.spec
+            if spec is None:
+                return f"input {node.name!r} has no inferred TensorSpec"
+            if not spec.batch_polymorphic:
+                return (
+                    f"input {node.name!r} was built with a fixed batch extent "
+                    f"(layout {spec.layout}, shape {spec.logical_shape})"
+                )
+            continue
+        if node.is_constant:
+            continue
+        producer = node.inputs[0] if node.inputs else None
+        upstream_free = (
+            producer is not None
+            and producer.spec is not None
+            and producer.spec.batch_polymorphic
+        )
+        if not upstream_free:
+            # This node does not sit on the batch path (e.g. it reshapes a
+            # constant table): it cannot fold the batch into anything, so
+            # none of the structural checks apply.  If the batch path itself
+            # was broken upstream, the output-spec check below reports it.
+            continue
         if node.op == "reshape":
-            new_shape = list(node.attrs.get("new_shape", ()))
+            new_shape = tuple(node.attrs.get("new_shape", ()))
             if not new_shape or new_shape[0] != -1:
-                return False
+                return (
+                    f"reshape {node.name!r} bakes a literal leading extent "
+                    f"{new_shape[:1] or '()'} into its new_shape (emit -1 for "
+                    f"the batch dim instead)"
+                )
+            if node.spec is not None and not node.spec.batch_polymorphic:
+                return (
+                    f"reshape {node.name!r}: the -1 wildcard resolves to "
+                    f"{node.spec.logical_shape[0]}, not the batch extent, so "
+                    f"the batch is folded into another dim"
+                )
         elif node.op == "transpose":
             axes = tuple(int(a) for a in node.attrs.get("axes", ()))
             if not axes or axes[0] != 0:
-                return False
-    return True
+                return f"transpose {node.name!r} moves the batch axis (axes={axes})"
+        elif node.op == "concat":
+            if str(node.attrs.get("axis", "C")).upper() == "N":
+                return f"concat {node.name!r} concatenates along the batch axis"
+        elif node.op == "softmax":
+            axis = int(node.attrs.get("axis", -1))
+            rank = (
+                len(node.spec.logical_shape) if node.spec is not None else None
+            )
+            if axis == 0 or (rank and axis % rank == 0):
+                return f"softmax {node.name!r} normalizes across the batch axis"
+    for node in graph.outputs:
+        spec = node.spec
+        if spec is None:
+            return f"output {node.name!r} has no inferred TensorSpec"
+        if not spec.batch_polymorphic:
+            return (
+                f"output {node.name!r} ({node.op or node.kind}) does not carry "
+                f"the batch as a free leading extent (layout {spec.layout}, "
+                f"shape {spec.logical_shape})"
+            )
+    return None
+
+
+def _graph_is_batchable(graph: Graph) -> bool:
+    """Can requests for this graph be coalesced along the batch axis?"""
+    return batchability_report(graph) is None
 
 
 class InferenceEngine:
@@ -106,7 +161,10 @@ class InferenceEngine:
             for node in module.graph.topological_order()
             if node.is_input
         }
-        self.batchable = _graph_is_batchable(module.graph)
+        #: Why the graph cannot be batch-stacked (None when it can); surfaced
+        #: through :meth:`describe` and :meth:`summary`.
+        self.batchability_reason = batchability_report(module.graph)
+        self.batchable = self.batchability_reason is None
         self.max_batch_size = max_batch_size if self.batchable else 1
         self.batch_timeout_ms = batch_timeout_ms
         self.queue_depth = queue_depth
@@ -137,12 +195,42 @@ class InferenceEngine:
                     )
         return self._scheduler
 
+    def _comparable_shape(self, shape: Sequence[int]) -> Tuple[int, ...]:
+        """Normalize a shape to the engine's leading-extent convention.
+
+        This is the single place the convention lives: on a batch-stackable
+        graph the leading extent is a free batch dim, so it is dropped —
+        requests match (and coalesce) on their *per-sample* shape.  On a
+        non-batchable graph every extent is load-bearing and the full shape
+        is kept, so callers comparing against :attr:`input_signature` or the
+        scheduler's compatibility key never mistake the frozen batch for a
+        free one.
+        """
+        return tuple(shape[1:]) if self.batchable else tuple(shape)
+
+    @property
+    def input_signature(self) -> Dict[str, Tuple[Tuple[Optional[int], ...], str]]:
+        """Expected request shapes: input name -> ((extents...), dtype).
+
+        For a batch-stackable graph the leading extent is reported as
+        ``None`` (any batch extent is accepted); for a non-batchable graph
+        the exact declared shape is reported, frozen batch included.
+        """
+        signature: Dict[str, Tuple[Tuple[Optional[int], ...], str]] = {}
+        for name, spec in self._input_specs.items():
+            shape = self._comparable_shape(spec.concrete_shape)
+            if self.batchable:
+                shape = (None,) + shape
+            signature[name] = (shape, spec.dtype.name)
+        return signature
+
     def _request_signature(self, inputs: Mapping[str, object]) -> Tuple:
         """Batching compatibility key: per-sample shapes and dtypes.
 
-        The leading (batch) extent is excluded for batchable graphs, so a
-        2-sample request can share an executor pass with 1-sample requests —
-        they concatenate along the same axis.
+        The leading (batch) extent is excluded for batchable graphs (see
+        :meth:`_comparable_shape`), so a 2-sample request can share an
+        executor pass with 1-sample requests — they concatenate along the
+        same axis.
         """
         items = []
         for name in sorted(inputs):
@@ -151,7 +239,7 @@ class InferenceEngine:
             dtype = getattr(value, "dtype", None)
             if dtype is None:
                 dtype = np.asarray(value).dtype
-            items.append((name, shape[1:] if self.batchable else shape, str(dtype)))
+            items.append((name, self._comparable_shape(shape), str(dtype)))
         return tuple(items)
 
     def _coerce(self, name: str, value) -> np.ndarray:
@@ -330,6 +418,28 @@ class InferenceEngine:
         """Estimated per-request latency of the served module (ms)."""
         return self.module.estimate_latency_ms(num_threads)
 
+    def describe(self) -> str:
+        """Serving-relevant facts: batchability (with the reason when off),
+        the expected input signature and the scheduler knobs."""
+        lines = [
+            f"InferenceEngine({self.module.graph.name} on {self.module.cpu.name})",
+            "  dynamic batching: "
+            + (
+                f"on (free leading batch extent, max_batch_size={self.max_batch_size})"
+                if self.batchable
+                else f"off — {self.batchability_reason}"
+            ),
+            "  inputs:",
+        ]
+        for name, (shape, dtype) in sorted(self.input_signature.items()):
+            rendered = ", ".join("N" if d is None else str(d) for d in shape)
+            lines.append(f"    {name}: ({rendered}) {dtype}")
+        lines.append(
+            f"  scheduler: batch_timeout_ms={self.batch_timeout_ms:g}, "
+            f"queue_depth={self.queue_depth}, num_workers={self.num_workers}"
+        )
+        return "\n".join(lines)
+
     def summary(self) -> str:
         stats = self.stats()
         lines = [
@@ -340,7 +450,7 @@ class InferenceEngine:
                 f"on (max_batch_size={self.max_batch_size}, "
                 f"mean batch {stats.mean_batch_size:.2f})"
                 if self.batchable
-                else "off (graph is not batch-stackable)"
+                else f"off ({self.batchability_reason})"
             ),
         ]
         return "\n".join(lines) + "\n" + self.module.summary()

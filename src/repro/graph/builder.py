@@ -13,7 +13,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..tensor.tensor import TensorSpec
+from ..tensor.tensor import BatchDim, TensorSpec
 from .graph import Graph
 from .node import Node, NodeKind
 
@@ -69,12 +69,30 @@ class GraphBuilder:
     # leaf nodes
     # ------------------------------------------------------------------ #
     def input(self, name: str, shape: Sequence[int], layout: str = "NCHW",
-              dtype: str = "float32") -> Node:
-        """Declare a runtime input tensor."""
+              dtype: str = "float32", polymorphic_batch: bool = True) -> Node:
+        """Declare a runtime input tensor.
+
+        When the layout carries the batch as its leading, unblocked ``N``
+        axis (every model in the zoo does), the leading extent is declared as
+        a symbolic :class:`~repro.tensor.BatchDim`: ``shape[0]`` is only the
+        *nominal* build-time extent, and the executor accepts any leading
+        extent at run time.  Pass ``polymorphic_batch=False`` to freeze the
+        batch at the declared extent instead.
+        """
+        spec = TensorSpec(shape, layout, dtype)
+        if polymorphic_batch and spec.logical_shape:
+            # TensorSpec owns the convention: the BatchDim marker survives
+            # only on a leading, unblocked N axis and is demoted to a plain
+            # int otherwise, so wrapping unconditionally is safe here.
+            spec = TensorSpec(
+                (BatchDim(spec.logical_shape[0]),) + spec.logical_shape[1:],
+                spec.layout,
+                dtype,
+            )
         node = Node(
             NodeKind.INPUT,
             name=self._unique_name(name),
-            spec=TensorSpec(shape, layout, dtype),
+            spec=spec,
         )
         return self._add(node)
 

@@ -6,6 +6,16 @@ This is the "traverse the computation graph to infer the data layout of each
 node" step of section 3.2 (left side of Figure 2): after the alter-layout
 pass has assigned blocked layouts and inserted LayoutTransform nodes, a
 re-run of inference annotates every edge with the layout flowing across it.
+
+Shape inference also propagates the *symbolic batch dim*
+(:class:`~repro.tensor.BatchDim`): inputs declare the leading ``N`` extent
+as a free batch axis, and every operator that keeps the batch leading
+carries the marker through its output spec unchanged — no per-operator
+support needed, since a ``BatchDim`` behaves as its nominal ``int`` value
+in all shape arithmetic.  An operator that folds the batch into another
+extent (literal-leading reshape, transpose moving axis 0, concat along
+``N``) drops the marker, and downstream specs become batch-frozen; the
+serving layer's batchability probe reads exactly this signal.
 """
 
 from __future__ import annotations

@@ -5,6 +5,15 @@ Inception-v3 and SSD-ResNet-50) are built with the graph builder; the helpers
 here factor out the conv+BN+ReLU pattern and the classifier head they all
 share.  All models take a single image per inference (batch 1), matching the
 paper's latency measurements, unless a different batch size is requested.
+
+The requested batch is only the *nominal* extent: every zoo model is
+batch-polymorphic.  ``builder.input`` declares a symbolic leading batch dim,
+and the blocks here — including ``builder.flatten`` in the classifier head,
+which always keeps the leading ``N`` axis free rather than folding it into
+the feature extent — preserve it, so the dynamic-batching scheduler can
+stack concurrent requests for any of these models.  New model code must
+follow the same convention: never bake ``spec.axis_extent("N")`` into an
+operator attribute (use ``-1`` in reshapes instead).
 """
 
 from __future__ import annotations

@@ -9,6 +9,11 @@ this head introduces, and OpenVINO excludes the final multibox detection from
 its measurement — both behaviours are reproduced by the baseline profiles.
 
 Input resolution follows the paper: 512x512.
+
+The detection heads are batch-polymorphic: their reshapes declare a ``-1``
+batch extent (never the build-time batch), so the graph keeps a free leading
+batch dim end to end and SSD requests coalesce under the dynamic-batching
+scheduler exactly like the classification models.
 """
 
 from __future__ import annotations
@@ -64,15 +69,19 @@ def _prediction_heads(
     for index, (feature, anchors) in enumerate(zip(features, SSD_ANCHOR_COUNTS)):
         height = feature.spec.axis_extent("H")
         width = feature.spec.axis_extent("W")
-        batch = feature.spec.axis_extent("N")
         total_anchors += height * width * anchors
 
+        # The head reshapes declare a `-1` batch extent: the trailing extents
+        # account for exactly one sample, so the leading dim stays the free
+        # (symbolic) batch axis and the graph remains batch-stackable under
+        # the dynamic-batching scheduler.  Baking the build-time batch in
+        # here is what used to force SSD requests onto the serial path.
         cls_channels = anchors * (num_classes + 1)
         cls = builder.conv2d(feature, cls_channels, 3, padding=1, use_bias=True,
                              name=f"cls_pred{index + 1}")
         cls = builder.transpose(cls, (0, 2, 3, 1), name=f"cls_pred{index + 1}_t")
         cls = builder.reshape(
-            cls, (batch, height * width * anchors, num_classes + 1),
+            cls, (-1, height * width * anchors, num_classes + 1),
             name=f"cls_pred{index + 1}_r",
         )
         cls_parts.append(cls)
@@ -82,7 +91,7 @@ def _prediction_heads(
                              name=f"loc_pred{index + 1}")
         loc = builder.transpose(loc, (0, 2, 3, 1), name=f"loc_pred{index + 1}_t")
         loc = builder.reshape(
-            loc, (batch, height * width * anchors, 4), name=f"loc_pred{index + 1}_r"
+            loc, (-1, height * width * anchors, 4), name=f"loc_pred{index + 1}_r"
         )
         loc_parts.append(loc)
 

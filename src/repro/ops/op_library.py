@@ -14,7 +14,7 @@ import numpy as np
 
 from ..schedule.template import ConvSchedule
 from ..tensor.layout import Layout
-from ..tensor.tensor import Tensor, TensorSpec
+from ..tensor.tensor import BatchDim, Tensor, TensorSpec
 from ..tensor.transform import transform_tensor
 from . import activation, batch_norm, blocked_conv, conv2d, dense, elementwise, pooling
 from .conv2d import conv_output_size
@@ -188,6 +188,15 @@ def _concat_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
     total = sum(spec.axis_extent(axis_name) for spec in in_specs)
     extents[axis_name] = total
     logical = tuple(extents[a] for a in layout.primal_axes)
+    if (
+        axis_name != "N"
+        and not base.batch_polymorphic
+        and any(spec.batch_polymorphic for spec in in_specs)
+    ):
+        # Same operand-order insensitivity as elemwise_add: a batch-free
+        # first input must not strip the symbolic batch dim the other
+        # inputs carry (TensorSpec demotes the marker if N is not leading).
+        logical = (BatchDim(logical[0]),) + logical[1:]
     return TensorSpec(logical, layout, base.dtype)
 
 
@@ -219,6 +228,9 @@ def _transpose_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
         raise ValueError(f"invalid transpose axes {axes} for rank {len(spec.logical_shape)}")
     primals = spec.layout.primal_axes
     new_layout = "".join(primals[a] for a in axes)
+    # A symbolic batch dim survives iff axes[0] == 0 (the extent objects are
+    # permuted as-is; TensorSpec demotes a BatchDim that left the leading N
+    # position, so a transpose that moves the batch axis ends batchability).
     new_shape = tuple(spec.logical_shape[a] for a in axes)
     return TensorSpec(new_shape, new_layout, spec.dtype)
 
@@ -231,17 +243,60 @@ def _transpose_compute(attrs: dict, inputs: Sequence[Tensor]) -> Tensor:
 
 
 def _reshape_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSpec:
+    """Infer a reshape's output spec, resolving at most one ``-1`` extent.
+
+    A leading ``-1`` that resolves to the input's batch extent keeps the
+    batch *symbolic* (:class:`~repro.tensor.tensor.BatchDim`): the node never
+    bakes the build-time batch into its attributes, so the same graph serves
+    any leading extent — this is how the SSD detection heads stay
+    batch-stackable under the dynamic-batching scheduler.  Incompatible
+    shapes are rejected here, at graph-build time, instead of producing a
+    silently truncated extent.
+    """
     spec = in_specs[0]
     new_shape = list(attrs["new_shape"])
     if spec.layout.is_blocked:
         raise ValueError("reshape is layout-dependent; transform to default layout first")
+    wildcards = [i for i, dim in enumerate(new_shape) if dim == -1]
+    if len(wildcards) > 1:
+        raise ValueError(
+            f"reshape new_shape {tuple(attrs['new_shape'])} has more than one -1; "
+            "at most one extent may be inferred"
+        )
+    if any(dim == 0 or dim < -1 for dim in new_shape):
+        raise ValueError(
+            f"reshape new_shape {tuple(attrs['new_shape'])} has non-positive "
+            "extents (only -1 may be negative)"
+        )
     total = spec.size
-    if -1 in new_shape:
+    if wildcards:
         known = 1
         for dim in new_shape:
             if dim != -1:
                 known *= dim
-        new_shape[new_shape.index(-1)] = total // known
+        if total % known:
+            raise ValueError(
+                f"cannot reshape {spec.logical_shape} (size {total}) into "
+                f"{tuple(attrs['new_shape'])}: {total} is not divisible by the "
+                f"known extents' product {known}"
+            )
+        inferred = total // known
+        index = wildcards[0]
+        if index == 0 and spec.batch_polymorphic and inferred == spec.logical_shape[0]:
+            # The wildcard IS the batch axis (the trailing extents account for
+            # exactly one sample): keep it symbolic so downstream nodes — and
+            # the batchability probe — see a free leading extent.
+            inferred = BatchDim(inferred)
+        new_shape[index] = inferred
+    else:
+        requested = 1
+        for dim in new_shape:
+            requested *= dim
+        if requested != total:
+            raise ValueError(
+                f"cannot reshape {spec.logical_shape} (size {total}) into "
+                f"{tuple(attrs['new_shape'])} (size {requested})"
+            )
     layout = "".join("NCHWDEFG"[i] for i in range(len(new_shape)))
     return TensorSpec(tuple(new_shape), layout, spec.dtype)
 
@@ -335,6 +390,11 @@ def _elemwise_add_infer(attrs: dict, in_specs: Sequence[TensorSpec]) -> TensorSp
         raise ValueError(
             f"elemwise_add shape mismatch: {lhs.logical_shape} vs {rhs.logical_shape}"
         )
+    # Operand-order insensitive batch marker: adding a batch-free operand
+    # (e.g. a constant table) to a batched one keeps the batch free either
+    # way round, so prefer whichever spec carries the symbolic dim.
+    if not lhs.batch_polymorphic and rhs.batch_polymorphic:
+        return rhs
     return lhs
 
 

@@ -131,10 +131,19 @@ def graph_fingerprint(graph: "Graph") -> str:
     deliberately excluded (parameters are fingerprinted separately so that
     spec-only graphs and value-bound graphs of the same architecture share a
     structure hash).
+
+    The symbolic-batch marker is part of the spec string (a ``BatchDim``
+    renders as a plain int everywhere else): a batch-polymorphic build and a
+    ``polymorphic_batch=False`` build of the same model serve different
+    request shapes, so they must never share an artifact-cache entry — and a
+    pre-convention artifact (no marker anywhere) fingerprints differently
+    from today's build of the same model, forcing a recompile instead of
+    silently serving with frozen batch semantics.
     """
     nodes = []
     for node in graph.topological_order():
         attrs = {k: v for k, v in node.attrs.items()}
+        spec = node.spec
         nodes.append(
             {
                 "kind": node.kind,
@@ -142,8 +151,9 @@ def graph_fingerprint(graph: "Graph") -> str:
                 "name": node.name,
                 "inputs": [producer.name for producer in node.inputs],
                 "attrs": attrs,
-                "spec": None if node.spec is None else str(node.spec.layout)
-                + str(node.spec.logical_shape) + node.spec.dtype.name,
+                "spec": None if spec is None else str(spec.layout)
+                + str(spec.logical_shape) + spec.dtype.name
+                + ("~N" if spec.batch_polymorphic else ""),
             }
         )
     return _digest({"name": graph.name, "nodes": nodes})

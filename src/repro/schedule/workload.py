@@ -53,6 +53,12 @@ class ConvWorkload:
     groups: int = 1
 
     def __post_init__(self) -> None:
+        # Batch-polymorphic graphs carry a symbolic BatchDim in their specs;
+        # workloads (and therefore tuning-database keys and cost estimates)
+        # are always priced at the concrete nominal extent.  The blocked
+        # kernels are batch-invariant, so a schedule tuned at the nominal
+        # batch is the right schedule for any stacked batch.
+        object.__setattr__(self, "batch", int(self.batch))
         object.__setattr__(self, "stride", _pair(self.stride))
         object.__setattr__(self, "padding", _pair(self.padding))
         object.__setattr__(self, "dilation", _pair(self.dilation))
@@ -157,6 +163,10 @@ class DenseWorkload:
     batch: int
     in_features: int
     out_features: int
+
+    def __post_init__(self) -> None:
+        # Same normalization as ConvWorkload: price at the nominal batch.
+        object.__setattr__(self, "batch", int(self.batch))
 
     @property
     def flops(self) -> int:

@@ -7,7 +7,7 @@ layout transformation kernels that the rest of the stack builds on.
 
 from .dtype import DType, dtype_from_name, float32, float64, int32, int8
 from .layout import AxisToken, Layout, LayoutError
-from .tensor import Tensor, TensorSpec
+from .tensor import BatchDim, Tensor, TensorSpec
 from .transform import (
     from_blocked_nchwc,
     layout_transform,
@@ -19,6 +19,7 @@ from .transform import (
 
 __all__ = [
     "AxisToken",
+    "BatchDim",
     "DType",
     "Layout",
     "LayoutError",

@@ -16,9 +16,32 @@ import numpy as np
 from .dtype import DType, dtype_from_name, float32
 from .layout import Layout, LayoutError
 
-__all__ = ["Tensor", "TensorSpec"]
+__all__ = ["BatchDim", "Tensor", "TensorSpec"]
 
 LayoutLike = Union[Layout, str]
+
+
+class BatchDim(int):
+    """A symbolic leading batch extent that behaves as its nominal value.
+
+    Graphs are *batch-polymorphic*: the leading ``N`` axis is a free extent
+    decided per request, not a constant frozen at build time.  A
+    :class:`BatchDim` marks that freedom while remaining a plain ``int`` for
+    every arithmetic, hashing, formatting and serialization purpose — the
+    nominal build-time extent (usually 1) is what the cost model prices and
+    what ``repr``/fingerprints see, so introducing the marker changes no
+    numbers, keys or artifact fingerprints.
+
+    Shape inference propagates the marker for free: operators that keep the
+    batch as the leading ``N`` axis simply carry the same object through
+    their output spec, while any operator that folds the batch into another
+    extent (a reshape to a literal leading shape, a transpose moving axis 0,
+    a concat along ``N``) produces plain-``int`` arithmetic results and the
+    marker is dropped — which is exactly the condition under which requests
+    can no longer be coalesced by stacking along the leading axis.
+    """
+
+    __slots__ = ()
 
 
 class TensorSpec:
@@ -35,7 +58,15 @@ class TensorSpec:
         dtype: Union[DType, str] = float32,
     ) -> None:
         self.layout = layout if isinstance(layout, Layout) else Layout(layout)
-        self.logical_shape: Tuple[int, ...] = tuple(int(d) for d in logical_shape)
+        # A BatchDim marker is meaningful only as the leading extent of an
+        # unblocked N axis; anywhere else (a transpose moved the batch, a
+        # reshape folded it into another extent) it demotes to a plain int.
+        primals = self.layout.primal_axes
+        keep_batch = bool(primals) and primals[0] == "N" and not self.layout.has_axis("n")
+        self.logical_shape: Tuple[int, ...] = tuple(
+            d if isinstance(d, BatchDim) and i == 0 and keep_batch else int(d)
+            for i, d in enumerate(logical_shape)
+        )
         if len(self.logical_shape) != len(self.layout.primal_axes):
             raise LayoutError(
                 f"logical shape {self.logical_shape} incompatible with layout "
@@ -47,6 +78,16 @@ class TensorSpec:
     def concrete_shape(self) -> Tuple[int, ...]:
         """Shape of the stored array (after blocking)."""
         return self.layout.blocked_shape(self.logical_shape)
+
+    @property
+    def batch_polymorphic(self) -> bool:
+        """True when the leading extent is a free (symbolic) batch dim.
+
+        The executor then accepts any leading extent whose per-sample shape
+        matches, which is what lets the request scheduler stack concurrent
+        requests along the batch axis.
+        """
+        return bool(self.logical_shape) and isinstance(self.logical_shape[0], BatchDim)
 
     @property
     def size(self) -> int:

@@ -263,6 +263,87 @@ class TestArtifactCache:
         assert other.search_method == "manual"
 
 
+class TestBatchPolymorphicArtifacts:
+    """`-1`-reshape graphs round-trip through artifacts batchable, and the
+    fingerprint depends only on the graph — never on the served batch."""
+
+    def _detector(self):
+        from tests.test_scheduler import build_tiny_detector
+
+        return build_tiny_detector()
+
+    def test_minus_one_reshape_survives_save_load(self, skylake, tmp_path):
+        from repro.api import batchability_report
+
+        module = Optimizer(skylake).compile(self._detector())
+        path = tmp_path / "detector.neocpu"
+        module.save(path)
+        loaded = CompiledModule.load(path)
+        assert batchability_report(loaded.graph) is None
+        for node in loaded.graph.op_nodes("reshape"):
+            assert node.attrs["new_shape"][0] == -1  # never pinned at save time
+
+        rng = np.random.default_rng(9)
+        requests = [
+            {"data": rng.standard_normal((n, 3, 16, 16)).astype(np.float32)}
+            for n in [1, 3, 2]
+        ]
+        with InferenceEngine(module, seed=2) as fresh, InferenceEngine(
+            loaded, seed=2
+        ) as reloaded:
+            assert reloaded.batchable
+            for request in requests:
+                np.testing.assert_array_equal(
+                    reloaded.run(request)[0], fresh.run(request)[0]
+                )
+
+    def test_fingerprint_invariant_to_served_batch_extent(self, skylake, tmp_path):
+        from repro.runtime import graph_fingerprint
+
+        graph_a = self._detector()
+        graph_b = self._detector()
+        infer_shapes(graph_a)
+        infer_shapes(graph_b)
+        # Two structurally identical builds fingerprint identically...
+        assert graph_fingerprint(graph_a) == graph_fingerprint(graph_b)
+
+        optimizer = Optimizer(skylake, cache_dir=tmp_path)
+        module = optimizer.compile(graph_a)
+        recorded = module.fingerprint
+        rng = np.random.default_rng(1)
+        with InferenceEngine(module, seed=0) as engine:
+            for extent in (1, 4, 2):  # the served batch is a runtime choice
+                engine.run(
+                    {"data": rng.standard_normal((extent, 3, 16, 16)).astype(np.float32)}
+                )
+        # ... and serving different batch extents never re-fingerprints or
+        # invalidates the cached artifact.
+        assert module.fingerprint == recorded
+        rebuilt = self._detector()
+        infer_shapes(rebuilt)  # fingerprints cover specs: infer like graph_a
+        cached = Optimizer(skylake, cache_dir=tmp_path).compile(rebuilt)
+        assert cached.fingerprint == recorded
+
+    def test_frozen_and_polymorphic_builds_never_share_a_fingerprint(self):
+        """Batch semantics are part of the fingerprint: a polymorphic and a
+        polymorphic_batch=False build of the same model must never hit the
+        same artifact-cache entry (the cached module would accept — or
+        reject — batch extents the caller did not ask for)."""
+        from repro.graph import GraphBuilder
+        from repro.runtime import graph_fingerprint
+
+        def build(polymorphic):
+            builder = GraphBuilder("semantics")
+            data = builder.input(
+                "data", (1, 3, 8, 8), polymorphic_batch=polymorphic
+            )
+            graph = builder.build(builder.relu(data))
+            infer_shapes(graph)
+            return graph
+
+        assert graph_fingerprint(build(True)) != graph_fingerprint(build(False))
+
+
 class TestWarmCaches:
     def test_second_session_artifact_hit_zero_measurer_calls(
         self, skylake, tmp_path, monkeypatch

@@ -192,6 +192,57 @@ class TestDenseAndShapes:
         assert concat_channels_nchw([a, b]).shape == (1, 8, 2, 2)
 
 
+class TestReshapeInference:
+    """Regression tests for the `-1`-reshape shape-inference fixes: an
+    incompatible wildcard used to floor-divide into a silently wrong shape."""
+
+    @staticmethod
+    def infer(new_shape, in_shape=(1, 3, 4, 4), layout="NCHW"):
+        from repro.ops.registry import get_op
+        from repro.tensor import TensorSpec
+
+        return get_op("reshape").infer_shape(
+            {"new_shape": tuple(new_shape)}, [TensorSpec(in_shape, layout)]
+        )
+
+    def test_wildcard_resolves(self):
+        assert self.infer((-1, 48)).logical_shape == (1, 48)
+        assert self.infer((2, -1, 4)).logical_shape == (2, 6, 4)
+
+    def test_indivisible_wildcard_raises_instead_of_truncating(self):
+        # 48 // 7 == 6 used to be accepted, producing a (6, 7) = 42-element
+        # shape out of a 48-element tensor.
+        with pytest.raises(ValueError, match="not divisible"):
+            self.infer((-1, 7))
+
+    def test_multiple_wildcards_rejected(self):
+        with pytest.raises(ValueError, match="more than one -1"):
+            self.infer((-1, -1, 4))
+
+    def test_zero_and_negative_extents_rejected(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            self.infer((0, -1))
+        with pytest.raises(ValueError, match="non-positive"):
+            self.infer((-2, 24))
+
+    def test_literal_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="size 50"):
+            self.infer((2, 25))
+
+    def test_leading_wildcard_keeps_symbolic_batch(self):
+        from repro.tensor import BatchDim, TensorSpec
+        from repro.ops.registry import get_op
+
+        spec = TensorSpec((BatchDim(1), 3, 4, 4), "NCHW")
+        assert spec.batch_polymorphic
+        out = get_op("reshape").infer_shape({"new_shape": (-1, 48)}, [spec])
+        assert out.batch_polymorphic
+        # A wildcard that folds the batch into another extent demotes it.
+        folded = get_op("reshape").infer_shape({"new_shape": (-1, 16)}, [spec])
+        assert folded.logical_shape == (3, 16)
+        assert not folded.batch_polymorphic
+
+
 class TestSSDOps:
     def test_multibox_prior_count_and_range(self):
         boxes = multibox_prior((4, 4), 512, sizes=[0.2], ratios=[1.0, 2.0, 0.5])

@@ -75,6 +75,32 @@ class TestGraphExecutor:
         out = GraphExecutor(tiny_cnn, seed=0).run_single(data=tiny_input)
         assert out.shape == (1, 10)
 
+    def test_any_leading_batch_extent_accepted(self, tiny_cnn):
+        # The input declares a symbolic batch dim: the executor validates the
+        # per-sample shape and accepts any leading extent.
+        assert tiny_cnn.input_nodes()[0].spec.batch_polymorphic
+        executor = GraphExecutor(tiny_cnn, seed=0)
+        for extent in (1, 2, 5):
+            data = np.zeros((extent, 3, 16, 16), dtype=np.float32)
+            assert executor.run({"data": data})[0].shape == (extent, 10)
+
+    def test_wrong_per_sample_shape_names_the_free_batch_dim(self, tiny_cnn):
+        executor = GraphExecutor(tiny_cnn, seed=0)
+        with pytest.raises(ValueError, match="free leading batch extent"):
+            executor.run({"data": np.zeros((2, 3, 7, 7), dtype=np.float32)})
+
+    def test_frozen_batch_input_rejects_other_extents(self):
+        from repro.graph import GraphBuilder, infer_shapes
+
+        builder = GraphBuilder("frozen")
+        data = builder.input("data", (1, 3, 8, 8), polymorphic_batch=False)
+        graph = builder.build(builder.relu(data))
+        infer_shapes(graph)
+        assert not graph.input_nodes()[0].spec.batch_polymorphic
+        executor = GraphExecutor(graph, seed=0)
+        with pytest.raises(ValueError):
+            executor.run({"data": np.zeros((2, 3, 8, 8), dtype=np.float32)})
+
 
 class TestStaticPartition:
     def test_even_split(self):

@@ -25,9 +25,12 @@ from repro.api import (
     InferenceEngine,
     Optimizer,
     RequestScheduler,
+    batchability_report,
 )
 from repro.api.engine import _graph_is_batchable
 from repro.graph import GraphBuilder, infer_shapes
+from repro.models.ssd import ssd_resnet50
+from repro.ops.ssd_ops import multibox_prior
 from repro.runtime import GraphExecutor
 
 from tests.conftest import build_tiny_cnn
@@ -290,6 +293,8 @@ class TestEngineStress:
         graph = builder.build(x)
         infer_shapes(graph)
         assert not _graph_is_batchable(graph)
+        # The probe names the offending node so describe() can surface it.
+        assert "fix" in batchability_report(graph)
 
         module = Optimizer("skylake").compile(graph)
         rng = np.random.default_rng(2)
@@ -320,3 +325,177 @@ class TestEngineStress:
         assert engine.requests_served == 1
         engine.close()
         engine.close()  # idempotent
+
+
+# --------------------------------------------------------------------------- #
+# batch-polymorphic graphs: SSD-style detection heads through the scheduler
+# --------------------------------------------------------------------------- #
+def build_tiny_detector(num_classes=3, size=16, anchors_per_loc=2):
+    """A miniature SSD head: conv trunk -> transpose -> -1 reshape -> concat
+    -> softmax -> multibox_detection.  Same op sequence as the real detection
+    heads, small enough for per-test compilation."""
+    builder = GraphBuilder("tiny_detector")
+    data = builder.input("data", (1, 3, size, size))
+    x = builder.conv2d(data, 8, 3, padding=1, name="trunk")
+    x = builder.relu(x)
+    num_anchors = size * size * anchors_per_loc
+
+    cls = builder.conv2d(x, anchors_per_loc * (num_classes + 1), 3, padding=1,
+                         use_bias=True, name="cls_pred")
+    cls = builder.transpose(cls, (0, 2, 3, 1), name="cls_t")
+    cls = builder.reshape(cls, (-1, num_anchors, num_classes + 1), name="cls_r")
+
+    loc = builder.conv2d(x, anchors_per_loc * 4, 3, padding=1, use_bias=True,
+                         name="loc_pred")
+    loc = builder.transpose(loc, (0, 2, 3, 1), name="loc_t")
+    loc = builder.reshape(loc, (-1, num_anchors, 4), name="loc_r")
+
+    scores = builder.transpose(cls, (0, 2, 1), name="scores")
+    probs = builder.softmax(scores, axis=1, name="probs")
+    table = multibox_prior((size, size), size, [0.2, 0.4], [1.0])
+    assert table.shape[0] == num_anchors
+    anchors = builder.constant("anchors", table.shape, layout="AB", value=table)
+    det = builder.multibox_detection(probs, loc, anchors, max_detections=10,
+                                     name="det")
+    return builder.build(det)
+
+
+class TestBatchPolymorphicSSD:
+    @pytest.fixture(scope="class")
+    def detector_module(self):
+        return Optimizer("skylake").compile(build_tiny_detector())
+
+    def test_detection_head_graph_is_batchable(self, detector_module):
+        assert batchability_report(detector_module.graph) is None
+
+    def test_ssd_resnet50_graph_is_batchable(self):
+        graph = ssd_resnet50(image_size=32)
+        infer_shapes(graph)
+        assert _graph_is_batchable(graph)
+
+    def test_detector_stream_byte_identity_at_mixed_batch_extents(
+        self, detector_module
+    ):
+        rng = np.random.default_rng(17)
+        requests = [
+            {"data": rng.standard_normal((n, 3, 16, 16)).astype(np.float32)}
+            for n in [1, 2, 1, 3, 1, 1, 2, 1]
+        ]
+        reference = GraphExecutor(detector_module.graph, seed=4)
+        expected = [reference.run(request) for request in requests]
+        with InferenceEngine(
+            detector_module, seed=4, max_batch_size=8, batch_timeout_ms=50.0
+        ) as engine:
+            assert engine.batchable
+            futures = engine.scheduler.submit_all(requests)  # all in flight
+            results = [f.result(timeout=RESULT_TIMEOUT_S) for f in futures]
+            stats = engine.stats()
+        for want, got in zip(expected, results):
+            np.testing.assert_array_equal(got[0], want[0])
+        assert stats.batched > 0, "SSD-style requests never coalesced"
+
+    def test_real_ssd_through_scheduler_matches_sequential_run(self):
+        graph = ssd_resnet50(image_size=32)
+        infer_shapes(graph)
+        module = Optimizer("skylake").compile(graph)
+        rng = np.random.default_rng(23)
+        requests = [
+            {"data": rng.standard_normal((n, 3, 32, 32)).astype(np.float32)}
+            for n in [1, 2, 1]
+        ]
+        with InferenceEngine(
+            module, seed=0, max_batch_size=4, batch_timeout_ms=50.0
+        ) as engine:
+            assert engine.batchable, engine.batchability_reason
+            expected = [engine.run(request) for request in requests]  # serial
+            results = engine.serve_concurrent(requests)
+            stats = engine.stats()
+        for want, got in zip(expected, results):
+            np.testing.assert_array_equal(got[0], want[0])
+        assert stats.batched > 0
+
+    def test_wildcard_not_resolving_to_batch_breaks_batchability(self):
+        builder = GraphBuilder("fold_batch")
+        data = builder.input("data", (1, 2, 8, 8))
+        x = builder.transpose(data, (0, 2, 3, 1), name="t")
+        # -1 resolves to 4 (= 128 / 32), not the batch extent: the batch is
+        # folded into the leading dim, so requests cannot be stacked.
+        x = builder.reshape(x, (-1, 32), name="fold")
+        graph = builder.build(x)
+        infer_shapes(graph)
+        report = batchability_report(graph)
+        assert report is not None and "fold" in report
+
+    def test_transpose_moving_batch_axis_breaks_batchability(self):
+        builder = GraphBuilder("moved_batch")
+        data = builder.input("data", (1, 2, 8, 8))
+        x = builder.transpose(data, (1, 0, 2, 3), name="swap")
+        graph = builder.build(x)
+        infer_shapes(graph)
+        report = batchability_report(graph)
+        assert report is not None and "swap" in report
+
+    def test_batch_free_constant_branch_does_not_break_batchability(self):
+        # A reshape of a batch-free constant table sits off the batch path:
+        # its literal leading extent must not disable coalescing for the
+        # whole graph (the data path still carries a free batch dim).
+        builder = GraphBuilder("const_branch")
+        data = builder.input("data", (1, 8, 4, 4))
+        x = builder.flatten(data)
+        logits = builder.dense(x, 12, name="fc")
+        table = builder.constant(
+            "table", (3, 4), layout="AB",
+            value=np.arange(12, dtype=np.float32).reshape(3, 4),
+        )
+        flat_table = builder.reshape(table, (1, 12), name="table_r")
+        biased = builder.elemwise_add(logits, flat_table, name="bias")
+        graph = builder.build(builder.softmax(biased))
+        infer_shapes(graph)
+        assert batchability_report(graph) is None
+
+    def test_batch_marker_is_operand_order_insensitive(self):
+        # elemwise_add(constant, batched) must keep the free batch dim just
+        # like elemwise_add(batched, constant) does.
+        builder = GraphBuilder("swapped_operands")
+        data = builder.input("data", (1, 8, 4, 4))
+        x = builder.flatten(data)
+        logits = builder.dense(x, 12, name="fc")
+        table = builder.constant(
+            "table", (3, 4), layout="AB",
+            value=np.arange(12, dtype=np.float32).reshape(3, 4),
+        )
+        flat_table = builder.reshape(table, (1, 12), name="table_r")
+        biased = builder.elemwise_add(flat_table, logits, name="bias")  # swapped
+        graph = builder.build(builder.softmax(biased))
+        infer_shapes(graph)
+        assert batchability_report(graph) is None
+
+    def test_frozen_input_breaks_batchability(self):
+        builder = GraphBuilder("frozen")
+        data = builder.input("data", (1, 3, 8, 8), polymorphic_batch=False)
+        x = builder.relu(data)
+        graph = builder.build(x)
+        infer_shapes(graph)
+        report = batchability_report(graph)
+        assert report is not None and "fixed batch extent" in report
+
+    def test_describe_reports_rejection_reason(self, tiny_module):
+        builder = GraphBuilder("fixed")
+        data = builder.input("data", (1, 3, 8, 8))
+        x = builder.conv2d(data, 4, 3, padding=1, name="conv")
+        x = builder.flatten(x)
+        x = builder.reshape(x, (1, 256), name="pin")
+        graph = builder.build(x)
+        infer_shapes(graph)
+        module = Optimizer("skylake").compile(graph)
+        with InferenceEngine(module) as engine:
+            assert not engine.batchable
+            described = engine.describe()
+            assert "off" in described and "pin" in described
+            # Non-batchable: the exact shape, frozen batch included.
+            (shape, dtype) = engine.input_signature["data"]
+            assert shape == (1, 3, 8, 8) and dtype == "float32"
+        with InferenceEngine(tiny_module) as engine:
+            assert "dynamic batching: on" in engine.describe()
+            (shape, dtype) = engine.input_signature["data"]
+            assert shape == (None, 3, 16, 16) and dtype == "float32"
