@@ -16,7 +16,9 @@ second:
    optimized module computes exactly the same probabilities as the
    unoptimized graph;
 4. save the compiled artifact, load it back, and confirm the round trip;
-5. look at the estimated latency and the per-operator profile.
+5. build a *multi-target* bundle (one file serving several CPU presets) and
+   load it back host-matched via :func:`repro.api.load_engine`;
+6. look at the estimated latency and the per-operator profile.
 
 Run with:  python examples/quickstart.py
 """
@@ -26,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.api import CompiledModule, InferenceEngine, Optimizer
+from repro.api import CompiledModule, InferenceEngine, Optimizer, build, load_engine
 from repro.graph import GraphBuilder, infer_shapes
 from repro.runtime import GraphExecutor, format_report
 
@@ -119,6 +121,22 @@ def main():
     assert reloaded.estimate_latency() == module.estimate_latency()
     print(f"artifact round trip via {artifact} ok "
           f"({len(reloaded.schedules)} schedules, search={reloaded.search_method})")
+
+    # One build can also serve a whole fleet: build() compiles the model for
+    # several presets in one session (shared tuning database) into a single
+    # bundle, and load_engine() picks the payload matching the host it runs
+    # on — see examples/multi_target_deployment.py and `python -m repro.cli`
+    # for the full deployment story (repository, verify, gc).
+    repo_dir = artifact.parent
+    # jobs=1: the serving engine above is still open, and forking tuning
+    # worker processes out of a process with live scheduler threads is a
+    # classic way to inherit a lock mid-flight.  (Real deployments build and
+    # serve in different processes; see examples/multi_target_deployment.py.)
+    bundle = build(build_cifar_cnn(), ["skylake", "arm"], cache_dir=repo_dir, jobs=1)
+    with load_engine(bundle.path, host="skylake", seed=42) as deployed:
+        assert np.array_equal(deployed.run({"data": image})[0], optimized)
+    print(f"multi-target bundle {bundle.path.name} serves "
+          f"{len(bundle.targets)} presets; host match: fingerprint")
 
     # Chosen schedules and per-operator latency estimate.
     print("\nChosen convolution schedules:")

@@ -8,6 +8,10 @@ so that ``pip install -e . --no-use-pep517`` works on environments without the
 from setuptools import setup
 
 setup(
+    entry_points={
+        # The model-repository CLI (same surface as `python -m repro.cli`).
+        "console_scripts": ["repro-cli = repro.cli:main"],
+    },
     extras_require={
         # Mirrors the CI install: pytest-timeout keeps a scheduler deadlock
         # from hanging the suite, pytest-benchmark drives benchmarks/.

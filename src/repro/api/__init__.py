@@ -19,25 +19,57 @@ Most programs need only this package::
     optimizer = Optimizer("skylake", cache_dir="~/.cache/neocpu")
     engine = InferenceEngine(optimizer.compile("resnet-50"))
     outputs = engine.run({"data": image})
+
+Deployments that serve a fleet of different CPUs build once and match at
+load time::
+
+    from repro.api import build, load_engine
+
+    build("resnet-50", targets=["skylake", "epyc", "arm"],
+          cache_dir="~/.cache/neocpu")
+    engine = load_engine("~/.cache/neocpu/modules/resnet50-....neocpu")
+
+``python -m repro.cli`` exposes the same repository as a command line
+(``build`` / ``list`` / ``inspect`` / ``verify`` / ``gc``).
 """
 
 from ..core.config import CompileConfig, OptLevel
 from ..runtime.artifact import ArtifactError, StaleArtifactError
 from ..runtime.module import CompiledModule
+from .deployment import (
+    ArtifactBundle,
+    GCReport,
+    ModelRepository,
+    build,
+    load_engine,
+    pinned_artifacts,
+)
 from .engine import InferenceEngine, batchability_report
 from .optimizer import Optimizer
-from .scheduler import DeadlineExceeded, RequestScheduler, SchedulerStats
+from .scheduler import (
+    AdaptiveTimeout,
+    DeadlineExceeded,
+    RequestScheduler,
+    SchedulerStats,
+)
 
 __all__ = [
+    "AdaptiveTimeout",
+    "ArtifactBundle",
     "ArtifactError",
     "CompileConfig",
     "CompiledModule",
     "DeadlineExceeded",
+    "GCReport",
     "InferenceEngine",
+    "ModelRepository",
     "OptLevel",
     "Optimizer",
     "RequestScheduler",
     "SchedulerStats",
     "batchability_report",
+    "build",
+    "load_engine",
+    "pinned_artifacts",
     "StaleArtifactError",
 ]

@@ -1,0 +1,979 @@
+"""Multi-target deployment: bundles, host-matched loading, model repository.
+
+The paper's claim is cross-CPU: ahead-of-time tuning beats framework
+baselines on Intel Skylake, AMD EPYC *and* ARM Cortex-A72.  Serving a fleet
+of mixed hosts therefore should not mean one tuning session per host.  This
+module is the deployment surface that makes one build serve every host:
+
+* :func:`build` compiles a model for several CPU targets in one session —
+  the targets share one tuning database, and the per-target searches run in
+  parallel worker *processes* (each core-bound search gets its own
+  interpreter, so tuning three presets costs about one) — and emits a single
+  ``.neocpu`` bundle: one manifest, one payload per target, plus the
+  uncompiled source graph for hosts nothing was compiled for.
+* :func:`load_engine` opens a bundle on the machine that will serve it and
+  picks the right payload for the running host: exact host-fingerprint match
+  first, then the best ISA/cache-compatibility score
+  (:func:`repro.hardware.compatibility_score`), and — when no payload can
+  run on this host — a transparent recompile from the embedded source graph.
+  It never serves a payload the host cannot execute.
+* :class:`ModelRepository` is the management view over a cache directory:
+  list/inspect/verify the artifact manifests and garbage-collect the cache
+  down to a byte budget, evicting least-recently-used artifacts while never
+  touching one pinned by a live engine.  ``python -m repro.cli`` is the
+  command-line face of this class.
+
+:class:`~repro.api.Optimizer`'s single-target ``compile`` is a thin wrapper
+over the same build path (:func:`compile_for_target`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.compiler import compile_graph
+from ..core.config import CompileConfig
+from ..core.tuning_db import TuningDatabase, TuningDatabaseMigrationError
+from ..graph.graph import Graph
+from ..hardware.cpu import CPUSpec
+from ..hardware.presets import (
+    compatibility_score,
+    cpu_from_summary,
+    detect_host,
+    get_target,
+    host_fingerprint,
+    rank_targets,
+)
+from ..models.zoo import get_model
+from ..runtime.artifact import (
+    ArtifactError,
+    bundle_fingerprint,
+    compilation_fingerprint,
+    graph_fingerprint,
+    load_member,
+    load_source,
+    manifest_targets,
+    params_fingerprint,
+    read_manifest,
+    save_bundle,
+    verify_artifact,
+)
+from ..runtime.module import CompiledModule
+from .engine import InferenceEngine
+
+__all__ = [
+    "ArtifactBundle",
+    "GCReport",
+    "ModelRepository",
+    "build",
+    "compile_for_target",
+    "load_engine",
+    "module_fingerprint",
+    "pinned_artifacts",
+]
+
+ModelLike = Union[str, Graph]
+TargetLike = Union[str, CPUSpec]
+
+#: Layout of a cache directory (shared with :class:`~repro.api.Optimizer`
+#: and the benchmark harness): the persisted tuning database and the
+#: compiled-artifact store.
+TUNING_DB_FILENAME = "tuning_db.json"
+MODULE_CACHE_DIRNAME = "modules"
+ARTIFACT_SUFFIX = ".neocpu"
+
+
+# --------------------------------------------------------------------------- #
+# pin registry: artifacts held open by live engines are GC-exempt
+# --------------------------------------------------------------------------- #
+_PIN_LOCK = threading.Lock()
+_PINS: Dict[str, int] = {}
+
+
+def _pin_key(path: "str | Path") -> str:
+    path = Path(path)
+    try:
+        return str(path.resolve())
+    except OSError:  # pragma: no cover - unresolvable path: fall back verbatim
+        return str(path)
+
+
+def pin_artifact(path: "str | Path") -> None:
+    """Mark an artifact as in use; :meth:`ModelRepository.gc` will not evict it."""
+    key = _pin_key(path)
+    with _PIN_LOCK:
+        _PINS[key] = _PINS.get(key, 0) + 1
+
+
+def release_artifact(path: "str | Path") -> None:
+    """Drop one pin; the artifact becomes evictable when no pins remain."""
+    key = _pin_key(path)
+    with _PIN_LOCK:
+        count = _PINS.get(key, 0) - 1
+        if count > 0:
+            _PINS[key] = count
+        else:
+            _PINS.pop(key, None)
+
+
+def pinned_artifacts() -> "set[str]":
+    """Resolved paths of every artifact currently pinned by a live engine."""
+    with _PIN_LOCK:
+        return set(_PINS)
+
+
+def _unlink_unless_pinned(path: Path) -> str:
+    """Atomically (w.r.t. the pin registry) delete an unpinned artifact.
+
+    The membership check and the unlink happen under the registry lock, so a
+    concurrent :func:`load_engine` either pinned first (the file survives)
+    or pins after the unlink (its load starts on an already-deleted file and
+    fails cleanly) — there is no window where a load that pinned in time
+    loses its file mid-read.  Returns ``"pinned"``, ``"evicted"`` or
+    ``"missing"`` (someone else deleted it first).
+    """
+    with _PIN_LOCK:
+        if _pin_key(path) in _PINS:
+            return "pinned"
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return "missing"
+    return "evicted"
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints and the single-target compile path
+# --------------------------------------------------------------------------- #
+def module_fingerprint(
+    cpu: CPUSpec,
+    config: CompileConfig,
+    graph: Graph,
+    params: Optional[Mapping[str, np.ndarray]] = None,
+) -> str:
+    """The compilation fingerprint a module for ``graph`` would carry.
+
+    Combines the (target, config) fingerprint with the structural hash of
+    the source graph and the digest of explicitly-bound parameters; any
+    change to any of them invalidates cached artifacts.
+    """
+    base = compilation_fingerprint(cpu, config)
+    return f"{base[:32]}{graph_fingerprint(graph)[:16]}{params_fingerprint(params)[:16]}"
+
+
+def load_tuning_database(cache_dir: "str | Path") -> TuningDatabase:
+    """Load the tuning database persisted in ``cache_dir``.
+
+    Returns an empty database when none was persisted yet, or when the
+    persisted file uses an unmigratable schema (stale caches regenerate;
+    they are never allowed to poison a session).
+    """
+    path = Path(cache_dir).expanduser() / TUNING_DB_FILENAME
+    if not path.exists():
+        return TuningDatabase()
+    try:
+        return TuningDatabase.load(path)
+    except (TuningDatabaseMigrationError, OSError, ValueError, KeyError):
+        return TuningDatabase()
+
+
+def artifact_path_for(cache_dir: "str | Path", model_name: str, fingerprint: str) -> Path:
+    """Canonical artifact path for (model, fingerprint) inside a cache dir."""
+    safe_name = "".join(c if c.isalnum() or c in "-_." else "_" for c in model_name)
+    return (
+        Path(cache_dir).expanduser()
+        / MODULE_CACHE_DIRNAME
+        / f"{safe_name}-{fingerprint[:16]}{ARTIFACT_SUFFIX}"
+    )
+
+
+def compile_for_target(
+    graph: Graph,
+    cpu: CPUSpec,
+    *,
+    config: Optional[CompileConfig] = None,
+    params: Optional[Mapping[str, np.ndarray]] = None,
+    database: Optional[TuningDatabase] = None,
+    cache_dir: Optional["str | Path"] = None,
+    in_place: bool = False,
+    force: bool = False,
+    owns_graph: bool = False,
+) -> CompiledModule:
+    """Compile ``graph`` for one target, through the artifact cache.
+
+    This is the single-target leg of the deployment build path, and what
+    :meth:`repro.api.Optimizer.compile` wraps: fingerprint the inputs, serve
+    a fresh cached artifact when one exists, otherwise run the pipeline and
+    persist the result (plus the tuning database) for the next session.
+
+    Args:
+        graph: the model graph (compiled from a copy unless ``in_place``).
+        cpu: the CPU target.
+        config: compilation options (full NeoCPU pipeline by default).
+        params: concrete parameter values to bind before compilation.
+        database: tuning database to consult/extend.
+        cache_dir: durable cache directory; omit for a purely in-memory
+            compile.
+        in_place: optimize the given graph directly (bypasses the artifact
+            cache: serving a cached artifact would break the promise that
+            *this* object is mutated).
+        force: skip the artifact cache and recompile even on a hit.
+        owns_graph: the caller built ``graph`` solely for this call (e.g.
+            from a zoo name), so the defensive copy would protect an object
+            nobody else can see.
+    """
+    cfg = config if config is not None else CompileConfig()
+    fingerprint = module_fingerprint(cpu, cfg, graph, params)
+    path = (
+        artifact_path_for(cache_dir, graph.name, fingerprint)
+        if cache_dir is not None
+        else None
+    )
+
+    # in_place promises "mutate *this* graph object": serving a cached
+    # artifact instead would keep the promise on cold runs and break it on
+    # warm runs, so the cache is bypassed for in-place compiles.
+    if path is not None and path.exists() and not force and not in_place:
+        try:
+            module = CompiledModule.load(path, expected_fingerprint=fingerprint)
+            _touch(path)
+            return module
+        except ArtifactError:
+            pass  # stale or corrupt artifact: fall through and recompile
+
+    module = compile_graph(
+        graph,
+        cpu,
+        config=cfg,
+        params=params,
+        tuning_database=database,
+        in_place=in_place or owns_graph,
+    )
+    module.fingerprint = fingerprint
+    if path is not None:
+        module.save(path, fingerprint=fingerprint)
+        if database is not None:
+            database.save(Path(cache_dir).expanduser() / TUNING_DB_FILENAME)
+    return module
+
+
+def _touch(path: Path) -> None:
+    """Refresh an artifact's mtime (the repository's LRU clock) on use."""
+    try:
+        os.utime(path)
+    except OSError:  # pragma: no cover - read-only store: LRU degrades to FIFO
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# the multi-target build
+# --------------------------------------------------------------------------- #
+def _build_one_target(
+    graph: Graph,
+    cpu: CPUSpec,
+    config: CompileConfig,
+    params: Optional[Mapping[str, np.ndarray]],
+    database: TuningDatabase,
+) -> Tuple[CompiledModule, TuningDatabase]:
+    """Compile ``graph`` for one target (tuning-worker entry point).
+
+    Top-level (not nested) so a spawn-started worker process can import it;
+    returns the database so records tuned in a worker flow back to the
+    parent's shared database.
+    """
+    module = compile_graph(
+        graph, cpu, config=config, params=params, tuning_database=database
+    )
+    return module, database
+
+
+def _build_one_target_trapped(graph, cpu, config, params, database):
+    """Pool wrapper around :func:`_build_one_target` that *returns* compile
+    failures instead of raising them, so the parent can tell a genuine
+    compile error (re-raise it — a serial retry would fail identically)
+    apart from pool infrastructure trouble (fall back to the serial path)."""
+    try:
+        return ("ok", _build_one_target(graph, cpu, config, params, database))
+    except Exception as error:
+        return ("error", error)
+
+
+def _compile_targets(
+    graph: Graph,
+    cpus: Sequence[CPUSpec],
+    config: CompileConfig,
+    params: Optional[Mapping[str, np.ndarray]],
+    database: TuningDatabase,
+    jobs: Optional[int],
+) -> List[CompiledModule]:
+    """Compile ``graph`` for every target, sharing ``database``.
+
+    With more than one target and more than one job the per-target compiles
+    run in worker *processes* (the candidate scoring is numpy-bound but the
+    search bookkeeping is Python, so processes — unlike the thread-pool
+    ``tune_all`` inside one target — let several presets tune concurrently).
+    Each worker receives only its own target's slice of the tuning database
+    and returns its new records, which are merged back so the shared
+    database (and the persisted ``tuning_db.json``) ends up identical to a
+    serial build.  Any process-pool failure (no fork support, unpicklable
+    custom measurer state, a sandbox without semaphores) falls back to the
+    serial path — the build then merely takes longer.
+    """
+    if jobs is None:
+        jobs = min(len(cpus), os.cpu_count() or 1)
+    if jobs > 1 and len(cpus) > 1:
+        # Import failures (a platform without multiprocessing) and pool
+        # failures share the same answer: fall back to the serial path.  The
+        # imports sit in their own try so every name in the pool-failure
+        # tuple below is guaranteed bound.
+        pool_errors: Optional[tuple] = None
+        try:
+            import multiprocessing
+            import pickle
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            pool_errors = (
+                OSError,
+                ValueError,
+                EOFError,
+                BrokenPipeError,
+                BrokenProcessPool,  # a worker died (OOM kill, hard crash)
+                pickle.PicklingError,  # unpicklable graph/config state
+            )
+        except ImportError:
+            pass
+        results = None
+        try:
+            if pool_errors is None:
+                raise OSError("multiprocessing unavailable on this platform")
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else methods[0]
+            )
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(cpus)), mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _build_one_target_trapped,
+                        graph,
+                        cpu,
+                        config,
+                        params,
+                        database.subset(cpu.name),
+                    )
+                    for cpu in cpus
+                ]
+                results = [future.result() for future in futures]
+        except pool_errors or (OSError,) as error:
+            import warnings
+
+            warnings.warn(
+                f"process-parallel bundle build unavailable ({error}); "
+                f"falling back to a serial build",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        if results is not None:
+            # Outside the except scope on purpose: a worker's *compile*
+            # error (trapped and returned by _build_one_target_trapped) is
+            # re-raised as-is — a serial retry would fail identically, and
+            # it must not be misread as pool trouble.
+            for status, value in results:
+                if status == "error":
+                    raise value
+            modules = []
+            for _, (module, worker_database) in results:
+                database.merge(worker_database)
+                modules.append(module)
+            return modules
+    return [
+        _build_one_target(graph, cpu, config, params, database)[0] for cpu in cpus
+    ]
+
+
+def resolve_targets(targets: Sequence[TargetLike]) -> List[CPUSpec]:
+    """Resolve target aliases/specs, deduplicating by canonical name."""
+    if isinstance(targets, (str, CPUSpec)):
+        targets = [targets]
+    cpus: List[CPUSpec] = []
+    seen = set()
+    for target in targets:
+        cpu = target if isinstance(target, CPUSpec) else get_target(target)
+        if cpu.name not in seen:
+            seen.add(cpu.name)
+            cpus.append(cpu)
+    if not cpus:
+        raise ValueError("build needs at least one target")
+    return cpus
+
+
+def build(
+    model: ModelLike,
+    targets: Sequence[TargetLike],
+    params: Optional[Mapping[str, np.ndarray]] = None,
+    config: Optional[CompileConfig] = None,
+    cache_dir: Optional["str | Path"] = None,
+    output: Optional["str | Path"] = None,
+    database: Optional[TuningDatabase] = None,
+    jobs: Optional[int] = None,
+    force: bool = False,
+) -> "ArtifactBundle":
+    """Compile ``model`` for several CPU targets into one deployable bundle.
+
+    One tuning session covers every target: the targets share a tuning
+    database (persisted under ``cache_dir``), and with multiple targets the
+    per-target searches run in parallel worker processes.  The resulting
+    ``.neocpu`` file carries one payload per target plus the uncompiled
+    source graph, so :func:`load_engine` can serve *any* host — matched,
+    compatible, or recompiled.
+
+    A rebuild with unchanged inputs is a pure cache hit: the bundle file is
+    keyed by the per-target compilation fingerprints, so a warm repository
+    answers without a single search-measurer call.
+
+    Args:
+        model: a model-zoo name (``"resnet-50"``) or a :class:`Graph` (never
+            mutated).
+        targets: CPU targets (preset aliases or :class:`CPUSpec`) to compile
+            for; duplicates (after alias resolution) collapse.
+        params: concrete parameter values to bind before compilation.
+        config: compilation options shared by every target.
+        cache_dir: repository directory — holds the bundle, the persisted
+            tuning database, and any single-target artifacts.  One of
+            ``cache_dir``/``output`` is required.
+        output: explicit bundle file path (overrides the repository layout).
+        database: share an existing in-memory tuning database.
+        jobs: tuning worker processes (default: one per target, capped at
+            the machine's core count; ``1`` forces the serial in-process
+            path).
+        force: rebuild even when a fresh bundle exists.
+
+    Returns:
+        The built (or cache-hit) :class:`ArtifactBundle`.
+    """
+    if cache_dir is None and output is None:
+        raise ValueError("build needs a cache_dir (repository) or an output path")
+    from_zoo = isinstance(model, str)
+    graph = get_model(model) if from_zoo else model
+    cpus = resolve_targets(targets)
+    cfg = config if config is not None else CompileConfig()
+    if database is None:
+        database = (
+            load_tuning_database(cache_dir) if cache_dir is not None else TuningDatabase()
+        )
+
+    fingerprints = [module_fingerprint(cpu, cfg, graph, params) for cpu in cpus]
+    if output is not None:
+        path = Path(output).expanduser()
+    else:
+        path = artifact_path_for(
+            cache_dir, graph.name, bundle_fingerprint(fingerprints)
+        )
+
+    if path.exists() and not force:
+        try:
+            bundle = ArtifactBundle.load(path)
+            recorded = {
+                (entry["target"], entry["fingerprint"]) for entry in bundle.entries()
+            }
+            if recorded == set(zip((cpu.name for cpu in cpus), fingerprints)):
+                _touch(path)
+                return bundle
+        except ArtifactError:
+            pass  # corrupt or foreign file under the bundle name: rebuild it
+
+    modules = _compile_targets(graph, cpus, cfg, params, database, jobs)
+    for module, fingerprint in zip(modules, fingerprints):
+        module.fingerprint = fingerprint
+    source = {
+        "graph": graph if from_zoo else graph.copy(),
+        "params": dict(params) if params else None,
+        "config": cfg,
+    }
+    save_bundle(list(zip(modules, fingerprints)), path, source=source)
+    if cache_dir is not None:
+        database.save(Path(cache_dir).expanduser() / TUNING_DB_FILENAME)
+    return ArtifactBundle.load(path)
+
+
+# --------------------------------------------------------------------------- #
+# the bundle view and host-matched engine loading
+# --------------------------------------------------------------------------- #
+class ArtifactBundle:
+    """A read view over one ``.neocpu`` artifact (single- or multi-target)."""
+
+    def __init__(self, path: "str | Path", manifest: dict) -> None:
+        self.path = Path(path)
+        self.manifest = manifest
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ArtifactBundle":
+        """Open an artifact by path (manifest only; no payload is read)."""
+        return cls(path, read_manifest(path))
+
+    # -- manifest accessors ------------------------------------------------ #
+    @property
+    def model(self) -> str:
+        return str(self.manifest.get("model", "?"))
+
+    @property
+    def targets(self) -> List[str]:
+        return [entry["target"] for entry in self.entries()]
+
+    def entries(self) -> List[dict]:
+        """Per-target manifest entries (normalized across format versions)."""
+        return manifest_targets(self.manifest)
+
+    @property
+    def has_source(self) -> bool:
+        """Does the bundle embed the uncompiled source graph for recompiles?"""
+        return int(self.manifest.get("source_bytes") or 0) > 0
+
+    def size_bytes(self) -> int:
+        return self.path.stat().st_size
+
+    # -- payload access ---------------------------------------------------- #
+    def load_module(
+        self,
+        target: Optional[str] = None,
+        expected_fingerprint: Optional[str] = None,
+    ) -> CompiledModule:
+        """Load one member module (see :func:`repro.runtime.load_member`)."""
+        return load_member(
+            self.path, target=target, expected_fingerprint=expected_fingerprint
+        )
+
+    def load_source(self) -> Optional[dict]:
+        """The embedded recompilation payload, or ``None``."""
+        return load_source(self.path)
+
+    def verify(self, deep: bool = False) -> List[str]:
+        """Integrity problems of the underlying file (empty list = intact)."""
+        return verify_artifact(self.path, deep=deep)
+
+    # -- host matching ----------------------------------------------------- #
+    def _entry_cpu(self, entry: dict) -> Optional[CPUSpec]:
+        summary = entry.get("cpu")
+        if summary:
+            return cpu_from_summary(summary)
+        # v1 manifests recorded only the target name; presets resolve their
+        # own full names, anything else cannot be scored from the manifest.
+        try:
+            return get_target(entry["target"])
+        except (KeyError, TypeError):
+            return None
+
+    def select(self, host: CPUSpec) -> Tuple[Optional[dict], str]:
+        """Choose the payload to serve on ``host``.
+
+        Returns ``(entry, reason)`` where ``reason`` is ``"fingerprint"``
+        (exact host match), ``"compatible:<score>"`` (best positive
+        ISA/cache-compatibility score), or ``(None, "none")`` when no
+        payload may run on this host.
+        """
+        entries = self.entries()
+        fingerprint = host_fingerprint(host)
+        for entry in entries:
+            if entry.get("host_fingerprint") == fingerprint:
+                return entry, "fingerprint"
+        # Scoreable candidates, ranked by the shared compatibility policy
+        # (target names are unique within a bundle, so they key the entries).
+        entry_by_name: Dict[str, dict] = {}
+        cpus: List[CPUSpec] = []
+        for entry in entries:
+            cpu = self._entry_cpu(entry)
+            if cpu is not None and cpu.name not in entry_by_name:
+                entry_by_name[cpu.name] = entry
+                cpus.append(cpu)
+        if cpus:
+            score, best = rank_targets(host, cpus)[0]
+            if score > 0.0:
+                return entry_by_name[best.name], f"compatible:{score:.3f}"
+        return None, "none"
+
+    def describe(self) -> str:
+        """Human-readable manifest summary (what ``repro.cli inspect`` prints)."""
+        manifest = self.manifest
+        lines = [
+            f"{self.path}",
+            f"  model            : {self.model}",
+            f"  artifact version : {manifest.get('artifact_version')}",
+            f"  size             : {self.size_bytes():,} bytes"
+            if self.path.exists()
+            else "  size             : (missing)",
+            f"  source payload   : "
+            + ("embedded (host-recompilable)" if self.has_source else "none"),
+            f"  targets ({len(self.entries())}):",
+        ]
+        for entry in self.entries():
+            fingerprint = str(entry.get("fingerprint") or "?")
+            # Both ends: the head digests (target, config), the tail digests
+            # (graph, params) — so neither two models on one target nor one
+            # model on two targets render alike.
+            rendered = (
+                f"{fingerprint[:8]}..{fingerprint[-8:]}"
+                if len(fingerprint) > 18
+                else fingerprint
+            )
+            lines.append(
+                f"    {entry['target']:<28s} search={entry.get('search_method', '?'):<8s}"
+                f" schedules={entry.get('num_schedules', '?'):<3} "
+                f"fingerprint={rendered}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ArtifactBundle(model={self.model!r}, targets={self.targets}, "
+            f"path={str(self.path)!r})"
+        )
+
+
+def load_engine(
+    path: "str | Path",
+    host: Optional[TargetLike] = None,
+    params: Optional[Mapping[str, np.ndarray]] = None,
+    seed: int = 0,
+    database: Optional[TuningDatabase] = None,
+    **engine_kwargs,
+) -> InferenceEngine:
+    """Open an artifact and serve it on the running host — never mis-served.
+
+    Payload selection (see :meth:`ArtifactBundle.select`): exact host
+    fingerprint, else the best positive ISA/cache-compatibility score, else
+    a transparent recompile from the bundle's embedded source graph.  After
+    unpickling, the chosen payload's *actual* target is re-checked against
+    the host — a manifest that lies about its payload is recompiled or
+    refused, not served.
+
+    Args:
+        path: artifact file (v1 single-target files and v2 bundles).
+        host: the serving CPU (preset alias or :class:`CPUSpec`); defaults
+            to :func:`repro.hardware.detect_host` (honoring the
+            ``REPRO_HOST_TARGET`` environment variable).
+        params: parameter values to bind at engine creation.
+        seed: RNG seed for parameters without explicit values.
+        database: tuning database for the recompile path; defaults to the
+            repository's persisted database when the artifact lives in one.
+        engine_kwargs: forwarded to :class:`InferenceEngine` (scheduler
+            knobs such as ``max_batch_size`` and ``batch_timeout_ms``).
+
+    Returns:
+        A live :class:`InferenceEngine`; ``engine.host_match`` records how
+        the payload was chosen and ``engine.artifact_path`` pins the file
+        against repository GC until ``engine.close()``.
+
+    Raises:
+        ArtifactError: when the file is corrupt, or when no payload fits the
+            host and the bundle carries no source graph to recompile from.
+    """
+    if host is None:
+        host = detect_host()
+    elif isinstance(host, str):
+        host = get_target(host)
+    path = Path(path)
+    # Pin before the first read: a concurrent repository GC sweep must see
+    # this artifact as in-use for the whole load, not just once an engine
+    # holds it — otherwise an over-budget sweep could unlink the file
+    # between the manifest read and the payload read.
+    pin_artifact(path)
+    try:
+        bundle = ArtifactBundle.load(path)
+        entry, reason = bundle.select(host)
+        module: Optional[CompiledModule] = None
+        if entry is not None:
+            module = bundle.load_module(target=entry["target"])
+            if compatibility_score(host, module.cpu) <= 0.0:
+                # The manifest promised a compatible payload but the
+                # unpickled module targets something the host cannot
+                # execute: fall through to the recompile path rather than
+                # mis-serve.
+                module, reason = None, "none"
+        if module is None:
+            source = bundle.load_source()
+            if source is None:
+                raise ArtifactError(
+                    f"{path} has no payload compatible with host {host.name!r} "
+                    f"(targets: {bundle.targets}) and embeds no source graph to "
+                    f"recompile from; rebuild the bundle with this host among "
+                    f"its targets"
+                )
+            # Transparent recompile for this host, warmed by (and warming)
+            # the repository's tuning database when the artifact lives in one.
+            repo_dir: Optional[Path] = None
+            if database is None and path.parent.name == MODULE_CACHE_DIRNAME:
+                repo_dir = path.parent.parent
+                database = load_tuning_database(repo_dir)
+            module = compile_graph(
+                source["graph"],
+                host,
+                config=source.get("config"),
+                params=source.get("params"),
+                tuning_database=database,
+                in_place=True,  # the unpickled source graph is owned outright
+            )
+            if repo_dir is not None and database is not None:
+                database.save(repo_dir / TUNING_DB_FILENAME)
+            reason = "recompiled"
+
+        engine = InferenceEngine(module, params=params, seed=seed, **engine_kwargs)
+    except BaseException:
+        release_artifact(path)
+        raise
+    engine.artifact_path = path
+    engine.host_match = reason
+    engine.served_target = module.cpu.name
+    engine.add_close_hook(lambda: release_artifact(path))
+    _touch(path)
+    return engine
+
+
+# --------------------------------------------------------------------------- #
+# the model repository (what repro.cli operates on)
+# --------------------------------------------------------------------------- #
+@dataclass
+class ArtifactInfo:
+    """One repository entry: the file plus its manifest (or why it has none)."""
+
+    path: Path
+    size_bytes: int
+    mtime: float
+    manifest: Optional[dict] = None
+    error: Optional[str] = None
+
+    @property
+    def model(self) -> str:
+        return str(self.manifest.get("model", "?")) if self.manifest else "?"
+
+    @property
+    def targets(self) -> List[str]:
+        if not self.manifest:
+            return []
+        try:
+            return [entry["target"] for entry in manifest_targets(self.manifest)]
+        except ArtifactError:
+            return []
+
+
+@dataclass
+class GCReport:
+    """What one :meth:`ModelRepository.gc` sweep did (or would do)."""
+
+    max_bytes: int
+    total_bytes_before: int = 0
+    total_bytes_after: int = 0
+    evicted: List[Path] = field(default_factory=list)
+    kept: List[Path] = field(default_factory=list)
+    pinned: List[Path] = field(default_factory=list)
+    dry_run: bool = False
+
+    @property
+    def freed_bytes(self) -> int:
+        return self.total_bytes_before - self.total_bytes_after
+
+    @property
+    def over_budget(self) -> bool:
+        """Still above budget after the sweep (everything left is pinned)."""
+        return self.total_bytes_after > self.max_bytes
+
+    def describe(self) -> str:
+        verb = "would evict" if self.dry_run else "evicted"
+        lines = [
+            f"repository gc: budget {self.max_bytes:,} bytes, "
+            f"{self.total_bytes_before:,} -> {self.total_bytes_after:,} bytes "
+            f"({verb} {len(self.evicted)}, kept {len(self.kept)}, "
+            f"pinned {len(self.pinned)})",
+        ]
+        for path in self.evicted:
+            lines.append(f"  {verb}: {path.name}")
+        for path in self.pinned:
+            lines.append(f"  pinned (in use): {path.name}")
+        if self.over_budget:
+            lines.append(
+                "  still over budget: every remaining artifact is pinned by a "
+                "live engine"
+            )
+        return "\n".join(lines)
+
+
+class ModelRepository:
+    """Inspect and manage the artifact store under a cache directory.
+
+    The repository is the durable half of a deployment: ``modules/*.neocpu``
+    artifacts (single-target and bundles, all self-describing via their
+    manifests) plus the shared ``tuning_db.json``.  It offers the four
+    operations a serving fleet needs — list, inspect, verify, and
+    size-budgeted garbage collection — and is what ``python -m repro.cli``
+    wraps.
+
+    Eviction is least-recently-*used*: every artifact load (engine open,
+    cache hit, rebuild hit) refreshes the file's mtime, and :meth:`gc`
+    deletes oldest-first until the store fits ``max_bytes`` — skipping
+    artifacts pinned by live engines (see :func:`pin_artifact`) and
+    in-progress ``.tmp-*`` writes.  Deletion is whole-file ``unlink``, so a
+    concurrent reader either sees an intact artifact or none at all, never a
+    truncated one.
+    """
+
+    TUNING_DB_FILENAME = TUNING_DB_FILENAME
+    MODULE_CACHE_DIRNAME = MODULE_CACHE_DIRNAME
+    ARTIFACT_SUFFIX = ARTIFACT_SUFFIX
+
+    def __init__(self, cache_dir: "str | Path") -> None:
+        self.root = Path(cache_dir).expanduser()
+        self.modules_dir = self.root / MODULE_CACHE_DIRNAME
+
+    # -- enumeration ------------------------------------------------------- #
+    def artifact_paths(self) -> List[Path]:
+        """Every artifact file in the store (in-progress writes excluded)."""
+        if not self.modules_dir.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.modules_dir.iterdir()
+            if path.is_file()
+            and path.name.endswith(ARTIFACT_SUFFIX)
+            and ".tmp-" not in path.name
+        )
+
+    def artifacts(self) -> List[ArtifactInfo]:
+        """Repository inventory, most recently used first."""
+        infos: List[ArtifactInfo] = []
+        for path in self.artifact_paths():
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue  # raced with a concurrent GC/eviction
+            info = ArtifactInfo(path, stat.st_size, stat.st_mtime)
+            try:
+                info.manifest = read_manifest(path)
+            except (ArtifactError, OSError) as error:
+                info.error = str(error)
+            infos.append(info)
+        infos.sort(key=lambda info: info.mtime, reverse=True)
+        return infos
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self.artifact_paths():
+            try:
+                total += path.stat().st_size
+            except FileNotFoundError:
+                pass
+        return total
+
+    def resolve(self, name_or_path: "str | Path") -> Path:
+        """An artifact path from a repository-relative name or a real path."""
+        candidate = Path(name_or_path).expanduser()
+        if candidate.exists():
+            return candidate
+        for suffix in ("", ARTIFACT_SUFFIX):
+            inside = self.modules_dir / f"{name_or_path}{suffix}"
+            if inside.exists():
+                return inside
+        raise FileNotFoundError(
+            f"no artifact {str(name_or_path)!r} (looked in {self.modules_dir})"
+        )
+
+    # -- operations -------------------------------------------------------- #
+    def open(self, name_or_path: "str | Path") -> ArtifactBundle:
+        return ArtifactBundle.load(self.resolve(name_or_path))
+
+    def verify(self, name_or_path: "str | Path", deep: bool = False) -> List[str]:
+        return verify_artifact(self.resolve(name_or_path), deep=deep)
+
+    def verify_all(self, deep: bool = False) -> Dict[Path, List[str]]:
+        """Problems per artifact (only artifacts with problems appear)."""
+        report: Dict[Path, List[str]] = {}
+        for path in self.artifact_paths():
+            problems = verify_artifact(path, deep=deep)
+            if problems:
+                report[path] = problems
+        return report
+
+    def tuning_database(self) -> TuningDatabase:
+        return load_tuning_database(self.root)
+
+    def gc(self, max_bytes: int, dry_run: bool = False) -> GCReport:
+        """Evict least-recently-used artifacts until the store fits the budget.
+
+        Artifacts pinned by live engines are never deleted, even if the
+        budget cannot be met without them (the report's ``over_budget`` flag
+        says so).  Safe to run concurrently with engine loads *in this
+        process*: :func:`load_engine` pins before its first read, pins are
+        checked per file immediately before its unlink, and a file that
+        vanishes underneath the sweep (a racing GC) is simply skipped.  The
+        pin registry is per-process — a ``repro.cli gc`` run next to
+        *separate* serving processes cannot see their pins, so unattended
+        cross-process GC needs external coordination (ROADMAP item).
+
+        Args:
+            max_bytes: byte budget for ``modules/``; must be >= 0.
+            dry_run: report what would be evicted without deleting.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        # stat() only: eviction needs size, age and pin state — parsing the
+        # manifests (what artifacts() does for the inventory views) would be
+        # one file read per artifact per sweep of pure waste.
+        entries = []
+        for path in self.artifact_paths():
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                continue  # raced with a concurrent GC/eviction
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        report = GCReport(max_bytes=max_bytes, dry_run=dry_run)
+        total = sum(size for _, size, _ in entries)
+        report.total_bytes_before = total
+        for _, size, path in entries:
+            if total <= max_bytes:
+                report.kept.append(path)
+                continue
+            if dry_run:
+                if _pin_key(path) in pinned_artifacts():
+                    report.pinned.append(path)
+                else:
+                    total -= size
+                    report.evicted.append(path)
+                continue
+            outcome = _unlink_unless_pinned(path)
+            if outcome == "pinned":
+                report.pinned.append(path)
+            elif outcome == "missing":
+                total -= size  # someone else freed it for us
+            else:
+                total -= size
+                report.evicted.append(path)
+        report.total_bytes_after = total
+        return report
+
+    def describe(self) -> str:
+        """Inventory table (what ``repro.cli list`` prints)."""
+        infos = self.artifacts()
+        lines = [
+            f"repository {self.root} — {len(infos)} artifact(s), "
+            f"{self.total_bytes():,} bytes"
+        ]
+        for info in infos:
+            if info.error is not None:
+                lines.append(f"  {info.path.name:<48s} UNREADABLE: {info.error}")
+                continue
+            targets = ",".join(info.targets)
+            lines.append(
+                f"  {info.path.name:<48s} {info.model:<16s} "
+                f"{info.size_bytes:>10,} B  targets={targets}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"ModelRepository(root={str(self.root)!r})"

@@ -29,7 +29,7 @@ from ..graph.graph import Graph
 from ..runtime.module import CompiledModule
 from ..runtime.threadpool import BufferPool
 from ..tensor.tensor import Tensor
-from .scheduler import RequestScheduler, SchedulerStats, _attach_index
+from .scheduler import AdaptiveTimeout, RequestScheduler, SchedulerStats, _attach_index
 
 __all__ = ["InferenceEngine", "batchability_report"]
 
@@ -133,7 +133,9 @@ class InferenceEngine:
             be batch-stacked).
         batch_timeout_ms: how long the scheduler waits for additional
             compatible requests before dispatching a partial batch; bounds
-            the latency cost of batching.
+            the latency cost of batching.  Pass ``"auto"`` to derive the
+            window from the observed inter-arrival rate
+            (:class:`~repro.api.AdaptiveTimeout`).
         queue_depth: bound of the request queue; submission blocks (up to the
             request deadline) while the queue is full.
         num_workers: scheduler worker threads executing dispatched batches.
@@ -150,7 +152,7 @@ class InferenceEngine:
         seed: int = 0,
         *,
         max_batch_size: int = 8,
-        batch_timeout_ms: float = 2.0,
+        batch_timeout_ms: "float | str" = 2.0,
         queue_depth: int = 256,
         num_workers: Optional[int] = None,
     ) -> None:
@@ -166,6 +168,23 @@ class InferenceEngine:
         self.batchability_reason = batchability_report(module.graph)
         self.batchable = self.batchability_reason is None
         self.max_batch_size = max_batch_size if self.batchable else 1
+        # Validate eagerly: the scheduler is created lazily on the first
+        # request, and a typo like "atuo" should fail here, not on a serving
+        # thread deep inside the first submit.
+        if isinstance(batch_timeout_ms, str):
+            if batch_timeout_ms != "auto":
+                raise ValueError(
+                    f"batch_timeout_ms must be a number, 'auto' or an "
+                    f"AdaptiveTimeout, got {batch_timeout_ms!r}"
+                )
+        elif isinstance(batch_timeout_ms, (int, float)):
+            if batch_timeout_ms < 0:
+                raise ValueError("batch_timeout_ms must be >= 0")
+        elif not isinstance(batch_timeout_ms, AdaptiveTimeout):
+            raise ValueError(
+                f"batch_timeout_ms must be a number, 'auto' or an "
+                f"AdaptiveTimeout, got {type(batch_timeout_ms).__name__}"
+            )
         self.batch_timeout_ms = batch_timeout_ms
         self.queue_depth = queue_depth
         if num_workers is None:
@@ -174,6 +193,15 @@ class InferenceEngine:
         self._buffers = BufferPool()
         self._scheduler: Optional[RequestScheduler] = None
         self._scheduler_lock = threading.Lock()
+        #: Set by :func:`repro.api.load_engine`: the artifact file this
+        #: engine serves from (pinned against repository GC while open) and
+        #: how its payload was chosen ("fingerprint", "compatible:<score>"
+        #: or "recompiled").
+        self.artifact_path = None
+        self.host_match: Optional[str] = None
+        self.served_target: Optional[str] = None
+        self._close_hooks: List = []
+        self._close_hooks_fired = False
 
     # ------------------------------------------------------------------ #
     # scheduler plumbing
@@ -393,10 +421,24 @@ class InferenceEngine:
             return SchedulerStats()
         return self._scheduler.stats()
 
+    def add_close_hook(self, hook) -> None:
+        """Run ``hook()`` when the engine closes (releasing artifact pins,
+        unregistering from a repository, ...).  Hooks fire exactly once, in
+        registration order, even if ``close`` is called repeatedly."""
+        self._close_hooks.append(hook)
+
     def close(self, wait: bool = True) -> None:
         """Drain and shut down the scheduler (no-op if never used)."""
-        if self._scheduler is not None:
-            self._scheduler.close(wait=wait)
+        try:
+            if self._scheduler is not None:
+                self._scheduler.close(wait=wait)
+        finally:
+            # Hooks release artifact pins: they must fire even if scheduler
+            # shutdown raises, or the pinned file is GC-exempt forever.
+            if not self._close_hooks_fired:
+                self._close_hooks_fired = True
+                for hook in self._close_hooks:
+                    hook()
 
     def __enter__(self) -> "InferenceEngine":
         return self
@@ -434,8 +476,17 @@ class InferenceEngine:
         for name, (shape, dtype) in sorted(self.input_signature.items()):
             rendered = ", ".join("N" if d is None else str(d) for d in shape)
             lines.append(f"    {name}: ({rendered}) {dtype}")
+        if isinstance(self.batch_timeout_ms, (int, float)):
+            timeout = f"{self.batch_timeout_ms:g}"
+        else:  # "auto" or an AdaptiveTimeout instance
+            timeout = str(self.batch_timeout_ms)
+            if self._scheduler is not None and self._scheduler.adaptive_timeout:
+                timeout += (
+                    f" (currently "
+                    f"{self._scheduler.adaptive_timeout.window_ms:.2f}ms)"
+                )
         lines.append(
-            f"  scheduler: batch_timeout_ms={self.batch_timeout_ms:g}, "
+            f"  scheduler: batch_timeout_ms={timeout}, "
             f"queue_depth={self.queue_depth}, num_workers={self.num_workers}"
         )
         return "\n".join(lines)

@@ -33,20 +33,14 @@ from typing import Mapping, Optional, Union
 
 import numpy as np
 
-from ..core.compiler import compile_graph
 from ..core.config import CompileConfig
-from ..core.tuning_db import TuningDatabase, TuningDatabaseMigrationError
+from ..core.tuning_db import TuningDatabase
 from ..graph.graph import Graph
 from ..hardware.cpu import CPUSpec
 from ..hardware.presets import get_target
 from ..models.zoo import get_model
-from ..runtime.artifact import (
-    ArtifactError,
-    compilation_fingerprint,
-    graph_fingerprint,
-    params_fingerprint,
-)
 from ..runtime.module import CompiledModule
+from . import deployment
 from .engine import InferenceEngine
 
 __all__ = ["Optimizer"]
@@ -73,11 +67,12 @@ class Optimizer:
             shared database.
     """
 
-    #: File names of the durable caches inside ``cache_dir``; the benchmark
-    #: harness points its session fixture at the same layout.
-    TUNING_DB_FILENAME = "tuning_db.json"
-    MODULE_CACHE_DIRNAME = "modules"
-    ARTIFACT_SUFFIX = ".neocpu"
+    #: File names of the durable caches inside ``cache_dir``; shared with
+    #: :class:`~repro.api.ModelRepository` and the benchmark harness, which
+    #: all point at the same layout.
+    TUNING_DB_FILENAME = deployment.TUNING_DB_FILENAME
+    MODULE_CACHE_DIRNAME = deployment.MODULE_CACHE_DIRNAME
+    ARTIFACT_SUFFIX = deployment.ARTIFACT_SUFFIX
 
     def __init__(
         self,
@@ -103,31 +98,15 @@ class Optimizer:
         """Load the tuning database persisted in ``cache_dir``.
 
         Returns an empty database when none was persisted yet, or when the
-        persisted file uses an incompatible schema (stale caches regenerate;
+        persisted file uses an unmigratable schema (stale caches regenerate;
         they are never allowed to poison a session).
         """
-        path = Path(cache_dir).expanduser() / cls.TUNING_DB_FILENAME
-        if not path.exists():
-            return TuningDatabase()
-        try:
-            return TuningDatabase.load(path)
-        except (TuningDatabaseMigrationError, OSError, ValueError, KeyError):
-            return TuningDatabase()
+        return deployment.load_tuning_database(cache_dir)
 
     def save_caches(self) -> None:
         """Persist the tuning database to ``cache_dir`` (no-op without one)."""
         if self.cache_dir is not None:
             self.database.save(self.cache_dir / self.TUNING_DB_FILENAME)
-
-    def _artifact_path(self, model_name: str, fingerprint: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        safe_name = "".join(c if c.isalnum() or c in "-_." else "_" for c in model_name)
-        return (
-            self.cache_dir
-            / self.MODULE_CACHE_DIRNAME
-            / f"{safe_name}-{fingerprint[:16]}{self.ARTIFACT_SUFFIX}"
-        )
 
     def fingerprint(
         self,
@@ -141,8 +120,9 @@ class Optimizer:
         the source graph and the digest of explicitly-bound parameters; any
         change to any of them invalidates cached artifacts.
         """
-        base = compilation_fingerprint(self.cpu, config or self.config)
-        return f"{base[:32]}{graph_fingerprint(graph)[:16]}{params_fingerprint(params)[:16]}"
+        return deployment.module_fingerprint(
+            self.cpu, config or self.config, graph, params
+        )
 
     # ------------------------------------------------------------------ #
     # compilation
@@ -156,6 +136,10 @@ class Optimizer:
         force: bool = False,
     ) -> CompiledModule:
         """Compile a model for this session's target.
+
+        Thin single-target wrapper over the deployment build path
+        (:func:`repro.api.deployment.compile_for_target`); the multi-target
+        :func:`repro.api.build` fans the same path out across presets.
 
         Args:
             model: a model-zoo name (``"resnet-50"``) or a :class:`Graph`.
@@ -176,34 +160,44 @@ class Optimizer:
         """
         from_zoo = isinstance(model, str)
         graph = get_model(model) if from_zoo else model
-        cfg = config if config is not None else self.config
-        fingerprint = self.fingerprint(graph, cfg, params)
-        path = self._artifact_path(graph.name, fingerprint)
-
-        # in_place promises "mutate *this* graph object": serving a cached
-        # artifact instead would keep the promise on cold runs and break it on
-        # warm runs, so the cache is bypassed for in-place compiles.
-        if path is not None and path.exists() and not force and not in_place:
-            try:
-                return CompiledModule.load(path, expected_fingerprint=fingerprint)
-            except ArtifactError:
-                pass  # stale or corrupt artifact: fall through and recompile
-
-        module = compile_graph(
+        return deployment.compile_for_target(
             graph,
             self.cpu,
-            config=cfg,
+            config=config if config is not None else self.config,
             params=params,
-            tuning_database=self.database,
-            # A zoo-name compile owns its freshly built graph outright, so the
-            # defensive copy would protect an object nobody else can see.
-            in_place=in_place or from_zoo,
+            database=self.database,
+            cache_dir=self.cache_dir,
+            in_place=in_place,
+            force=force,
+            # A zoo-name compile owns its freshly built graph outright, so
+            # the defensive copy would protect an object nobody else can see.
+            owns_graph=from_zoo,
         )
-        module.fingerprint = fingerprint
-        if path is not None:
-            module.save(path, fingerprint=fingerprint)
-            self.save_caches()
-        return module
+
+    def build(
+        self,
+        model: ModelLike,
+        targets: "list[str | CPUSpec]",
+        params: Optional[Mapping[str, np.ndarray]] = None,
+        config: Optional[CompileConfig] = None,
+        **kwargs,
+    ) -> "deployment.ArtifactBundle":
+        """Build a multi-target bundle from this session (see :func:`repro.api.build`).
+
+        The session's target is always included; its tuning database and
+        ``cache_dir`` are shared with the build.
+        """
+        if isinstance(targets, (str, CPUSpec)):  # a bare target, not a list
+            targets = [targets]
+        return deployment.build(
+            model,
+            [self.cpu, *targets],
+            params=params,
+            config=config if config is not None else self.config,
+            cache_dir=self.cache_dir,
+            database=self.database,
+            **kwargs,
+        )
 
     def engine(
         self,

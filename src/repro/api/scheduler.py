@@ -41,11 +41,96 @@ import numpy as np
 from ..runtime.threadpool import BoundedQueue
 
 __all__ = [
+    "AdaptiveTimeout",
     "DeadlineExceeded",
     "RequestScheduler",
     "SchedulerStats",
     "request_signature",
 ]
+
+
+class AdaptiveTimeout:
+    """Derive the batching window from the observed request arrival rate.
+
+    ``RequestScheduler(batch_timeout_ms="auto")`` uses one of these instead
+    of a fixed window.  The policy: the window should be just long enough to
+    catch the next few requests of the *current* traffic, never a fixed
+    guess about it.
+
+    * The mean inter-arrival gap is tracked as an EWMA over
+      :meth:`observe` calls (one per accepted request).
+    * Dense traffic — the window is ``multiplier`` inter-arrival gaps
+      (enough to coalesce a handful of stragglers), floored at ``min_ms`` so
+      timer granularity never collapses it to a busy-poll.
+    * Sparse traffic — when even ``multiplier`` gaps exceed ``max_ms``, no
+      straggler worth waiting for can arrive inside any acceptable window,
+      so the window drops to ``min_ms`` instead of taxing every request with
+      ``max_ms`` of hopeless waiting.
+    * Before any rate is observed the window is ``initial_ms`` (the fixed
+      default a non-adaptive scheduler uses).
+
+    Thread-safe: arrivals are observed under a lock; reading the window is
+    lock-free.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        multiplier: float = 3.0,
+        min_ms: float = 0.2,
+        max_ms: float = 20.0,
+        initial_ms: float = 2.0,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if multiplier <= 0 or min_ms < 0 or max_ms < min_ms or initial_ms < 0:
+            raise ValueError("invalid adaptive-timeout bounds")
+        self.alpha = alpha
+        self.multiplier = multiplier
+        self.min_s = min_ms / 1e3
+        self.max_s = max_ms / 1e3
+        self.initial_s = initial_ms / 1e3
+        self._lock = threading.Lock()
+        self._last_arrival: Optional[float] = None
+        self._ewma_gap_s: Optional[float] = None
+
+    def observe(self, now: float) -> None:
+        """Record one request arrival at monotonic time ``now`` (seconds)."""
+        with self._lock:
+            last = self._last_arrival
+            self._last_arrival = now
+            if last is None:
+                return
+            gap = max(0.0, now - last)
+            if self._ewma_gap_s is None:
+                self._ewma_gap_s = gap
+            else:
+                self._ewma_gap_s += self.alpha * (gap - self._ewma_gap_s)
+
+    @property
+    def interarrival_s(self) -> Optional[float]:
+        """The current EWMA inter-arrival gap (None until two arrivals)."""
+        return self._ewma_gap_s
+
+    @property
+    def window_s(self) -> float:
+        """The coalescing window the collector should use right now."""
+        gap = self._ewma_gap_s
+        if gap is None:
+            return self.initial_s
+        proposed = self.multiplier * gap
+        if proposed > self.max_s:
+            return self.min_s  # arrivals too sparse: waiting cannot coalesce
+        return max(self.min_s, proposed)
+
+    @property
+    def window_ms(self) -> float:
+        return self.window_s * 1e3
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        gap = self._ewma_gap_s
+        observed = "unobserved" if gap is None else f"gap={gap * 1e3:.3f}ms"
+        return f"AdaptiveTimeout(window={self.window_ms:.3f}ms, {observed})"
 
 
 class DeadlineExceeded(TimeoutError):
@@ -140,7 +225,9 @@ class RequestScheduler:
             deadlines).
         batch_timeout_ms: how long the collector waits for additional
             compatible requests before dispatching a partial batch.  The
-            latency cost of batching is bounded by this knob.
+            latency cost of batching is bounded by this knob.  Pass
+            ``"auto"`` (or an :class:`AdaptiveTimeout`) to derive the window
+            from the observed inter-arrival rate instead of fixing it.
         queue_depth: bound of the request queue; submitters block (up to
             their deadline) while the queue is full.
         num_workers: worker threads executing dispatched batches.  Two by
@@ -154,7 +241,7 @@ class RequestScheduler:
         runner: Callable[[List[Mapping[str, np.ndarray]]], List[List[np.ndarray]]],
         *,
         max_batch_size: int = 8,
-        batch_timeout_ms: float = 2.0,
+        batch_timeout_ms: "float | str | AdaptiveTimeout" = 2.0,
         queue_depth: int = 256,
         num_workers: int = 2,
         signature: Callable[[Mapping[str, object]], Tuple] = request_signature,
@@ -162,13 +249,25 @@ class RequestScheduler:
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
-        if batch_timeout_ms < 0:
-            raise ValueError("batch_timeout_ms must be >= 0")
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self._runner = runner
         self.max_batch_size = max_batch_size
-        self.batch_timeout_s = batch_timeout_ms / 1e3
+        self.adaptive_timeout: Optional[AdaptiveTimeout] = None
+        self._fixed_timeout_s = 0.0
+        if isinstance(batch_timeout_ms, AdaptiveTimeout):
+            self.adaptive_timeout = batch_timeout_ms
+        elif isinstance(batch_timeout_ms, str):
+            if batch_timeout_ms != "auto":
+                raise ValueError(
+                    f"batch_timeout_ms must be a number or 'auto', "
+                    f"got {batch_timeout_ms!r}"
+                )
+            self.adaptive_timeout = AdaptiveTimeout()
+        else:
+            if batch_timeout_ms < 0:
+                raise ValueError("batch_timeout_ms must be >= 0")
+            self._fixed_timeout_s = batch_timeout_ms / 1e3
         self.queue_depth = queue_depth
         self._signature = signature
         self._queue = BoundedQueue(queue_depth)
@@ -183,6 +282,18 @@ class RequestScheduler:
             target=self._collect_loop, name=f"{name}-collector", daemon=True
         )
         self._collector.start()
+
+    @property
+    def batch_timeout_s(self) -> float:
+        """The collector's current coalescing window, in seconds.
+
+        A fixed constant normally; under ``batch_timeout_ms="auto"`` it
+        tracks the observed arrival rate (see :class:`AdaptiveTimeout`), so
+        consecutive reads may differ.
+        """
+        if self.adaptive_timeout is not None:
+            return self.adaptive_timeout.window_s
+        return self._fixed_timeout_s
 
     # ------------------------------------------------------------------ #
     # submission side
@@ -210,6 +321,8 @@ class RequestScheduler:
             raise RuntimeError("scheduler is closed")
         future: "Future[List[np.ndarray]]" = Future()
         now = time.monotonic()
+        if self.adaptive_timeout is not None:
+            self.adaptive_timeout.observe(now)
         deadline = now + timeout_ms / 1e3 if timeout_ms is not None else None
         request = _Request(
             inputs, future, deadline, next(self._counter), self._signature(inputs)

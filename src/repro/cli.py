@@ -1,0 +1,282 @@
+"""Command-line model repository: ``python -m repro.cli``.
+
+The operational face of the deployment API (:mod:`repro.api.deployment`):
+everything a serving fleet's build and ops steps need, over the manifests of
+a :class:`~repro.api.ModelRepository` cache directory.
+
+Subcommands::
+
+    build MODEL --targets skylake,epyc,arm   compile one multi-target bundle
+    list                                     inventory of the repository
+    inspect ARTIFACT                         manifest of one artifact
+    verify [ARTIFACT] [--deep]               integrity-check artifacts
+    gc --max-bytes N [--dry-run]             LRU-evict down to a byte budget
+    check ARTIFACT [--host TARGET]           load on a host, serve a probe
+                                             request, print the output digest
+
+``check`` exists so a deployment pipeline can diff served numbers across
+hosts and builds with nothing but shell: it loads the artifact exactly the
+way :func:`repro.api.load_engine` would on that host, runs one deterministic
+probe request, and prints a SHA-256 over the output bytes — two artifacts
+that print the same digest serve byte-identical outputs for that probe.
+
+The repository directory comes from ``--cache-dir``, the ``REPRO_CACHE_DIR``
+environment variable, or ``~/.cache/neocpu``, in that order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main"]
+
+#: Environment variable overriding the default repository directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_CACHE_DIR = "~/.cache/neocpu"
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def _parse_bytes(text: str) -> int:
+    """``"1500"``, ``"64K"``, ``"10M"``, ``"2G"`` -> byte counts."""
+    text = text.strip().lower()
+    if text and text[-1] in _SIZE_SUFFIXES:
+        return int(float(text[:-1]) * _SIZE_SUFFIXES[text[-1]])
+    return int(text)
+
+
+def _cache_dir(args) -> Path:
+    explicit = getattr(args, "cache_dir", None)
+    if explicit:
+        return Path(explicit).expanduser()
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR).expanduser()
+
+
+def _repository(args):
+    from .api import ModelRepository
+
+    return ModelRepository(_cache_dir(args))
+
+
+# --------------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_build(args) -> int:
+    from .api import CompileConfig, build
+
+    config = CompileConfig(opt_level=args.opt_level)
+    targets = [t for t in (s.strip() for s in args.targets.split(",")) if t]
+    # The repository's tuning database is shared even for --output builds,
+    # so building a bundle and then per-target singles re-searches nothing.
+    bundle = build(
+        args.model,
+        targets,
+        config=config,
+        cache_dir=_cache_dir(args),
+        output=args.output,
+        jobs=args.jobs,
+        force=args.force,
+    )
+    print(bundle.describe())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print(_repository(args).describe())
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    bundle = _repository(args).open(args.artifact)
+    print(bundle.describe())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    repository = _repository(args)
+    if args.artifact:
+        problems = {repository.resolve(args.artifact): repository.verify(
+            args.artifact, deep=args.deep
+        )}
+        problems = {path: issues for path, issues in problems.items() if issues}
+        checked = 1
+    else:
+        problems = repository.verify_all(deep=args.deep)
+        checked = len(repository.artifact_paths())
+    if not problems:
+        print(f"verify: {checked} artifact(s) intact")
+        return 0
+    for path, issues in sorted(problems.items()):
+        for issue in issues:
+            print(f"CORRUPT {path.name}: {issue}", file=sys.stderr)
+    print(
+        f"verify: {len(problems)} of {checked} artifact(s) corrupt",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_gc(args) -> int:
+    report = _repository(args).gc(
+        _parse_bytes(args.max_bytes), dry_run=args.dry_run
+    )
+    print(report.describe())
+    # Failing to fit the budget is an operational condition worth a non-zero
+    # exit (every survivor is pinned by a live engine), not an error message.
+    return 2 if report.over_budget else 0
+
+
+def _probe_inputs(engine, seed: int, batch: int) -> dict:
+    """A deterministic request matching the engine's input signature."""
+    rng = np.random.default_rng(seed)
+    request = {}
+    for name, (shape, dtype) in sorted(engine.input_signature.items()):
+        extents = tuple(batch if d is None else int(d) for d in shape)
+        request[name] = rng.standard_normal(extents).astype(dtype)
+    return request
+
+
+def _cmd_check(args) -> int:
+    from .api import load_engine
+
+    repository = _repository(args)
+    path = repository.resolve(args.artifact)
+    with load_engine(path, host=args.host, seed=args.seed) as engine:
+        request = _probe_inputs(engine, args.seed, args.batch)
+        outputs = engine.run(request)
+        digest = hashlib.sha256()
+        for output in outputs:
+            digest.update(np.ascontiguousarray(output).tobytes())
+    print(
+        f"artifact={path.name} host={args.host or 'auto'} "
+        f"target={engine.served_target} match={engine.host_match} "
+        f"outputs={len(outputs)} digest={digest.hexdigest()}"
+    )
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------------- #
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="NeoCPU model repository: build, inspect and garbage-"
+        "collect compiled-model artifacts.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help=f"repository directory (default: ${CACHE_DIR_ENV} or "
+        f"{DEFAULT_CACHE_DIR})",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build_cmd = commands.add_parser(
+        "build", help="compile a model into a multi-target bundle"
+    )
+    build_cmd.add_argument("model", help="model-zoo name, e.g. resnet-18")
+    build_cmd.add_argument(
+        "--targets",
+        required=True,
+        help="comma-separated CPU targets, e.g. skylake,epyc,arm",
+    )
+    build_cmd.add_argument(
+        "--opt-level",
+        default="global",
+        choices=("baseline", "layout", "transform_elim", "global"),
+        help="compilation pipeline level (default: global)",
+    )
+    build_cmd.add_argument(
+        "--output", help="bundle file path (default: inside the repository)"
+    )
+    build_cmd.add_argument(
+        "--jobs", type=int, help="tuning worker processes (default: one per target)"
+    )
+    build_cmd.add_argument(
+        "--force", action="store_true", help="rebuild even on a warm cache"
+    )
+    build_cmd.set_defaults(run=_cmd_build)
+
+    list_cmd = commands.add_parser("list", help="repository inventory")
+    list_cmd.set_defaults(run=_cmd_list)
+
+    inspect_cmd = commands.add_parser(
+        "inspect", help="print one artifact's manifest"
+    )
+    inspect_cmd.add_argument("artifact", help="artifact name or path")
+    inspect_cmd.set_defaults(run=_cmd_inspect)
+
+    verify_cmd = commands.add_parser(
+        "verify", help="integrity-check artifacts (exit 1 on corruption)"
+    )
+    verify_cmd.add_argument(
+        "artifact", nargs="?", help="one artifact (default: the whole repository)"
+    )
+    verify_cmd.add_argument(
+        "--deep",
+        action="store_true",
+        help="also unpickle every payload (trusted files only)",
+    )
+    verify_cmd.set_defaults(run=_cmd_verify)
+
+    gc_cmd = commands.add_parser(
+        "gc", help="evict least-recently-used artifacts down to a byte budget"
+    )
+    gc_cmd.add_argument(
+        "--max-bytes",
+        required=True,
+        help="byte budget for the artifact store (suffixes K/M/G accepted)",
+    )
+    gc_cmd.add_argument(
+        "--dry-run", action="store_true", help="report without deleting"
+    )
+    gc_cmd.set_defaults(run=_cmd_gc)
+
+    check_cmd = commands.add_parser(
+        "check", help="serve one probe request and print the output digest"
+    )
+    check_cmd.add_argument("artifact", help="artifact name or path")
+    check_cmd.add_argument(
+        "--host",
+        help="CPU target to serve on (default: auto-detect / $REPRO_HOST_TARGET)",
+    )
+    check_cmd.add_argument(
+        "--seed", type=int, default=0, help="probe input RNG seed (default 0)"
+    )
+    check_cmd.add_argument(
+        "--batch", type=int, default=1, help="probe batch extent (default 1)"
+    )
+    check_cmd.set_defaults(run=_cmd_check)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.run(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except Exception as error:  # ArtifactError and friends
+        from .runtime.artifact import ArtifactError
+
+        if isinstance(error, ArtifactError):
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        raise
+
+
+if __name__ == "__main__":
+    sys.exit(main())

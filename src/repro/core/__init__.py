@@ -25,6 +25,7 @@ from .tuning_db import (
     TuningDatabase,
     TuningDatabaseMigrationError,
     TuningRecord,
+    register_migration,
     search_fingerprint,
 )
 
@@ -46,6 +47,7 @@ __all__ = [
     "TuningDatabase",
     "TuningDatabaseMigrationError",
     "TuningRecord",
+    "register_migration",
     "search_fingerprint",
     "compile_graph",
     "compile_model",

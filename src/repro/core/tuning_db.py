@@ -15,27 +15,39 @@ encodes the knobs that shape the local search space — ``max_block``,
 differently-configured search are cache *misses* rather than silently-reused
 wrong answers.
 
-Persistence schema (version 2)
+Persistence schema (version 3)
 ------------------------------
 
-The JSON file is an object ``{"schema_version": 2, "entries": [...]}`` where
-every entry is ``{"workload": ..., "cpu": ..., "params": ..., "records":
-[...]}``.  Keys are stored as separate JSON fields — never joined with a
+The JSON file is an object ``{"schema_version": 3, "targets": {...}}`` where
+``targets`` maps each CPU name to its list of entries ``{"workload": ...,
+"params": ..., "records": [...]}``.  Grouping records per target is what the
+multi-target bundle build consumes: handing one target's worth of records to
+a tuning worker process is a single dictionary lookup instead of a scan of
+every entry.  Keys are stored as separate JSON fields — never joined with a
 delimiter — so workload keys and CPU names may contain any character
-(including ``|``, which corrupted the legacy v1 format).  Files written by
-the pre-versioning code (a bare mapping of ``"<workload>|<cpu>"`` strings)
-are rejected with :class:`TuningDatabaseMigrationError`: their entries do not
-record the search parameters they were tuned under, so loading them could
-silently return rankings from an incompatible search configuration.
+(including ``|``, which corrupted the legacy v1 format).
+
+Migrations
+----------
+
+Older *versioned* schemas are upgraded in place at load time through the
+registered migration chain (see :func:`register_migration`): a version-2 file
+(flat ``"entries"`` list with an explicit ``"cpu"`` field per entry) loads
+transparently and is rewritten as version 3 on the next ``save``.  Files
+written by the pre-versioning code (a bare mapping of ``"<workload>|<cpu>"``
+strings) are still rejected with :class:`TuningDatabaseMigrationError`: their
+entries do not record the search parameters they were tuned under, so no
+migration could safely reinterpret them.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..schedule.template import ConvSchedule
 from ..schedule.workload import ConvWorkload
@@ -44,17 +56,64 @@ __all__ = [
     "TuningRecord",
     "TuningDatabase",
     "TuningDatabaseMigrationError",
+    "register_migration",
     "search_fingerprint",
     "SCHEMA_VERSION",
 ]
 
 #: Version of the on-disk JSON schema; bumped whenever the layout or the
 #: meaning of stored records changes.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 class TuningDatabaseMigrationError(RuntimeError):
     """A persisted tuning database cannot be loaded by this code version."""
+
+
+#: Registered schema migrations: ``from_version -> upgrade function``.  Each
+#: function takes the parsed JSON payload at ``from_version`` and returns the
+#: payload at ``from_version + 1`` (with ``schema_version`` bumped); ``load``
+#: chains them until the payload reaches :data:`SCHEMA_VERSION`.
+_MIGRATIONS: Dict[int, Callable[[dict], dict]] = {}
+
+
+def register_migration(
+    from_version: int,
+) -> Callable[[Callable[[dict], dict]], Callable[[dict], dict]]:
+    """Register an upgrade hook for files written at ``from_version``.
+
+    A migration must be *complete*: it receives the whole parsed payload and
+    returns the whole payload one version newer.  Registering a version twice
+    raises — silently replacing a migration would change what old files mean.
+    """
+
+    def decorator(migrate: Callable[[dict], dict]) -> Callable[[dict], dict]:
+        if from_version in _MIGRATIONS:
+            raise ValueError(
+                f"a migration from schema version {from_version} is already "
+                f"registered ({_MIGRATIONS[from_version].__qualname__})"
+            )
+        _MIGRATIONS[from_version] = migrate
+        return migrate
+
+    return decorator
+
+
+@register_migration(2)
+def _migrate_v2_to_v3(payload: dict) -> dict:
+    """v2 (flat ``entries`` list, explicit per-entry ``cpu``) -> v3 (grouped
+    per target).  Pure regrouping: record contents are unchanged, so every
+    workload tuned under v2 stays warm."""
+    targets: Dict[str, List[dict]] = {}
+    for entry in payload.get("entries", []):
+        targets.setdefault(str(entry["cpu"]), []).append(
+            {
+                "workload": entry["workload"],
+                "params": entry.get("params", ""),
+                "records": entry["records"],
+            }
+        )
+    return {"schema_version": 3, "targets": targets}
 
 
 def search_fingerprint(
@@ -145,30 +204,82 @@ class TuningDatabase:
         return len(self.records)
 
     # ------------------------------------------------------------------ #
+    # per-target views (what the multi-target bundle build consumes)
+    # ------------------------------------------------------------------ #
+    def cpu_names(self) -> List[str]:
+        """Names of every CPU target with at least one stored entry."""
+        with self._lock:
+            return sorted({cpu_name for (_, cpu_name, _) in self.records})
+
+    def subset(self, cpu_name: str) -> "TuningDatabase":
+        """A new database holding only ``cpu_name``'s entries.
+
+        This is what the bundle build ships to each per-target tuning worker
+        process: the worker only ever looks up its own target's keys, so
+        sending it the other targets' records would be pure pickling cost.
+        """
+        with self._lock:
+            records = {
+                key: list(value)
+                for key, value in self.records.items()
+                if key[1] == cpu_name
+            }
+        subset = TuningDatabase()
+        subset.records = records
+        return subset
+
+    # ------------------------------------------------------------------ #
+    # pickling (process-level tuning workers receive/return databases)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"records": dict(self.records)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.records = state["records"]
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
     def save(self, path: "str | Path") -> None:
         """Serialize the database to a schema-versioned JSON file."""
+        targets: Dict[str, List[dict]] = {}
         with self._lock:
-            entries = [
-                {
-                    "workload": workload_key,
-                    "cpu": cpu_name,
-                    "params": params,
-                    "records": [record.to_dict() for record in records],
-                }
-                for (workload_key, cpu_name, params), records in self.records.items()
-            ]
-        payload = {"schema_version": SCHEMA_VERSION, "entries": entries}
-        Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+            for (workload_key, cpu_name, params), records in self.records.items():
+                targets.setdefault(cpu_name, []).append(
+                    {
+                        "workload": workload_key,
+                        "params": params,
+                        "records": [record.to_dict() for record in records],
+                    }
+                )
+        payload = {"schema_version": SCHEMA_VERSION, "targets": targets}
+        path = Path(path)
+        # Write-then-rename, like the artifact writer: a killed process (or
+        # two sessions sharing the cache dir) must never leave a truncated
+        # file under the final name — a partial JSON would silently load as
+        # an empty database and throw away every tuned record.  The temp
+        # name includes the thread id: two threads sharing one session may
+        # save concurrently and must not tear each other's temp file.
+        temp = path.with_name(
+            path.name + f".tmp-{os.getpid()}-{threading.get_ident()}"
+        )
+        temp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        os.replace(temp, path)
 
     @classmethod
     def load(cls, path: "str | Path") -> "TuningDatabase":
         """Load a database previously written by :meth:`save`.
 
+        Files written at an older *versioned* schema are upgraded through the
+        registered migration chain (a v2 file loads without losing a single
+        tuned workload).  Raises for files this code cannot interpret:
+
         Raises:
-            TuningDatabaseMigrationError: for files written by a different
-                schema version, including the legacy pre-versioning format
+            TuningDatabaseMigrationError: for files written by a *newer*
+                schema version, for versioned files with no registered
+                migration path, and for the legacy pre-versioning format
                 (entries keyed by ``"<workload>|<cpu>"`` with no record of
                 the search parameters) — those can only be regenerated, never
                 safely reinterpreted.
@@ -182,18 +293,35 @@ class TuningDatabase:
                 "search to regenerate it (delete the file and tune again)"
             )
         version = payload["schema_version"]
-        if version != SCHEMA_VERSION:
+        if not isinstance(version, int) or version > SCHEMA_VERSION:
             raise TuningDatabaseMigrationError(
                 f"{path} uses tuning-db schema version {version}, but this "
                 f"code reads version {SCHEMA_VERSION}; re-run the search to "
                 "regenerate it"
             )
+        while version < SCHEMA_VERSION:
+            migrate = _MIGRATIONS.get(version)
+            if migrate is None:
+                raise TuningDatabaseMigrationError(
+                    f"{path} uses tuning-db schema version {version} and no "
+                    f"migration to version {version + 1} is registered; "
+                    "re-run the search to regenerate it"
+                )
+            payload = migrate(payload)
+            new_version = payload.get("schema_version")
+            if new_version != version + 1:
+                raise TuningDatabaseMigrationError(
+                    f"migration from schema version {version} produced "
+                    f"version {new_version}, expected {version + 1}"
+                )
+            version = new_version
         database = cls()
-        for entry in payload["entries"]:
-            key = (entry["workload"], entry["cpu"], entry.get("params", ""))
-            database.records[key] = [
-                TuningRecord.from_dict(d) for d in entry["records"]
-            ]
+        for cpu_name, entries in payload["targets"].items():
+            for entry in entries:
+                key = (entry["workload"], cpu_name, entry.get("params", ""))
+                database.records[key] = [
+                    TuningRecord.from_dict(d) for d in entry["records"]
+                ]
         return database
 
     def merge(self, other: "TuningDatabase") -> None:

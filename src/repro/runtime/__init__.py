@@ -3,13 +3,20 @@ thread pool, profiler."""
 
 from .artifact import (
     ARTIFACT_VERSION,
+    SUPPORTED_VERSIONS,
     ArtifactError,
     StaleArtifactError,
+    bundle_fingerprint,
     compilation_fingerprint,
     graph_fingerprint,
+    load_member,
     load_module,
+    load_source,
+    manifest_targets,
     read_manifest,
+    save_bundle,
     save_module,
+    verify_artifact,
 )
 from .executor import GraphExecutor, initialize_parameters
 from .module import CompiledModule
@@ -25,6 +32,7 @@ from .threadpool import (
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "SUPPORTED_VERSIONS",
     "ArtifactError",
     "BoundedQueue",
     "BufferPool",
@@ -34,13 +42,18 @@ __all__ = [
     "StaleArtifactError",
     "ThreadPool",
     "Timer",
+    "bundle_fingerprint",
     "compilation_fingerprint",
     "format_report",
     "graph_fingerprint",
     "initialize_parameters",
+    "load_member",
     "load_module",
+    "load_source",
+    "manifest_targets",
     "parallel_for",
     "read_manifest",
+    "save_bundle",
     "save_module",
     "static_partition",
     "time_callable",

@@ -67,12 +67,24 @@ def _corrupt_format_version(path):
     _tamper_manifest(path, artifact_version=999)
 
 
+def _corrupt_payload_bit_flip(path):
+    """Flip one byte mid-payload, keeping length (and manifest) intact —
+    the failure only the recorded payload checksum can catch."""
+    magic, manifest_line, payload = _split_artifact(path)
+    index = len(payload) // 2
+    flipped = bytes([payload[index] ^ 0xFF])
+    path.write_bytes(
+        magic + manifest_line + payload[:index] + flipped + payload[index + 1:]
+    )
+
+
 CORRUPTIONS = [
     ("truncated-payload", _corrupt_truncate_payload),
     ("wrong-magic", _corrupt_wrong_magic),
     ("garbage-manifest", _corrupt_garbage_manifest),
     ("fingerprint-mismatch", _corrupt_fingerprint),
     ("format-version-bump", _corrupt_format_version),
+    ("payload-bit-flip", _corrupt_payload_bit_flip),
 ]
 
 
@@ -528,3 +540,77 @@ class TestNumpyMeasurerBatch:
         records = search.tune(ConvWorkload(1, 8, 8, 8, 8, 3, 3, (1, 1), (1, 1)))
         assert len(records) == 2
         assert batch_calls and batch_calls[0] >= 2
+
+
+class TestRepositoryGCConcurrency:
+    """Eviction racing live engines and fresh compiles must never delete a
+    pinned artifact and never leave a truncated manifest behind."""
+
+    def test_gc_storm_with_live_engine_and_writer(self, skylake, tmp_path):
+        import threading
+
+        from repro.api import ModelRepository, build, load_engine
+        from repro.runtime import read_manifest
+
+        optimizer = Optimizer(skylake, cache_dir=tmp_path)
+        for name in ("m1", "m2", "m3"):
+            optimizer.compile(build_tiny_cnn(name))
+        bundle = build(
+            build_tiny_cnn("served"), ["skylake"], cache_dir=tmp_path, jobs=1
+        )
+        repository = ModelRepository(tmp_path)
+        budget = bundle.path.stat().st_size  # room for the pinned bundle only
+
+        request = {
+            "data": np.random.default_rng(0)
+            .standard_normal((1, 3, 16, 16))
+            .astype(np.float32)
+        }
+        stop = threading.Event()
+        errors = []
+
+        def gc_loop():
+            try:
+                while not stop.is_set():
+                    report = repository.gc(budget)
+                    assert bundle.path not in report.evicted
+            except Exception as error:  # pragma: no cover - failure capture
+                errors.append(error)
+
+        def writer_loop():
+            try:
+                while not stop.is_set():
+                    # Keep re-creating evictable artifacts (warm tuning DB:
+                    # no search) so the GC threads always have work.
+                    optimizer.compile(build_tiny_cnn("m1"), force=True)
+            except Exception as error:  # pragma: no cover - failure capture
+                errors.append(error)
+
+        with load_engine(bundle.path, host="skylake", seed=3) as engine:
+            expected = engine.run(request)[0]
+            threads = [threading.Thread(target=gc_loop) for _ in range(3)]
+            threads.append(threading.Thread(target=writer_loop))
+            for thread in threads:
+                thread.start()
+            try:
+                for _ in range(20):
+                    # The pinned artifact keeps serving mid-storm.
+                    np.testing.assert_array_equal(engine.run(request)[0], expected)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=30.0)
+        assert not errors, errors
+
+        # The pinned bundle survived every sweep...
+        assert bundle.path.exists()
+        np.testing.assert_array_equal(
+            CompiledModule.load(bundle.path).run(request, seed=3)[0], expected
+        )
+        # ...and nothing the storm left behind is truncated or half-written:
+        # every surviving artifact has a parseable manifest and intact
+        # payloads (write-then-rename plus whole-file unlink guarantee it).
+        for path in repository.artifact_paths():
+            manifest = read_manifest(path)
+            assert manifest["artifact_version"] in (1, 2)
+        assert repository.verify_all(deep=True) == {}

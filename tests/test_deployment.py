@@ -1,0 +1,581 @@
+"""Tests for the multi-target deployment surface.
+
+Covers the whole deployment story end to end: host identity and
+compatibility scoring (`repro.hardware`), one-build-many-hosts bundles
+(`repro.api.build`), host-matched engine loading with its three resolution
+tiers (fingerprint match, compatibility score, transparent recompile — never
+mis-serving), the v1 single-target compatibility path, the model repository
+with LRU size-budgeted GC and engine pinning, and the `repro.cli`
+subcommands over all of it.
+"""
+
+import io
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.api import (
+    ArtifactBundle,
+    ArtifactError,
+    CompileConfig,
+    InferenceEngine,
+    ModelRepository,
+    OptLevel,
+    Optimizer,
+    build,
+    load_engine,
+    pinned_artifacts,
+)
+from repro.core import CostModelMeasurer, NumpyMeasurer
+from repro.hardware import (
+    compatibility_score,
+    cpu_from_summary,
+    cpu_summary,
+    detect_host,
+    get_target,
+    host_fingerprint,
+    rank_targets,
+)
+from repro.runtime import load_member, load_module, manifest_targets, read_manifest
+
+from tests.conftest import build_tiny_cnn
+
+TARGETS = ["skylake", "epyc", "arm"]
+
+
+def tiny_request(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"data": rng.standard_normal((1, 3, 16, 16)).astype(np.float32)}
+
+
+def write_v1_artifact(module, path, fingerprint="v1-fingerprint"):
+    """Write an artifact in the historical version-1 layout (single unframed
+    pickle after the manifest, no checksums, no targets list)."""
+    manifest = {
+        "artifact_version": 1,
+        "repro_version": "0.0-test",
+        "model": module.graph.name,
+        "target": module.cpu.name,
+        "search_method": module.search_method,
+        "num_schedules": len(module.schedules),
+        "fingerprint": fingerprint,
+    }
+    payload = {
+        "graph": module.graph,
+        "cpu": module.cpu,
+        "config": module.config,
+        "schedules": module.schedules,
+        "search_method": module.search_method,
+        "pass_report": module.pass_report,
+    }
+    buffer = io.BytesIO()
+    buffer.write(b"NEOCPU-ARTIFACT\n")
+    buffer.write(json.dumps(manifest, sort_keys=True).encode("utf-8"))
+    buffer.write(b"\n")
+    pickle.dump(payload, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    path.write_bytes(buffer.getvalue())
+    return path
+
+
+@pytest.fixture
+def no_search(monkeypatch):
+    """Explode on any search-measurer call (warm-cache assertions)."""
+
+    def boom(*args, **kwargs):
+        raise AssertionError("search measurer invoked on a warm cache")
+
+    for cls in (CostModelMeasurer, NumpyMeasurer):
+        for name in ("measure", "measure_batch", "measure_arrays"):
+            if hasattr(cls, name):
+                monkeypatch.setattr(cls, name, boom)
+
+
+# --------------------------------------------------------------------------- #
+# host identity and compatibility
+# --------------------------------------------------------------------------- #
+class TestHostMatching:
+    def test_fingerprint_stable_and_summary_round_trips(self):
+        for alias in TARGETS:
+            cpu = get_target(alias)
+            assert host_fingerprint(cpu) == host_fingerprint(cpu)
+            rebuilt = cpu_from_summary(cpu_summary(cpu))
+            assert host_fingerprint(rebuilt) == host_fingerprint(cpu)
+            assert compatibility_score(cpu, rebuilt) == pytest.approx(1.0)
+
+    def test_fingerprints_distinguish_the_presets(self):
+        fingerprints = {host_fingerprint(get_target(alias)) for alias in TARGETS}
+        assert len(fingerprints) == 3
+
+    def test_arch_mismatch_scores_zero(self):
+        assert compatibility_score(get_target("skylake"), get_target("arm")) == 0.0
+        assert compatibility_score(get_target("arm"), get_target("epyc")) == 0.0
+
+    def test_wider_isa_payload_scores_zero_on_narrow_host(self):
+        # AVX-512 schedules must never be served on an AVX2 machine...
+        assert compatibility_score(get_target("epyc"), get_target("skylake")) == 0.0
+        # ...but AVX2 schedules run (suboptimally) on an AVX-512 machine.
+        assert compatibility_score(get_target("skylake"), get_target("epyc")) > 0.0
+
+    def test_rank_targets_prefers_self_then_compatible(self):
+        host = get_target("skylake")
+        ranked = rank_targets(host, [get_target(a) for a in ["arm", "epyc", "skylake"]])
+        assert [cpu.name for _, cpu in ranked][0] == host.name
+        assert ranked[0][0] == pytest.approx(1.0)
+        assert ranked[1][1].name == get_target("epyc").name
+        assert ranked[1][0] > 0.0
+        assert ranked[2][0] == 0.0  # ARM is incompatible, ranked last
+
+    def test_detect_host_honors_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOST_TARGET", "epyc")
+        assert detect_host().name == get_target("epyc").name
+        monkeypatch.delenv("REPRO_HOST_TARGET")
+        assert detect_host().name in {get_target(a).name for a in TARGETS}
+
+
+# --------------------------------------------------------------------------- #
+# the multi-target build
+# --------------------------------------------------------------------------- #
+class TestBundleBuild:
+    def test_one_build_emits_one_bundle_for_all_presets(self, tmp_path):
+        bundle = build(build_tiny_cnn(), TARGETS, cache_dir=tmp_path, jobs=1)
+        assert bundle.path.exists()
+        assert sorted(bundle.targets) == sorted(
+            get_target(alias).name for alias in TARGETS
+        )
+        assert bundle.has_source
+        manifest = read_manifest(bundle.path)
+        for entry in manifest_targets(manifest):
+            assert entry["payload_bytes"] > 0
+            assert entry["payload_sha256"]
+            assert entry["cpu"]["isa"]["vector_bits"] > 0
+
+    def test_bundle_members_identical_to_per_target_compile(self, tmp_path):
+        """Acceptance: each member serves byte-identical outputs to a
+        dedicated per-target Optimizer.compile of the same model."""
+        bundle = build(build_tiny_cnn(), TARGETS, cache_dir=tmp_path, jobs=1)
+        request = tiny_request()
+        for alias in TARGETS:
+            member = bundle.load_module(target=get_target(alias).name)
+            reference = Optimizer(alias).compile(build_tiny_cnn())
+            assert member.schedules == reference.schedules
+            with InferenceEngine(member, seed=7) as served, InferenceEngine(
+                reference, seed=7
+            ) as expected:
+                np.testing.assert_array_equal(
+                    served.run(request)[0], expected.run(request)[0]
+                )
+
+    def test_warm_rebuild_is_a_pure_cache_hit(self, tmp_path, no_search):
+        with pytest.raises(AssertionError, match="warm cache"):
+            build(build_tiny_cnn(), TARGETS, cache_dir=tmp_path, jobs=1)
+
+    def test_warm_rebuild_zero_measurer_calls(self, tmp_path):
+        first = build(build_tiny_cnn(), TARGETS, cache_dir=tmp_path, jobs=1)
+        mtime = first.path.stat().st_mtime
+
+        def boom(*args, **kwargs):
+            raise AssertionError("search measurer invoked on a warm cache")
+
+        import repro.core.local_search as local_search
+
+        originals = {}
+        for name in ("measure", "measure_batch", "measure_arrays"):
+            originals[name] = getattr(local_search.CostModelMeasurer, name)
+            setattr(local_search.CostModelMeasurer, name, boom)
+        try:
+            second = build(build_tiny_cnn(), TARGETS, cache_dir=tmp_path, jobs=1)
+        finally:
+            for name, original in originals.items():
+                setattr(local_search.CostModelMeasurer, name, original)
+        assert second.path == first.path
+        assert second.path.stat().st_mtime >= mtime  # LRU clock refreshed
+
+    def test_changed_config_changes_the_bundle(self, tmp_path):
+        full = build(build_tiny_cnn(), ["skylake", "arm"], cache_dir=tmp_path, jobs=1)
+        manual = build(
+            build_tiny_cnn(),
+            ["skylake", "arm"],
+            config=CompileConfig(opt_level=OptLevel.TRANSFORM_ELIM),
+            cache_dir=tmp_path,
+            jobs=1,
+        )
+        assert manual.path != full.path
+        assert {e["search_method"] for e in manual.entries()} == {"manual"}
+
+    def test_process_parallel_build_matches_serial(self, tmp_path):
+        """jobs=2 exercises the worker-process path (or its documented serial
+        fallback); either way the bundle must equal a serial build."""
+        serial = build(
+            build_tiny_cnn(), ["skylake", "arm"], cache_dir=tmp_path / "serial", jobs=1
+        )
+        parallel = build(
+            build_tiny_cnn(),
+            ["skylake", "arm"],
+            cache_dir=tmp_path / "parallel",
+            jobs=2,
+        )
+        for alias in ("skylake", "arm"):
+            name = get_target(alias).name
+            assert (
+                parallel.load_module(target=name).schedules
+                == serial.load_module(target=name).schedules
+            )
+        # Worker-tuned records flowed back into the shared database.
+        database = ModelRepository(tmp_path / "parallel").tuning_database()
+        assert sorted(database.cpu_names()) == sorted(
+            get_target(a).name for a in ("skylake", "arm")
+        )
+
+    def test_duplicate_aliases_collapse(self, tmp_path):
+        bundle = build(
+            build_tiny_cnn(), ["skylake", "intel", "skylake"], cache_dir=tmp_path, jobs=1
+        )
+        assert bundle.targets == [get_target("skylake").name]
+
+    def test_build_requires_a_destination(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            build(build_tiny_cnn(), TARGETS)
+
+    def test_build_does_not_mutate_caller_graph(self, tmp_path):
+        graph = build_tiny_cnn()
+        histogram = graph.op_histogram()
+        build(graph, ["skylake", "arm"], cache_dir=tmp_path, jobs=1)
+        assert graph.op_histogram() == histogram
+
+    def test_explicit_output_path(self, tmp_path):
+        out = tmp_path / "deploy" / "model.neocpu"
+        bundle = build(build_tiny_cnn(), ["skylake"], output=out, jobs=1)
+        assert bundle.path == out and out.exists()
+
+
+# --------------------------------------------------------------------------- #
+# host-matched engine loading
+# --------------------------------------------------------------------------- #
+class TestLoadEngine:
+    def test_each_preset_gets_its_exact_payload(self, tmp_path):
+        bundle = build(build_tiny_cnn(), TARGETS, cache_dir=tmp_path, jobs=1)
+        request = tiny_request()
+        for alias in TARGETS:
+            reference = Optimizer(alias).compile(build_tiny_cnn())
+            with load_engine(bundle.path, host=alias, seed=7) as engine, \
+                    InferenceEngine(reference, seed=7) as expected:
+                assert engine.host_match == "fingerprint"
+                assert engine.served_target == get_target(alias).name
+                np.testing.assert_array_equal(
+                    engine.run(request)[0], expected.run(request)[0]
+                )
+
+    def test_warm_load_zero_measurer_calls(self, tmp_path):
+        bundle = build(build_tiny_cnn(), TARGETS, cache_dir=tmp_path, jobs=1)
+
+        def run_all(no_search_active):
+            for alias in TARGETS:
+                with load_engine(bundle.path, host=alias, seed=7) as engine:
+                    engine.run(tiny_request())
+
+        import repro.core.local_search as local_search
+
+        def boom(*args, **kwargs):
+            raise AssertionError("search measurer invoked on a warm cache")
+
+        originals = {
+            name: getattr(local_search.CostModelMeasurer, name)
+            for name in ("measure", "measure_batch", "measure_arrays")
+        }
+        for name in originals:
+            setattr(local_search.CostModelMeasurer, name, boom)
+        try:
+            run_all(True)  # pure payload loads: no search anywhere
+        finally:
+            for name, original in originals.items():
+                setattr(local_search.CostModelMeasurer, name, original)
+
+    def test_compatible_host_serves_narrower_payload(self, tmp_path):
+        """An AVX2 payload is safe (if suboptimal) on an AVX-512 host."""
+        bundle = build(build_tiny_cnn(), ["epyc"], cache_dir=tmp_path, jobs=1)
+        with load_engine(bundle.path, host="skylake", seed=7) as engine:
+            assert engine.host_match.startswith("compatible:")
+            assert engine.served_target == get_target("epyc").name
+            outputs = engine.run(tiny_request())[0]
+        reference = Optimizer("epyc").compile(build_tiny_cnn())
+        with InferenceEngine(reference, seed=7) as expected:
+            np.testing.assert_array_equal(outputs, expected.run(tiny_request())[0])
+
+    def test_incompatible_host_recompiles_from_source(self, tmp_path):
+        """No x86 payload may run on ARM: the bundle's source graph is
+        recompiled for the host, and the outputs equal a native compile."""
+        bundle = build(
+            build_tiny_cnn(), ["skylake", "epyc"], cache_dir=tmp_path, jobs=1
+        )
+        request = tiny_request()
+        reference = Optimizer("arm").compile(build_tiny_cnn())
+        with load_engine(bundle.path, host="arm", seed=7) as engine, \
+                InferenceEngine(reference, seed=7) as expected:
+            assert engine.host_match == "recompiled"
+            assert engine.served_target == get_target("arm").name
+            np.testing.assert_array_equal(
+                engine.run(request)[0], expected.run(request)[0]
+            )
+
+    def test_recompile_warms_the_repository_tuning_db(self, tmp_path):
+        bundle = build(build_tiny_cnn(), ["skylake"], cache_dir=tmp_path, jobs=1)
+        with load_engine(bundle.path, host="arm", seed=7) as engine:
+            assert engine.host_match == "recompiled"
+        database = ModelRepository(tmp_path).tuning_database()
+        assert get_target("arm").name in database.cpu_names()
+
+    def test_v1_artifact_still_loads_on_its_own_target(self, tmp_path):
+        module = Optimizer("skylake").compile(build_tiny_cnn())
+        path = write_v1_artifact(module, tmp_path / "legacy.neocpu")
+        assert load_module(path).schedules == module.schedules
+        request = tiny_request()
+        with load_engine(path, host="skylake", seed=7) as engine, \
+                InferenceEngine(module, seed=7) as expected:
+            # v1 recorded no host fingerprint: matched by compatibility.
+            assert engine.host_match.startswith("compatible:")
+            np.testing.assert_array_equal(
+                engine.run(request)[0], expected.run(request)[0]
+            )
+
+    def test_v1_artifact_never_mis_serves_an_incompatible_host(self, tmp_path):
+        module = Optimizer("skylake").compile(build_tiny_cnn())
+        path = write_v1_artifact(module, tmp_path / "legacy.neocpu")
+        # A v1 file has no source payload to recompile from: refuse loudly.
+        with pytest.raises(ArtifactError, match="no payload compatible"):
+            load_engine(path, host="arm")
+
+    def test_lying_manifest_is_not_served(self, tmp_path):
+        """A manifest claiming an ARM payload that actually unpickles to an
+        AVX-512 module must recompile (or refuse), never serve the payload."""
+        bundle = build(build_tiny_cnn(), ["skylake"], cache_dir=tmp_path, jobs=1)
+        data = bundle.path.read_bytes()
+        magic = b"NEOCPU-ARTIFACT\n"
+        rest = data[len(magic):]
+        newline = rest.index(b"\n")
+        manifest = json.loads(rest[:newline].decode("utf-8"))
+        arm = get_target("arm")
+        entry = manifest["targets"][0]
+        entry["target"] = arm.name
+        entry["host_fingerprint"] = host_fingerprint(arm)
+        entry["cpu"] = cpu_summary(arm)
+        bundle.path.write_bytes(
+            magic
+            + json.dumps(manifest, sort_keys=True).encode("utf-8")
+            + rest[newline:]
+        )
+        with load_engine(bundle.path, host="arm", seed=7) as engine:
+            assert engine.host_match == "recompiled"
+            assert engine.served_target == arm.name
+
+    def test_load_member_unknown_target_raises(self, tmp_path):
+        bundle = build(build_tiny_cnn(), ["skylake"], cache_dir=tmp_path, jobs=1)
+        with pytest.raises(ArtifactError, match="no payload for target"):
+            load_member(bundle.path, target="power9")
+
+    def test_multi_target_file_requires_target_or_host_matching(self, tmp_path):
+        bundle = build(build_tiny_cnn(), ["skylake", "arm"], cache_dir=tmp_path, jobs=1)
+        with pytest.raises(ArtifactError, match="multi-target"):
+            load_module(bundle.path)
+
+
+# --------------------------------------------------------------------------- #
+# the model repository
+# --------------------------------------------------------------------------- #
+class TestModelRepository:
+    def _fill(self, tmp_path, names=("m1", "m2", "m3")):
+        optimizer = Optimizer("skylake", cache_dir=tmp_path)
+        for name in names:
+            optimizer.compile(build_tiny_cnn(name))
+        return ModelRepository(tmp_path)
+
+    def test_list_and_inspect(self, tmp_path):
+        repository = self._fill(tmp_path)
+        infos = repository.artifacts()
+        assert len(infos) == 3
+        assert {info.model for info in infos} == {"m1", "m2", "m3"}
+        assert all(info.targets == [get_target("skylake").name] for info in infos)
+        described = repository.describe()
+        assert "3 artifact(s)" in described and "m2" in described
+
+    def test_resolve_by_name_and_path(self, tmp_path):
+        repository = self._fill(tmp_path, names=("m1",))
+        (path,) = repository.artifact_paths()
+        assert repository.resolve(path) == path
+        assert repository.resolve(path.name) == path
+        assert repository.resolve(path.stem) == path
+        with pytest.raises(FileNotFoundError):
+            repository.resolve("never-compiled")
+
+    def test_verify_all_flags_only_corrupt_artifacts(self, tmp_path):
+        repository = self._fill(tmp_path)
+        assert repository.verify_all(deep=True) == {}
+        victim = repository.artifact_paths()[0]
+        victim.write_bytes(victim.read_bytes()[:-100])
+        report = repository.verify_all()
+        assert set(report) == {victim}
+        assert any("truncated" in issue for issue in report[victim])
+
+    def test_gc_evicts_lru_first_within_budget(self, tmp_path):
+        import os
+        import time
+
+        repository = self._fill(tmp_path)
+        paths = repository.artifact_paths()
+        # Make m1 oldest and m3 newest regardless of compile timing.
+        base = time.time()
+        for age, path in enumerate(sorted(paths)):
+            os.utime(path, (base - 100 + age, base - 100 + age))
+        sizes = {path: path.stat().st_size for path in paths}
+        budget = sum(sizes.values()) - 1  # force exactly one eviction
+        report = repository.gc(budget)
+        assert [p.name for p in report.evicted] == [sorted(paths)[0].name]
+        assert not report.over_budget
+        assert repository.total_bytes() <= budget
+
+    def test_gc_zero_budget_and_dry_run(self, tmp_path):
+        repository = self._fill(tmp_path, names=("m1", "m2"))
+        preview = repository.gc(0, dry_run=True)
+        assert len(preview.evicted) == 2
+        assert len(repository.artifact_paths()) == 2  # nothing deleted
+        report = repository.gc(0)
+        assert len(report.evicted) == 2
+        assert repository.artifact_paths() == []
+
+    def test_gc_never_deletes_pinned_artifacts(self, tmp_path):
+        bundle = build(build_tiny_cnn(), ["skylake"], cache_dir=tmp_path, jobs=1)
+        repository = ModelRepository(tmp_path)
+        engine = load_engine(bundle.path, host="skylake")
+        try:
+            assert str(bundle.path.resolve()) in pinned_artifacts()
+            report = repository.gc(0)
+            assert bundle.path.exists()
+            assert report.pinned == [bundle.path]
+            assert report.over_budget  # budget unmet, and the report says why
+            # The pinned engine still serves.
+            engine.run(tiny_request())
+        finally:
+            engine.close()
+        assert str(bundle.path.resolve()) not in pinned_artifacts()
+        report = repository.gc(0)
+        assert report.evicted == [bundle.path]
+        assert not bundle.path.exists()
+
+    def test_gc_skips_in_progress_writes(self, tmp_path):
+        repository = self._fill(tmp_path, names=("m1",))
+        partial = repository.modules_dir / "m1-partial.neocpu.tmp-999"
+        partial.write_bytes(b"half written")
+        report = repository.gc(0)
+        assert partial.exists()  # a writer's temp file is never GC'd
+        assert len(report.evicted) == 1
+
+
+# --------------------------------------------------------------------------- #
+# the command line
+# --------------------------------------------------------------------------- #
+class TestCLI:
+    """Drive `repro.cli.main` in-process; compile with opt_level=layout
+    (manual schedules, no search) so every subcommand test is fast."""
+
+    MODEL = "resnet-18"
+
+    def _build(self, cache, capsys, targets="skylake,epyc"):
+        code = cli.main(
+            [
+                "--cache-dir",
+                str(cache),
+                "build",
+                self.MODEL,
+                "--targets",
+                targets,
+                "--opt-level",
+                "layout",
+                "--jobs",
+                "1",
+            ]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_build_list_inspect(self, tmp_path, capsys):
+        out = self._build(tmp_path, capsys)
+        assert "targets (2)" in out
+
+        assert cli.main(["--cache-dir", str(tmp_path), "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "resnet18" in listing and "1 artifact(s)" in listing
+
+        (artifact,) = ModelRepository(tmp_path).artifact_paths()
+        assert cli.main(["--cache-dir", str(tmp_path), "inspect", artifact.name]) == 0
+        inspected = capsys.readouterr().out
+        assert get_target("skylake").name in inspected
+        assert get_target("epyc").name in inspected
+
+    def test_verify_clean_and_corrupt(self, tmp_path, capsys):
+        self._build(tmp_path, capsys)
+        assert cli.main(["--cache-dir", str(tmp_path), "verify", "--deep"]) == 0
+        assert "intact" in capsys.readouterr().out
+
+        (artifact,) = ModelRepository(tmp_path).artifact_paths()
+        artifact.write_bytes(artifact.read_bytes()[:-50])
+        assert cli.main(["--cache-dir", str(tmp_path), "verify"]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_check_digests_differ_across_hosts_but_are_stable(self, tmp_path, capsys):
+        self._build(tmp_path, capsys)
+        (artifact,) = ModelRepository(tmp_path).artifact_paths()
+
+        def digest(host):
+            assert (
+                cli.main(
+                    [
+                        "--cache-dir",
+                        str(tmp_path),
+                        "check",
+                        artifact.name,
+                        "--host",
+                        host,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            return out.split("digest=")[1].strip()
+
+        sky_a, sky_b = digest("skylake"), digest("skylake")
+        assert sky_a == sky_b  # deterministic probe
+        # Different layouts/schedules per target: the digest is target-bound.
+        assert digest("epyc") != sky_a
+
+    def test_gc_subcommand_and_budget_parsing(self, tmp_path, capsys):
+        self._build(tmp_path, capsys)
+        assert (
+            cli.main(
+                ["--cache-dir", str(tmp_path), "gc", "--max-bytes", "1G", "--dry-run"]
+            )
+            == 0
+        )
+        assert "would evict 0" in capsys.readouterr().out
+        assert cli.main(["--cache-dir", str(tmp_path), "gc", "--max-bytes", "0"]) == 0
+        capsys.readouterr()
+        assert ModelRepository(tmp_path).artifact_paths() == []
+
+    def test_unknown_model_is_a_clean_error(self, tmp_path, capsys):
+        code = cli.main(
+            [
+                "--cache-dir",
+                str(tmp_path),
+                "build",
+                "not-a-model",
+                "--targets",
+                "skylake",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_artifact_is_a_clean_error(self, tmp_path, capsys):
+        assert cli.main(["--cache-dir", str(tmp_path), "inspect", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err

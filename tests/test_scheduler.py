@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 
 from repro.api import (
+    AdaptiveTimeout,
     DeadlineExceeded,
     InferenceEngine,
     Optimizer,
@@ -499,3 +500,100 @@ class TestBatchPolymorphicSSD:
             assert "dynamic batching: on" in engine.describe()
             (shape, dtype) = engine.input_signature["data"]
             assert shape == (None, 3, 16, 16) and dtype == "float32"
+
+
+# --------------------------------------------------------------------------- #
+# adaptive batch timeout (batch_timeout_ms="auto")
+# --------------------------------------------------------------------------- #
+class TestAdaptiveTimeout:
+    """The coalescing window derived from synthetic arrival traces.
+
+    `observe` takes explicit timestamps, so every trace here is exact and
+    deterministic — no sleeping, no clock."""
+
+    def _drive(self, timeout, gaps_s, start=100.0):
+        now = start
+        timeout.observe(now)
+        for gap in gaps_s:
+            now += gap
+            timeout.observe(now)
+
+    def test_unobserved_window_is_the_initial_default(self):
+        timeout = AdaptiveTimeout(initial_ms=2.0)
+        assert timeout.window_ms == pytest.approx(2.0)
+        timeout.observe(1.0)  # one arrival: still no gap to learn from
+        assert timeout.window_ms == pytest.approx(2.0)
+
+    def test_dense_trace_window_scales_with_interarrival(self):
+        timeout = AdaptiveTimeout(multiplier=3.0, min_ms=0.2, max_ms=20.0)
+        self._drive(timeout, [1e-3] * 50)  # steady 1ms stream
+        assert timeout.interarrival_s == pytest.approx(1e-3)
+        assert timeout.window_ms == pytest.approx(3.0)  # multiplier * gap
+
+    def test_very_dense_trace_clamps_to_min(self):
+        timeout = AdaptiveTimeout(multiplier=3.0, min_ms=0.5, max_ms=20.0)
+        self._drive(timeout, [1e-5] * 50)  # 10us stream: 3*gap << min
+        assert timeout.window_ms == pytest.approx(0.5)
+
+    def test_sparse_trace_drops_to_min_instead_of_waiting_max(self):
+        """When even `multiplier` gaps exceed max_ms no straggler can arrive
+        inside an acceptable window — the window must not tax every lone
+        request with max_ms of hopeless waiting."""
+        timeout = AdaptiveTimeout(multiplier=3.0, min_ms=0.2, max_ms=20.0)
+        self._drive(timeout, [0.5] * 10)  # one request every 500ms
+        assert timeout.window_ms == pytest.approx(0.2)
+
+    def test_rate_shift_adapts(self):
+        timeout = AdaptiveTimeout(alpha=0.5, multiplier=2.0, min_ms=0.1, max_ms=50.0)
+        self._drive(timeout, [10e-3] * 30)  # slow phase: 10ms gaps
+        slow_window = timeout.window_ms
+        assert slow_window == pytest.approx(20.0, rel=1e-3)
+        self._drive(timeout, [1e-3] * 30, start=200.0)  # burst phase: 1ms gaps
+        fast_window = timeout.window_ms
+        assert fast_window < slow_window
+        assert fast_window == pytest.approx(2.0, rel=0.05)  # EWMA converged
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(multiplier=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(min_ms=5.0, max_ms=1.0)
+
+    def test_scheduler_accepts_auto_and_serves_correctly(self):
+        runner = RecordingRunner()
+        with RequestScheduler(runner, max_batch_size=4, batch_timeout_ms="auto") as scheduler:
+            assert scheduler.adaptive_timeout is not None
+            futures = scheduler.submit_all([{"x": np.full(3, i)} for i in range(12)])
+            for i, future in enumerate(futures):
+                np.testing.assert_array_equal(
+                    future.result(timeout=RESULT_TIMEOUT_S)[0], np.full(3, i) * 2
+                )
+            # Arrivals were observed, so the window is live (within bounds).
+            assert scheduler.adaptive_timeout.interarrival_s is not None
+            window = scheduler.batch_timeout_s
+            assert (
+                scheduler.adaptive_timeout.min_s
+                <= window
+                <= scheduler.adaptive_timeout.max_s
+            )
+
+    def test_scheduler_rejects_unknown_string(self):
+        with pytest.raises(ValueError, match="auto"):
+            RequestScheduler(RecordingRunner(), batch_timeout_ms="fast")
+
+    def test_engine_auto_timeout_byte_identical_to_fixed(self, skylake):
+        module = Optimizer(skylake).compile(build_tiny_cnn())
+        rng = np.random.default_rng(11)
+        requests = [
+            {"data": rng.standard_normal((1, 3, 16, 16)).astype(np.float32)}
+            for _ in range(8)
+        ]
+        with InferenceEngine(module, seed=5, batch_timeout_ms="auto") as auto_engine:
+            auto_outputs = auto_engine.serve_concurrent(requests)
+            assert "auto" in auto_engine.describe()
+        with InferenceEngine(module, seed=5, batch_timeout_ms=2.0) as fixed_engine:
+            fixed_outputs = fixed_engine.serve_concurrent(requests)
+        for got, expected in zip(auto_outputs, fixed_outputs):
+            np.testing.assert_array_equal(got[0], expected[0])

@@ -91,6 +91,76 @@ class TestTuningDatabase:
         with pytest.raises(TuningDatabaseMigrationError, match="schema version 99"):
             TuningDatabase.load(path)
 
+    def test_v2_file_migrates_and_round_trips(self, tmp_path):
+        """A v2 file (flat entries list) loads via the registered migration,
+        loses no records, and re-saves as the per-target v3 grouping."""
+        from repro.core import SCHEMA_VERSION
+
+        record = TuningRecord(ConvSchedule(8, 16, 4, True), 3e-4)
+        v2 = {
+            "schema_version": 2,
+            "entries": [
+                {
+                    "workload": WORKLOAD.key(),
+                    "cpu": "cpu-x",
+                    "params": "mb64-k8",
+                    "records": [record.to_dict()],
+                },
+                {
+                    "workload": WORKLOAD.key(),
+                    "cpu": "cpu-y",
+                    "params": "",
+                    "records": [record.to_dict()],
+                },
+            ],
+        }
+        path = tmp_path / "tuning.json"
+        path.write_text(json.dumps(v2), encoding="utf-8")
+
+        migrated = TuningDatabase.load(path)
+        assert len(migrated) == 2
+        assert migrated.best(WORKLOAD, "cpu-x", "mb64-k8").schedule == record.schedule
+        assert migrated.best(WORKLOAD, "cpu-y").cost_s == pytest.approx(3e-4)
+        assert sorted(migrated.cpu_names()) == ["cpu-x", "cpu-y"]
+
+        # Round trip: the migrated database persists as v3 and reloads equal.
+        migrated.save(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert set(payload["targets"]) == {"cpu-x", "cpu-y"}
+        reloaded = TuningDatabase.load(path)
+        assert reloaded.records == migrated.records
+
+    def test_subset_isolates_one_target(self):
+        db = TuningDatabase()
+        db.put(WORKLOAD, "cpu-x", [TuningRecord(ConvSchedule(8, 8, 4), 1.0)], "p")
+        db.put(WORKLOAD, "cpu-y", [TuningRecord(ConvSchedule(4, 4, 2), 2.0)], "p")
+        only_x = db.subset("cpu-x")
+        assert len(only_x) == 1
+        assert only_x.get(WORKLOAD, "cpu-x", "p") is not None
+        assert only_x.get(WORKLOAD, "cpu-y", "p") is None
+        # The subset is independent: mutating it never touches the parent.
+        only_x.put(WORKLOAD, "cpu-z", [TuningRecord(ConvSchedule(8, 8, 4), 3.0)], "p")
+        assert len(db) == 2
+
+    def test_database_pickles_without_lock(self):
+        import pickle
+
+        db = TuningDatabase()
+        db.put(WORKLOAD, "cpu-x", [TuningRecord(ConvSchedule(8, 16, 4), 1e-3)])
+        clone = pickle.loads(pickle.dumps(db))
+        assert clone.records == db.records
+        # The clone has a working lock of its own (put would deadlock or
+        # crash otherwise).
+        clone.put(WORKLOAD, "cpu-y", [TuningRecord(ConvSchedule(8, 8, 4), 2e-3)])
+        assert len(clone) == 2 and len(db) == 1
+
+    def test_duplicate_migration_registration_rejected(self):
+        from repro.core import register_migration
+
+        with pytest.raises(ValueError, match="already"):
+            register_migration(2)(lambda payload: payload)
+
     def test_params_fingerprint_separates_entries(self):
         db = TuningDatabase()
         db.put(WORKLOAD, "cpu-x", [TuningRecord(ConvSchedule(8, 8, 4), 1.0)], "fp-a")
