@@ -1,0 +1,123 @@
+"""Command-line front end: ``python -m repro.analysis [options] [paths...]``.
+
+Exit codes: 0 clean, 1 unsuppressed findings (or verify problems), 2 usage
+or I/O errors.  ``repro.cli analyze`` delegates here so both entry points
+stay behaviourally identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import LintEngine, default_rules
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Lint the tree against the repro stack's conventions.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog (id, summary, rationale) and exit",
+    )
+    parser.add_argument(
+        "--verify-zoo",
+        action="store_true",
+        help="also run the graph verifier over every model in the zoo",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in default_rules():
+        lines.append(f"{rule.rule_id}: {rule.summary}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def _verify_zoo() -> List[str]:
+    """Verify every zoo model's graph; returns rendered problem lines."""
+    from ..graph.shape_infer import infer_shapes
+    from ..models.zoo import get_model, list_models
+    from .verifier import verify_graph
+
+    problems: List[str] = []
+    for name in list_models():
+        graph = infer_shapes(get_model(name))
+        for problem in verify_graph(graph):
+            problems.append(f"zoo:{name}: {problem.render()}")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        rules = default_rules(args.rules.split(",")) if args.rules else None
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    paths = list(args.paths)
+    if not paths:
+        # Default: lint the installed package itself (works from any cwd).
+        paths = [str(Path(__file__).resolve().parent.parent)]
+
+    engine = LintEngine(rules)
+    report = engine.run(paths)
+
+    zoo_problems: List[str] = []
+    if args.verify_zoo:
+        zoo_problems = _verify_zoo()
+
+    if args.format == "json":
+        payload = report.to_dict()
+        if args.verify_zoo:
+            payload["zoo_problems"] = zoo_problems
+            payload["clean"] = payload["clean"] and not zoo_problems
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+        for line in zoo_problems:
+            print(line)
+        if args.verify_zoo:
+            print(f"{len(zoo_problems)} graph problem(s) across the zoo")
+
+    if report.errors:
+        return 2
+    if report.findings or zoo_problems:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

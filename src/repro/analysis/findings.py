@@ -1,0 +1,101 @@
+"""Findings and suppression semantics of the convention linter.
+
+A :class:`Finding` is one diagnostic: a rule identifier, a precise
+``file:line:col`` location and a message.  Findings are what every rule
+produces and what both output formats (text and JSON) render.
+
+Suppression follows the ``noqa`` convention, namespaced so it can never
+collide with other tools' pragmas::
+
+    fingerprint = hash(name)  # repro: noqa[REP001] -- in-process only
+
+``# repro: noqa`` with no bracket suppresses every rule on that line;
+``# repro: noqa[REP001,REP004]`` suppresses exactly the listed rules.  A
+suppression is *scoped to its line* — the linter reports suppressed findings
+separately so the self-clean gate can assert that every suppression in the
+tree is intentional (and, by policy, carries a trailing justification).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+__all__ = ["Finding", "NOQA_PATTERN", "line_suppressions"]
+
+#: ``# repro: noqa`` or ``# repro: noqa[REP001,REP002]`` (anywhere in a line).
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
+)
+
+
+@dataclass
+class Finding:
+    """One diagnostic produced by a lint rule."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """The canonical single-line text form: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def line_suppressions(
+    lines: Sequence[str],
+) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Parse per-line ``# repro: noqa`` pragmas from a file's source lines.
+
+    Returns a mapping of 1-based line number to the suppressed rule set:
+    ``None`` means "every rule" (a bare ``noqa``), a frozenset names the
+    rules listed in the bracket.  Lines without a pragma are absent.
+    """
+    result: Dict[int, Optional[FrozenSet[str]]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "noqa" not in text:  # cheap pre-filter before the regex
+            continue
+        match = NOQA_PATTERN.search(text)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            result[lineno] = None
+        else:
+            rules = frozenset(
+                rule.strip().upper() for rule in listed.split(",") if rule.strip()
+            )
+            # An empty bracket ("noqa[]") suppresses nothing rather than
+            # everything: a typo must not silently disable the linter.
+            if rules:
+                result[lineno] = rules
+    return result
+
+
+def is_suppressed(
+    finding: Finding, suppressions: Dict[int, Optional[FrozenSet[str]]]
+) -> bool:
+    """Does a ``noqa`` pragma on the finding's line cover the finding's rule?"""
+    if finding.line not in suppressions:
+        return False
+    rules = suppressions[finding.line]
+    return rules is None or finding.rule in rules
+
+
+def sort_findings(findings: List[Finding]) -> List[Finding]:
+    return sorted(findings, key=Finding.sort_key)

@@ -1,0 +1,554 @@
+"""REP004: the lock-order analyzer.
+
+Builds a lock-acquisition graph from ``with <lock>:`` nests across the whole
+tree and reports two classes of hazard:
+
+* **lock-order inversions** — a strongly-connected component in the
+  acquisition graph means two code paths take the same locks in opposite
+  orders, which deadlocks the moment both paths run concurrently (the
+  threadpool and the request scheduler make that the steady state);
+* **blocking calls under a lock** — queue puts/gets, file I/O, subprocess
+  spawns or sleeps made while a lock is held serialize every other holder
+  behind an unbounded wait.
+
+The analysis is deliberately syntactic but lock-aware:
+
+* Locks are *discovered*, not guessed: ``self._x = threading.Lock()`` (also
+  ``RLock``/``Condition``) in a method body, a dataclass field annotated
+  ``threading.Lock``, or a module-level ``NAME = threading.Lock()`` each
+  define a lock keyed ``module.Class._x`` / ``module:NAME``.  A ``with`` on
+  an undiscovered attribute still counts when its name contains ``lock`` or
+  ``mutex`` — a lock handed in from outside is still a lock.
+* ``threading.Condition(self._mutex)`` *aliases* the existing lock: entering
+  the condition enters ``_mutex``, and ``cond.wait()`` while holding the
+  aliased lock is the one blocking call that is exempt (waiting releases the
+  lock; that is the point of a condition variable).
+* Within a module, lock acquisition propagates through direct
+  ``self.method()`` / module-function calls to a fixpoint, so a helper that
+  takes lock B is charged to every caller already holding lock A.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .engine import ModuleSource, ProjectRule, register_rule
+from .findings import Finding
+
+__all__ = ["LockOrderRule", "LockInfo", "extract_module_locks"]
+
+
+#: attribute/name fragments that mark an undiscovered object as a lock.
+_LOCKISH_FRAGMENTS = ("lock", "mutex")
+
+#: receiver-name fragments that mark ``.put/.get/.join/.wait/.result`` as
+#: calls on a queue/thread/future (vs. ``str.join`` and friends).
+_BLOCKING_RECEIVER_FRAGMENTS = (
+    "queue",
+    "thread",
+    "worker",
+    "collector",
+    "pool",
+    "proc",
+    "future",
+    "event",
+    "task",
+    "not_empty",
+    "not_full",
+    "cond",
+)
+
+#: dotted calls that block regardless of receiver.
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "os.replace",
+    "os.rename",
+    "shutil.copy",
+    "shutil.copy2",
+    "shutil.copytree",
+    "shutil.move",
+    "shutil.rmtree",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+}
+
+#: attribute calls that are file I/O wherever they appear.
+_BLOCKING_ATTRS = {"unlink", "write_text", "write_bytes", "read_text", "read_bytes"}
+
+#: method names that block only on queue/thread-ish receivers.
+_BLOCKING_ON_THREADISH = {"put", "get", "join", "wait", "result", "acquire"}
+
+
+@dataclass
+class LockInfo:
+    """One discovered lock (or condition) and how to refer to it."""
+
+    key: str  # canonical graph key, e.g. "threadpool.BoundedQueue._mutex"
+    kind: str  # "lock" | "rlock" | "condition"
+    alias_of: Optional[str] = None  # condition wrapping an existing lock
+
+    def resolve(self, table: Dict[str, "LockInfo"]) -> str:
+        """The key of the underlying lock, following condition aliases."""
+        seen = {self.key}
+        info = self
+        while info.alias_of is not None and info.alias_of in table:
+            if info.alias_of in seen:
+                break
+            seen.add(info.alias_of)
+            info = table[info.alias_of]
+        return info.key
+
+
+@dataclass
+class _Edge:
+    src: str
+    dst: str
+    path: str
+    line: int
+    col: int
+    context: str  # "function qualname" for the message
+
+
+@dataclass
+class _Blocking:
+    lock: str
+    call: str
+    path: str
+    line: int
+    col: int
+    context: str
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _threading_ctor(node: ast.AST) -> Optional[str]:
+    """``"Lock"``/``"RLock"``/``"Condition"`` when node constructs one."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = _dotted_name(node.func) or ""
+    tail = dotted.rsplit(".", 1)[-1]
+    if tail in {"Lock", "RLock", "Condition"} and (
+        dotted.startswith("threading.") or dotted == tail
+    ):
+        return tail
+    return None
+
+
+_CTOR_KIND = {"Lock": "lock", "RLock": "rlock", "Condition": "condition"}
+
+
+def extract_module_locks(module: ModuleSource) -> Dict[str, LockInfo]:
+    """Discover every lock defined in one module, keyed canonically."""
+    stem = module.path.stem
+    table: Dict[str, LockInfo] = {}
+
+    def record(key: str, ctor: str, ctor_call: ast.Call, owner_class: str) -> None:
+        kind = _CTOR_KIND[ctor]
+        alias: Optional[str] = None
+        if ctor == "Condition" and ctor_call.args:
+            inner = ctor_call.args[0]
+            inner_dotted = _dotted_name(inner) or ""
+            if inner_dotted.startswith("self.") and owner_class:
+                alias = f"{stem}.{owner_class}.{inner_dotted[5:]}"
+            elif isinstance(inner, ast.Name):
+                alias = f"{stem}:{inner.id}"
+            # Condition(threading.Lock()) wraps a private lock: no alias.
+        table[key] = LockInfo(key=key, kind=kind, alias_of=alias)
+
+    # Module-level: NAME = threading.Lock()
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            ctor = _threading_ctor(node.value)
+            if ctor:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        record(f"{stem}:{target.id}", ctor, node.value, "")
+
+    # Class-level and self-attribute locks.
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        cls = node.name
+        for stmt in node.body:
+            # Dataclass field: _lock: threading.Lock = field(...)
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                ann = _dotted_name(stmt.annotation) or ""
+                tail = ann.rsplit(".", 1)[-1]
+                if tail in _CTOR_KIND:
+                    key = f"{stem}.{cls}.{stmt.target.id}"
+                    table[key] = LockInfo(key=key, kind=_CTOR_KIND[tail])
+        for inner in ast.walk(node):
+            # self._x = threading.Lock() anywhere in the class's methods.
+            if isinstance(inner, ast.Assign):
+                ctor = _threading_ctor(inner.value)
+                if not ctor:
+                    continue
+                for target in inner.targets:
+                    dotted = _dotted_name(target) or ""
+                    if dotted.startswith("self."):
+                        record(
+                            f"{stem}.{cls}.{dotted[5:]}", ctor, inner.value, cls
+                        )
+    return table
+
+
+def _is_lockish(name: str) -> bool:
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in _LOCKISH_FRAGMENTS)
+
+
+class _FunctionScan(ast.NodeVisitor):
+    """Walk one function, tracking the held-lock stack through ``with``."""
+
+    def __init__(
+        self,
+        module: ModuleSource,
+        qualname: str,
+        owner_class: str,
+        locks: Dict[str, LockInfo],
+    ) -> None:
+        self.module = module
+        self.stem = module.path.stem
+        self.qualname = qualname
+        self.owner_class = owner_class
+        self.locks = locks
+        self.held: List[str] = []
+        self.acquired: Set[str] = set()
+        self.edges: List[_Edge] = []
+        self.blocking: List[_Blocking] = []
+        #: (held_locks_tuple, callee_local_name, site) for fixpoint edges
+        self.call_sites: List[Tuple[Tuple[str, ...], str, ast.Call]] = []
+
+    # -- lock expression resolution ------------------------------------- #
+    def _lock_key(self, expr: ast.AST) -> Optional[str]:
+        dotted = _dotted_name(expr)
+        if dotted is None:
+            return None
+        if dotted.startswith("self.") and self.owner_class:
+            attr = dotted[5:]
+            key = f"{self.stem}.{self.owner_class}.{attr}"
+            if key in self.locks:
+                return self.locks[key].resolve(self.locks)
+            if _is_lockish(attr):
+                return key
+            return None
+        if "." not in dotted:
+            key = f"{self.stem}:{dotted}"
+            if key in self.locks:
+                return self.locks[key].resolve(self.locks)
+            if _is_lockish(dotted):
+                return key
+        return None
+
+    # -- traversal ------------------------------------------------------ #
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            key = self._lock_key(item.context_expr)
+            if key is None:
+                continue
+            for held in self.held:
+                self.edges.append(
+                    _Edge(
+                        src=held,
+                        dst=key,
+                        path=self.module.display_path,
+                        line=item.context_expr.lineno,
+                        col=item.context_expr.col_offset + 1,
+                        context=self.qualname,
+                    )
+                )
+            self.held.append(key)
+            self.acquired.add(key)
+            pushed += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    visit_AsyncWith = visit_With  # same shape
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs run later, not while these locks are held.
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.held:
+            self._check_blocking(node)
+            callee = self._local_callee(node)
+            if callee is not None:
+                self.call_sites.append((tuple(self.held), callee, node))
+        self.generic_visit(node)
+
+    def _local_callee(self, node: ast.Call) -> Optional[str]:
+        """Name of a same-module callee: ``self.method`` or a bare function."""
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            return f"{self.owner_class}.{func.attr}" if self.owner_class else func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None
+
+    def _check_blocking(self, node: ast.Call) -> None:
+        func = node.func
+        dotted = _dotted_name(func) or ""
+        blocking: Optional[str] = None
+        if isinstance(func, ast.Name) and func.id == "open":
+            blocking = "open()"
+        elif dotted in _BLOCKING_DOTTED:
+            blocking = f"{dotted}()"
+        elif isinstance(func, ast.Attribute):
+            attr = func.attr
+            if attr in _BLOCKING_ATTRS:
+                blocking = f".{attr}()"
+            elif attr in _BLOCKING_ON_THREADISH:
+                receiver = _dotted_name(func.value) or ""
+                # A wait on (an alias of) a lock we hold is a condition
+                # wait: it releases the lock while blocked.  Exempt.
+                if attr == "wait":
+                    key = self._lock_key(func.value)
+                    if key is not None and key in self.held:
+                        return
+                tail = receiver.rsplit(".", 1)[-1].lower()
+                if any(f in tail for f in _BLOCKING_RECEIVER_FRAGMENTS):
+                    blocking = f"{receiver}.{attr}()"
+        if blocking is not None:
+            self.blocking.append(
+                _Blocking(
+                    lock=self.held[-1],
+                    call=blocking,
+                    path=self.module.display_path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    context=self.qualname,
+                )
+            )
+
+
+def _iter_functions(
+    module: ModuleSource,
+) -> Iterator[Tuple[str, str, ast.AST]]:
+    """Yield ``(qualname, owner_class, node)`` for every function."""
+    stack: List[Tuple[ast.AST, str, str]] = [(module.tree, "", "")]
+    while stack:
+        node, prefix, owner = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, owner, child
+                stack.append((child, qual + ".", owner))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, f"{prefix}{child.name}.", child.name))
+            else:
+                stack.append((child, prefix, owner))
+
+
+def _tarjan_sccs(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components (iterative Tarjan)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work: List[Tuple[str, Iterator[str]]] = [(root, iter(graph.get(root, ())))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for succ in edges:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+@register_rule
+class LockOrderRule(ProjectRule):
+    rule_id = "REP004"
+    summary = "lock-order inversion or blocking call under a lock"
+    rationale = (
+        "The threadpool, the request scheduler and the repository pin "
+        "registry run concurrently in every serving process. Two paths "
+        "taking the same locks in opposite orders deadlock under load, and "
+        "a queue/file/subprocess wait made while holding a lock serializes "
+        "every other holder behind it. Keep lock order consistent and move "
+        "blocking work outside critical sections."
+    )
+
+    def check_project(self, modules: Sequence[ModuleSource]) -> Iterable[Finding]:
+        edges: List[_Edge] = []
+        blocking: List[_Blocking] = []
+        kinds: Dict[str, str] = {}
+
+        for module in modules:
+            locks = extract_module_locks(module)
+            for info in locks.values():
+                kinds[info.key] = info.kind
+
+            scans: Dict[str, _FunctionScan] = {}
+            for qual, owner, node in _iter_functions(module):
+                scan = _FunctionScan(module, qual, owner, locks)
+                for stmt in getattr(node, "body", []):
+                    scan.visit(stmt)
+                # Keyed by callee-resolvable name; later duplicate defs
+                # (overloads, conditionals) merge conservatively.
+                scans.setdefault(qual, scan)
+
+            # Fixpoint: a function's may-acquire set includes every lock a
+            # same-module callee may acquire.
+            may_acquire: Dict[str, Set[str]] = {
+                qual: set(scan.acquired) for qual, scan in scans.items()
+            }
+            changed = True
+            while changed:
+                changed = False
+                for qual, scan in scans.items():
+                    for _, callee, _ in scan.call_sites:
+                        target = may_acquire.get(callee)
+                        if target and not target <= may_acquire[qual]:
+                            may_acquire[qual] |= target
+                            changed = True
+
+            for scan in scans.values():
+                edges.extend(scan.edges)
+                blocking.extend(scan.blocking)
+                for held, callee, site in scan.call_sites:
+                    for lock in may_acquire.get(callee, ()):
+                        for held_lock in held:
+                            if held_lock == lock:
+                                continue
+                            edges.append(
+                                _Edge(
+                                    src=held_lock,
+                                    dst=lock,
+                                    path=scan.module.display_path,
+                                    line=site.lineno,
+                                    col=site.col_offset + 1,
+                                    context=f"{scan.qualname} -> {callee}",
+                                )
+                            )
+
+        yield from self._inversion_findings(edges, kinds)
+        for item in blocking:
+            yield Finding(
+                rule=self.rule_id,
+                path=item.path,
+                line=item.line,
+                col=item.col,
+                message=(
+                    f"blocking call {item.call} while holding {item.lock} "
+                    f"(in {item.context}); move the blocking work outside "
+                    "the critical section"
+                ),
+            )
+
+    def _inversion_findings(
+        self, edges: List[_Edge], kinds: Dict[str, str]
+    ) -> Iterator[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for edge in edges:
+            graph.setdefault(edge.src, set()).add(edge.dst)
+            graph.setdefault(edge.dst, set())
+
+        # Re-acquiring a non-reentrant Lock you already hold deadlocks
+        # immediately; report the nested site.
+        reported_self: Set[Tuple[str, int]] = set()
+        for edge in edges:
+            if edge.src == edge.dst and kinds.get(edge.src, "lock") == "lock":
+                site = (edge.path, edge.line)
+                if site in reported_self:
+                    continue
+                reported_self.add(site)
+                yield Finding(
+                    rule=self.rule_id,
+                    path=edge.path,
+                    line=edge.line,
+                    col=edge.col,
+                    message=(
+                        f"re-acquisition of non-reentrant {edge.src} while "
+                        f"already held (in {edge.context}): self-deadlock"
+                    ),
+                )
+
+        cyclic: Dict[str, Set[str]] = {}
+        for component in _tarjan_sccs(graph):
+            if len(component) < 2:
+                continue
+            members = set(component)
+            for member in component:
+                cyclic[member] = members
+
+        seen_sites: Set[Tuple[str, int, str, str]] = set()
+        for edge in edges:
+            if edge.src == edge.dst:
+                continue
+            members = cyclic.get(edge.src)
+            if not members or edge.dst not in members:
+                continue
+            site = (edge.path, edge.line, edge.src, edge.dst)
+            if site in seen_sites:
+                continue
+            seen_sites.add(site)
+            cycle = " -> ".join(sorted(members))
+            yield Finding(
+                rule=self.rule_id,
+                path=edge.path,
+                line=edge.line,
+                col=edge.col,
+                message=(
+                    f"lock-order inversion: {edge.src} held while acquiring "
+                    f"{edge.dst} (in {edge.context}), but the acquisition "
+                    f"graph also orders them oppositely; cycle: {cycle}"
+                ),
+            )

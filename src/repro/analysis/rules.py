@@ -1,0 +1,503 @@
+"""Single-file lint rules: the conventions PRs 1-5 established, mechanized.
+
+Each rule encodes one invariant of the stack.  The scoping heuristics are
+deliberately narrow — a convention linter that cries wolf gets ``noqa``'d
+into silence — so every rule restricts itself to the code paths where the
+invariant actually matters (fingerprint helpers, artifact writers, graph
+construction, dispatch loops) rather than flagging every occurrence of a
+pattern tree-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .engine import ModuleSource, Rule, register_rule
+from .findings import Finding
+
+__all__ = [
+    "NondeterminismRule",
+    "RawArtifactWriteRule",
+    "SymbolicBatchRule",
+    "SwallowedExceptionRule",
+]
+
+
+def _qualname_chain(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield ``(qualname, node)`` for every function/method in a module."""
+    stack: List[Tuple[ast.AST, str]] = [(tree, "")]
+    while stack:
+        node, prefix = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                stack.append((child, qual + "."))
+            elif isinstance(child, ast.ClassDef):
+                stack.append((child, f"{prefix}{child.name}."))
+            else:
+                stack.append((child, prefix))
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Like ``ast.walk`` but stopping at nested function definitions.
+
+    Each function is its own scope and gets its own pass; walking it again
+    from the enclosing scope would double-report every finding.
+    """
+    stack: List[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# REP001 — nondeterminism in deterministic paths
+# --------------------------------------------------------------------------- #
+
+#: function-qualname markers that put a function in the deterministic set.
+_DETERMINISTIC_MARKERS = (
+    "fingerprint",
+    "digest",
+    "_stable",
+    "cache_key",
+    "tuning_key",
+    "name_seed",
+    "_seed",
+    "seed_",
+    "initialize_parameters",
+)
+
+#: modules whose entire body is a deterministic path (keys must replay).
+_DETERMINISTIC_MODULES = ("tuning_db.py", "artifact.py")
+
+#: ``time``/``datetime`` calls that read the wall clock or a monotonic clock.
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: legacy (module-global, seed-stateful) numpy random entry points.
+_NP_LEGACY_RANDOM = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "seed",
+    "standard_normal",
+    "uniform",
+    "normal",
+}
+
+
+@register_rule
+class NondeterminismRule(Rule):
+    rule_id = "REP001"
+    summary = "nondeterministic call in a deterministic path"
+    rationale = (
+        "Fingerprints, seeds and tuning keys must replay bit-identically "
+        "across processes; PR 5 shipped a real cross-process mis-serving bug "
+        "from hash() in a name seed (PYTHONHASHSEED varies per process). "
+        "Use zlib.crc32/hashlib and seeded np.random.default_rng instead."
+    )
+
+    def _deterministic_functions(
+        self, module: ModuleSource
+    ) -> List[Tuple[str, ast.AST]]:
+        scopes: List[Tuple[str, ast.AST]] = []
+        if any(module.display_path.endswith(name) for name in _DETERMINISTIC_MODULES):
+            scopes.append(("<module>", module.tree))
+            return scopes
+        for qual, node in _qualname_chain(module.tree):
+            simple = qual.rsplit(".", 1)[-1].lower()
+            if simple == "__hash__":
+                # Python's own hashing protocol; in-process only by contract.
+                continue
+            if any(marker in simple for marker in _DETERMINISTIC_MARKERS):
+                scopes.append((qual, node))
+        return scopes
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for qual, scope in self._deterministic_functions(module):
+            yield from self._check_scope(module, qual, scope)
+
+    def _check_scope(
+        self, module: ModuleSource, qual: str, scope: ast.AST
+    ) -> Iterator[Finding]:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "hash":
+                yield self.finding(
+                    module,
+                    node,
+                    f"builtin hash() in deterministic path {qual!r}: "
+                    "hash() is salted per process (PYTHONHASHSEED); "
+                    "use zlib.crc32 or hashlib",
+                )
+                continue
+            dotted = _dotted_name(func)
+            if dotted is None:
+                continue
+            if dotted in _CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"clock read {dotted}() in deterministic path {qual!r}: "
+                    "wall/monotonic time never replays",
+                )
+            elif dotted.startswith("random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"global random.{dotted.split('.', 1)[1]}() in "
+                    f"deterministic path {qual!r}: module-global RNG state "
+                    "is unseeded here; use a seeded np.random.default_rng",
+                )
+            elif (
+                dotted.startswith(("np.random.", "numpy.random."))
+                and dotted.rsplit(".", 1)[-1] in _NP_LEGACY_RANDOM
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy numpy RNG {dotted}() in deterministic path "
+                    f"{qual!r}: global seed state; use a seeded "
+                    "np.random.default_rng",
+                )
+            elif dotted.endswith("default_rng") and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    f"default_rng() without a seed in deterministic path "
+                    f"{qual!r}: OS-entropy seeding never replays",
+                )
+
+
+# --------------------------------------------------------------------------- #
+# REP002 — raw durable writes without write-then-rename
+# --------------------------------------------------------------------------- #
+
+
+@register_rule
+class RawArtifactWriteRule(Rule):
+    rule_id = "REP002"
+    summary = "durable write without the write-then-rename idiom"
+    rationale = (
+        "Artifacts and tuning databases are read concurrently by serving "
+        "processes and survive crashes; writing in place leaves a torn file "
+        "visible to readers. Write to a temp path in the same directory, "
+        "then os.replace() it into place atomically."
+    )
+
+    #: call names whose presence in a function marks it as using the idiom.
+    _RENAME_CALLS = {"os.replace", "os.rename"}
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        scopes: List[ast.AST] = [module.tree]
+        scopes.extend(node for _, node in _qualname_chain(module.tree))
+        for scope in scopes:
+            yield from self._check_scope(module, scope)
+
+    def _scope_calls(self, scope: ast.AST) -> Iterator[ast.Call]:
+        """Calls belonging to this scope directly (not to nested functions).
+
+        Nested function definitions are skipped — each gets its own pass, so
+        a helper that *does* use the idiom doesn't launder its enclosing
+        scope, and vice versa.  Class bodies are descended: their statements
+        execute in the enclosing scope.
+        """
+        stack: List[ast.AST] = [scope]
+        while stack:
+            node = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(child, ast.Call):
+                    yield child
+                stack.append(child)
+
+    def _buffer_names(self, scope: ast.AST) -> Set[str]:
+        """Names assigned from io.BytesIO()/io.StringIO() — in-memory sinks."""
+        buffers: Set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                dotted = _dotted_name(node.value.func) or ""
+                if dotted.rsplit(".", 1)[-1] in {"BytesIO", "StringIO"}:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            buffers.add(target.id)
+        return buffers
+
+    def _check_scope(self, module: ModuleSource, scope: ast.AST) -> Iterator[Finding]:
+        calls = list(self._scope_calls(scope))
+        has_rename = any(
+            (_dotted_name(call.func) or "") in self._RENAME_CALLS for call in calls
+        )
+        if has_rename:
+            return
+        buffers = self._buffer_names(scope)
+        for call in calls:
+            yield from self._check_call(module, call, buffers)
+
+    def _open_mode(self, call: ast.Call) -> Optional[str]:
+        """The literal mode of an ``open()`` call, if determinable."""
+        mode: Optional[ast.AST] = None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return "r"
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None  # dynamic mode: give the benefit of the doubt
+
+    def _check_call(
+        self, module: ModuleSource, call: ast.Call, buffers: Set[str]
+    ) -> Iterator[Finding]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = self._open_mode(call)
+            if mode is not None and any(ch in mode for ch in "wax"):
+                yield self.finding(
+                    module,
+                    call,
+                    f"open(..., {mode!r}) writes in place; write to a temp "
+                    "file and os.replace() it into the final path",
+                )
+            return
+        dotted = _dotted_name(func) or ""
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail in {"write_text", "write_bytes"} and isinstance(func, ast.Attribute):
+            yield self.finding(
+                module,
+                call,
+                f".{tail}() writes in place; write to a temp file and "
+                "os.replace() it into the final path",
+            )
+        elif dotted in {"pickle.dump", "json.dump", "np.save", "numpy.save"}:
+            # Dumping into an in-memory buffer is fine; flag file targets.
+            sink = call.args[1] if len(call.args) >= 2 else None
+            if dotted in {"np.save", "numpy.save"}:
+                sink = call.args[0] if call.args else None
+            if isinstance(sink, ast.Name) and sink.id in buffers:
+                return
+            yield self.finding(
+                module,
+                call,
+                f"{dotted}() to a file handle opened in place; serialize "
+                "to a temp file and os.replace() it into the final path",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# REP003 — symbolic batch extent baked into op attributes
+# --------------------------------------------------------------------------- #
+
+
+@register_rule
+class SymbolicBatchRule(Rule):
+    rule_id = "REP003"
+    summary = "symbolic batch extent baked into an op attribute"
+    rationale = (
+        'axis_extent("N") is the *nominal* build-time batch (usually 1), not '
+        "a constant: graphs are batch-polymorphic and the real extent is "
+        "chosen per request. Freezing it into reshape targets or other op "
+        "attrs silently pins the graph to the build batch and breaks request "
+        "coalescing. Use -1/BatchDim-preserving forms instead."
+    )
+
+    #: callee names that construct ops or op attributes.
+    _SINK_CALLS = {"op", "_op", "node", "Node", "reshape", "make_node", "add_op"}
+
+    def _is_axis_extent_n(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "axis_extent"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and str(node.args[0].value).upper() == "N"
+        )
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        scopes: List[ast.AST] = [node for _, node in _qualname_chain(module.tree)]
+        scopes.append(module.tree)
+        for scope in scopes:
+            yield from self._check_scope(module, scope)
+
+    def _check_scope(self, module: ModuleSource, scope: ast.AST) -> Iterator[Finding]:
+        # Names bound (by simple assignment) to axis_extent("N") in this scope.
+        tainted: Set[str] = set()
+        for node in _scope_walk(scope):
+            if isinstance(node, ast.Assign) and self._is_axis_extent_n(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        tainted.add(target.id)
+
+        def is_tainted(expr: ast.AST) -> bool:
+            if self._is_axis_extent_n(expr):
+                return True
+            if isinstance(expr, ast.Name) and expr.id in tainted:
+                return True
+            if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+                return any(is_tainted(element) for element in expr.elts)
+            if isinstance(expr, ast.Dict):
+                return any(is_tainted(value) for value in expr.values)
+            return False
+
+        for node in _scope_walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            callee_name = (
+                callee.attr if isinstance(callee, ast.Attribute)
+                else callee.id if isinstance(callee, ast.Name) else ""
+            )
+            in_sink = callee_name in self._SINK_CALLS
+            for keyword in node.keywords:
+                if keyword.arg == "attrs" and is_tainted(keyword.value):
+                    yield self.finding(
+                        module,
+                        keyword.value,
+                        'axis_extent("N") flows into an attrs= payload: the '
+                        "nominal batch must not be frozen into op attributes",
+                    )
+                elif in_sink and is_tainted(keyword.value):
+                    yield self.finding(
+                        module,
+                        keyword.value,
+                        f'axis_extent("N") flows into {callee_name}'
+                        f"(...{keyword.arg}=...): the nominal batch must not "
+                        "be frozen into op attributes",
+                    )
+            if in_sink:
+                for arg in node.args:
+                    if is_tainted(arg):
+                        yield self.finding(
+                            module,
+                            arg,
+                            f'axis_extent("N") flows into {callee_name}(...): '
+                            "the nominal batch must not be frozen into op "
+                            "attributes",
+                        )
+
+
+# --------------------------------------------------------------------------- #
+# REP005 — swallowed exceptions in dispatch paths
+# --------------------------------------------------------------------------- #
+
+#: filename fragments that mark a module as a dispatch/worker path.
+_DISPATCH_MODULES = (
+    "scheduler",
+    "threadpool",
+    "engine",
+    "executor",
+    "worker",
+    "dispatch",
+)
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    rule_id = "REP005"
+    summary = "exception swallowed in a dispatch path"
+    rationale = (
+        "A worker or scheduler loop that swallows an exception keeps "
+        "dequeuing with corrupt state, and the request that died is never "
+        "failed back to its caller. Catch the narrowest exception you can "
+        "handle; anything broader must be logged and re-raised or routed to "
+        "the request's error path."
+    )
+
+    _BROAD = {"Exception", "BaseException"}
+
+    def _is_dispatch_module(self, module: ModuleSource) -> bool:
+        name = module.display_path.rsplit("/", 1)[-1]
+        return any(fragment in name for fragment in _DISPATCH_MODULES)
+
+    def _broad_types(self, handler: ast.ExceptHandler) -> List[str]:
+        node = handler.type
+        if node is None:
+            return []
+        names = []
+        elements = node.elts if isinstance(node, ast.Tuple) else [node]
+        for element in elements:
+            dotted = _dotted_name(element) or ""
+            if dotted.rsplit(".", 1)[-1] in self._BROAD:
+                names.append(dotted)
+        return names
+
+    def _body_is_silent(self, handler: ast.ExceptHandler) -> bool:
+        """Body does nothing observable: only pass/.../docstrings/continue."""
+        for statement in handler.body:
+            if isinstance(statement, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(statement, ast.Expr) and isinstance(
+                statement.value, ast.Constant
+            ):
+                continue
+            return False
+        return True
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        dispatch = self._is_dispatch_module(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                # A bare ``except:`` also traps KeyboardInterrupt/SystemExit;
+                # that is wrong in any module, dispatch path or not.
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except: traps KeyboardInterrupt/SystemExit; name "
+                    "the exception type",
+                )
+                continue
+            if not dispatch:
+                continue
+            broad = self._broad_types(node)
+            if broad and self._body_is_silent(node):
+                yield self.finding(
+                    module,
+                    node,
+                    f"except {'/'.join(broad)} with a silent body in a "
+                    "dispatch path: the failed request is never reported; "
+                    "log and re-raise or route to the error path",
+                )

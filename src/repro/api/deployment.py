@@ -142,7 +142,9 @@ def _unlink_unless_pinned(path: Path) -> str:
         if _pin_key(path) in _PINS:
             return "pinned"
         try:
-            path.unlink()
+            # The unlink must happen under _PIN_LOCK: the pin-check and
+            # the delete are one atomic decision (see docstring above).
+            path.unlink()  # repro: noqa[REP004] -- atomicity requires the unlink under the pin lock
         except FileNotFoundError:
             return "missing"
     return "evicted"

@@ -520,7 +520,7 @@ class RequestScheduler:
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown path
         try:
             self.close(wait=False)
-        except Exception:
+        except Exception:  # repro: noqa[REP005] -- interpreter teardown: modules may be half-gone, nowhere to report
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -13,6 +13,8 @@ Subcommands::
     gc --max-bytes N [--dry-run]             LRU-evict down to a byte budget
     check ARTIFACT [--host TARGET]           load on a host, serve a probe
                                              request, print the output digest
+    analyze [PATHS...] [--format json]       lint source trees against the
+                                             stack's conventions (REP001..)
 
 ``check`` exists so a deployment pipeline can diff served numbers across
 hosts and builds with nothing but shell: it loads the artifact exactly the
@@ -162,6 +164,22 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    # Delegate to the python -m repro.analysis front end so both entry
+    # points accept the same flags and exit codes.
+    from .analysis.__main__ import main as analysis_main
+
+    argv: List[str] = ["--format", args.format]
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.verify_zoo:
+        argv.append("--verify-zoo")
+    argv.extend(args.paths)
+    return analysis_main(argv)
+
+
 # --------------------------------------------------------------------------- #
 # argument parsing
 # --------------------------------------------------------------------------- #
@@ -254,6 +272,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=1, help="probe batch extent (default 1)"
     )
     check_cmd.set_defaults(run=_cmd_check)
+
+    analyze_cmd = commands.add_parser(
+        "analyze",
+        help="lint source against the stack's conventions (exit 1 on findings)",
+    )
+    analyze_cmd.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    analyze_cmd.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    analyze_cmd.add_argument(
+        "--rules", help="comma-separated rule ids to run (default: all)"
+    )
+    analyze_cmd.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    analyze_cmd.add_argument(
+        "--verify-zoo", action="store_true",
+        help="also run the graph verifier over every zoo model",
+    )
+    analyze_cmd.set_defaults(run=_cmd_analyze)
 
     return parser
 

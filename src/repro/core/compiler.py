@@ -146,6 +146,18 @@ def compile_graph(
     cpu = target if isinstance(target, CPUSpec) else get_target(target)
     config = config if config is not None else CompileConfig()
 
+    # getattr: CompileConfig instances unpickled from pre-verify_ir artifacts
+    # lack the field.
+    verifier = None
+    if getattr(config, "verify_ir", False):
+        from ..analysis.verifier import assert_valid_graph
+
+        # Structure-only between passes: specs are legitimately stale until
+        # the final infer_shapes re-annotation below.
+        def verifier(g: Graph, pass_name: str) -> None:
+            assert_valid_graph(g, context=f"after pass {pass_name}",
+                               check_shapes=False)
+
     if not in_place:
         graph = graph.copy()
     infer_shapes(graph)
@@ -153,7 +165,7 @@ def compile_graph(
         initialize_parameters(graph, params)
 
     # Stage 1: generic simplifications inherited from the base stack.
-    pre = PassManager()
+    pre = PassManager(verifier=verifier)
     pre.add(SimplifyInference())
     if config.fold_constants:
         pre.add(FoldConstants())
@@ -163,7 +175,7 @@ def compile_graph(
     schedules, search_method = select_schedules(graph, cpu, config, tuning_database)
 
     # Stage 3: graph-level layout management.
-    post = PassManager()
+    post = PassManager(verifier=verifier)
     if schedules:
         hoist = config.opt_level != OptLevel.LAYOUT
         post.add(AlterOpLayout(schedules, hoist_transforms=hoist))
@@ -175,6 +187,13 @@ def compile_graph(
         post.add(FoldConstants())
     graph = post.run(graph)
     infer_shapes(graph)
+    if verifier is not None:
+        from ..analysis.verifier import assert_valid_graph
+
+        # Full semantic check (shapes, BatchDim conventions) now that every
+        # spec has been re-inferred.
+        assert_valid_graph(graph, context="final compiled graph",
+                           check_shapes=True)
 
     return CompiledModule(
         graph=graph,

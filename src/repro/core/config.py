@@ -60,6 +60,14 @@ class CompileConfig:
             parameter values to have an effect).
         per_op_overhead_s: framework overhead per executed operator used in
             latency estimates (NeoCPU's compiled module has very little).
+        verify_ir: run the semantic graph verifier
+            (:func:`repro.analysis.verify_graph`) after every optimization
+            pass and once more on the final graph, raising
+            :class:`~repro.analysis.GraphVerificationError` at the first
+            pass that corrupts the IR.  Debugging aid, off by default.
+            Excluded from compilation fingerprints (``fingerprint=False``
+            field metadata): toggling verification must not invalidate
+            artifact caches — it never changes the compiled result.
     """
 
     opt_level: str = OptLevel.GLOBAL
@@ -72,6 +80,7 @@ class CompileConfig:
     fuse_ops: bool = True
     fold_constants: bool = True
     per_op_overhead_s: float = 1.0e-6
+    verify_ir: bool = field(default=False, metadata={"fingerprint": False})
 
     def __post_init__(self) -> None:
         if self.opt_level not in OptLevel.ALL:

@@ -62,10 +62,18 @@ class PassRecord:
 
 @dataclass
 class PassManager:
-    """Apply a sequence of passes and keep a record of what happened."""
+    """Apply a sequence of passes and keep a record of what happened.
+
+    When ``verifier`` is set (a ``(graph, pass_name) -> None`` callable, e.g.
+    a closure over :func:`repro.analysis.assert_valid_graph`), it runs after
+    every pass, so a pass that corrupts the IR is caught at the point of
+    corruption — with its name in the error — instead of failing obscurely
+    passes later.
+    """
 
     passes: List[GraphPass] = field(default_factory=list)
     records: List[PassRecord] = field(default_factory=list)
+    verifier: Optional[Callable[[Graph, str], None]] = None
 
     def add(self, graph_pass: "GraphPass | Callable[[Graph], Graph]") -> "PassManager":
         if not isinstance(graph_pass, GraphPass):
@@ -76,13 +84,16 @@ class PassManager:
     def run(self, graph: Graph) -> Graph:
         self.records = []
         for graph_pass in self.passes:
+            name = graph_pass.name or type(graph_pass).__name__
             before = len(graph)
             start = time.perf_counter()
             graph = graph_pass(graph)
             elapsed = time.perf_counter() - start
+            if self.verifier is not None:
+                self.verifier(graph, name)
             self.records.append(
                 PassRecord(
-                    name=graph_pass.name or type(graph_pass).__name__,
+                    name=name,
                     nodes_before=before,
                     nodes_after=len(graph),
                     elapsed_s=elapsed,

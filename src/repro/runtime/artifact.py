@@ -118,10 +118,14 @@ def _stable(value):
             "dtype": str(value.dtype),
         }
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # fingerprint=False field metadata opts a field out (e.g.
+        # CompileConfig.verify_ir): flags that cannot change the compiled
+        # result must not invalidate every cached artifact when toggled.
         return {
             field.name: _stable(getattr(value, field.name))
             for field in dataclasses.fields(value)
             if not field.name.startswith("_")
+            and field.metadata.get("fingerprint", True)
         }
     # Layout, DType, Node, ... — anything with a meaningful repr/str.
     return f"{type(value).__name__}:{value}"
@@ -532,14 +536,53 @@ def load_source(path: "str | Path") -> Optional[dict]:
         raise ArtifactError(f"{path} has a corrupt source payload: {error}") from error
 
 
+def _verify_source_graph(path: Path, source: dict) -> "list[str]":
+    """Semantically verify a bundle's embedded source graph.
+
+    A checksum proves the bytes survived; it says nothing about whether the
+    graph they encode is recompilable.  Run shape inference and the graph
+    verifier (:func:`repro.analysis.verify_graph`) over the unpickled source
+    graph so ``verify --deep`` catches a bundle whose source would fail to
+    recompile on the next cache miss.
+    """
+    # Imported here: analysis depends on the graph IR, not vice versa, and
+    # most artifact operations never need it.
+    from ..analysis.verifier import verify_graph
+    from ..graph.shape_infer import InferenceError, infer_shapes
+
+    if "graph" not in source:
+        return [f"{path}: source payload lacks a graph"]
+    graph = source["graph"]
+    # Structure first: inference (and Graph traversal generally) assumes a
+    # well-formed DAG — it would crash on a dangling reference and loop
+    # forever on a cycle, both of which the verifier detects safely.
+    structural = verify_graph(graph, check_shapes=False)
+    if structural:
+        return [
+            f"{path}: source graph invalid — {problem.render()}"
+            for problem in structural
+        ]
+    try:
+        infer_shapes(graph)
+    except InferenceError as error:
+        return [f"{path}: source graph fails shape inference: {error}"]
+    return [
+        f"{path}: source graph invalid — {problem.render()}"
+        for problem in verify_graph(graph)
+    ]
+
+
 def verify_artifact(path: "str | Path", deep: bool = False) -> "list[str]":
     """Integrity-check one artifact; returns a list of problems (empty = ok).
 
     The shallow check reads the manifest and re-hashes every payload against
     its recorded length and SHA-256 — no unpickling, so it is safe on
     artifacts from untrusted sources.  ``deep=True`` additionally unpickles
-    every member (and the source payload), which catches pickle-level rot
-    but must only be used on trusted files.
+    every member (and the source payload), runs shape inference over the
+    embedded source graph and semantically verifies it with
+    :func:`repro.analysis.verify_graph` — catching pickle-level rot *and*
+    graphs that would not recompile — but must only be used on trusted
+    files.
     """
     path = Path(path)
     problems: "list[str]" = []
@@ -566,8 +609,8 @@ def verify_artifact(path: "str | Path", deep: bool = False) -> "list[str]":
     if manifest.get("artifact_version") != 1:
         try:
             source = load_source(path)
-            if deep and source is not None and "graph" not in source:
-                problems.append(f"{path}: source payload lacks a graph")
+            if deep and source is not None:
+                problems.extend(_verify_source_graph(path, source))
         except ArtifactError as error:
             problems.append(str(error))
     # (v1 payloads record no length/checksum, so for them the shallow check

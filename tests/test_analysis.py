@@ -1,0 +1,872 @@
+"""Tests for repro.analysis: the convention linter and the graph verifier.
+
+Covers, per ISSUE 6: positive/negative fixtures for every lint rule, the
+``# repro: noqa`` suppression semantics, lock-graph cycle detection on a
+synthetic two-lock inversion, ``verify_graph`` against hand-corrupted graphs
+(dangling reference, cycle, stripped ``BatchDim``, and more), the
+``verify_ir`` compile hook, deep artifact verification of the embedded
+source graph, the CLI entry points, and the tier-1 self-clean gate: the full
+rule set over ``src/`` must report zero unsuppressed findings.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tests.conftest import build_tiny_cnn
+from repro.analysis import (
+    Finding,
+    GraphVerificationError,
+    LintEngine,
+    assert_valid_graph,
+    default_rules,
+    verify_graph,
+)
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.findings import is_suppressed, line_suppressions
+from repro.analysis.lockorder import LockOrderRule
+from repro.analysis.rules import (
+    NondeterminismRule,
+    RawArtifactWriteRule,
+    SwallowedExceptionRule,
+    SymbolicBatchRule,
+)
+from repro.graph import infer_shapes
+from repro.graph.node import Node, NodeKind
+from repro.graph.passes import PassManager
+from repro.tensor.tensor import BatchDim, TensorSpec
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def lint(tmp_path, source, rules, filename="mod.py"):
+    """Run specific rules over one fixture file; returns the LintReport."""
+    path = tmp_path / filename
+    path.write_text(textwrap.dedent(source))
+    return LintEngine(rules).run([path])
+
+
+# --------------------------------------------------------------------------- #
+# suppression semantics
+# --------------------------------------------------------------------------- #
+class TestNoqa:
+    def test_bare_noqa_suppresses_every_rule(self):
+        sup = line_suppressions(["x = 1  # repro: noqa"])
+        assert sup[1] is None
+        assert is_suppressed(Finding("REP001", "f", 1, 1, "m"), sup)
+        assert is_suppressed(Finding("REP004", "f", 1, 1, "m"), sup)
+
+    def test_bracketed_noqa_suppresses_only_listed_rules(self):
+        sup = line_suppressions(["x = 1  # repro: noqa[REP001, REP004] -- why"])
+        assert sup[1] == frozenset({"REP001", "REP004"})
+        assert is_suppressed(Finding("REP001", "f", 1, 1, "m"), sup)
+        assert not is_suppressed(Finding("REP002", "f", 1, 1, "m"), sup)
+
+    def test_suppression_is_line_scoped(self):
+        sup = line_suppressions(["a = 1  # repro: noqa", "b = 2"])
+        assert not is_suppressed(Finding("REP001", "f", 2, 1, "m"), sup)
+
+    def test_empty_bracket_suppresses_nothing(self):
+        assert line_suppressions(["x  # repro: noqa[]"]) == {}
+
+    def test_plain_flake8_noqa_is_not_ours(self):
+        assert line_suppressions(["import os  # noqa: F401"]) == {}
+
+    def test_suppressed_findings_are_reported_separately(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def fingerprint(name):
+                return hash(name)  # repro: noqa[REP001] -- test fixture
+            """,
+            [NondeterminismRule()],
+        )
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        assert report.suppressed[0].rule == "REP001"
+        assert report.clean
+
+
+# --------------------------------------------------------------------------- #
+# REP001 — nondeterminism in deterministic paths
+# --------------------------------------------------------------------------- #
+class TestREP001:
+    def test_hash_in_fingerprint_function_fires_with_location(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def model_fingerprint(name):
+                return hash(name)
+            """,
+            [NondeterminismRule()],
+        )
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.rule == "REP001"
+        assert finding.line == 3
+        assert "hash()" in finding.message
+
+    def test_crc32_fix_is_silent(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import zlib
+
+            def model_fingerprint(name):
+                return zlib.crc32(name.encode())
+            """,
+            [NondeterminismRule()],
+        )
+        assert report.findings == []
+
+    def test_hash_outside_deterministic_paths_is_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def bucket_of(name):
+                return hash(name) % 8
+            """,
+            [NondeterminismRule()],
+        )
+        assert report.findings == []
+
+    def test_dunder_hash_is_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            class Spec:
+                def __hash__(self):
+                    return hash(self.name)
+            """,
+            [NondeterminismRule()],
+        )
+        assert report.findings == []
+
+    def test_clock_read_in_tuning_key_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import time
+
+            def tuning_key(workload):
+                return (workload, time.time())
+            """,
+            [NondeterminismRule()],
+        )
+        assert [f.line for f in report.findings] == [5]
+
+    def test_unseeded_default_rng_fires_seeded_does_not(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import numpy as np
+
+            def seed_params(graph):
+                bad = np.random.default_rng()
+                good = np.random.default_rng(1234)
+                return bad, good
+            """,
+            [NondeterminismRule()],
+        )
+        assert [f.line for f in report.findings] == [5]
+
+    def test_legacy_numpy_rng_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import numpy as np
+
+            def initialize_parameters(graph):
+                return np.random.randn(3, 3)
+            """,
+            [NondeterminismRule()],
+        )
+        assert len(report.findings) == 1
+        assert "np.random.randn" in report.findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# REP002 — durable writes without write-then-rename
+# --------------------------------------------------------------------------- #
+class TestREP002:
+    def test_in_place_pickle_write_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import pickle
+
+            def save(path, obj):
+                with open(path, "wb") as fh:
+                    pickle.dump(obj, fh)
+            """,
+            [RawArtifactWriteRule()],
+        )
+        rules = {f.rule for f in report.findings}
+        assert rules == {"REP002"}
+        assert {f.line for f in report.findings} == {5, 6}
+
+    def test_write_then_rename_idiom_is_silent(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import os
+            import pickle
+
+            def save(path, obj):
+                tmp = str(path) + ".tmp"
+                with open(tmp, "wb") as fh:
+                    pickle.dump(obj, fh)
+                os.replace(tmp, path)
+            """,
+            [RawArtifactWriteRule()],
+        )
+        assert report.findings == []
+
+    def test_reads_are_silent(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def load(path):
+                with open(path, "rb") as fh:
+                    return fh.read()
+            """,
+            [RawArtifactWriteRule()],
+        )
+        assert report.findings == []
+
+    def test_dump_into_memory_buffer_is_silent(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import io
+            import pickle
+
+            def blob(obj):
+                buffer = io.BytesIO()
+                pickle.dump(obj, buffer)
+                return buffer.getvalue()
+            """,
+            [RawArtifactWriteRule()],
+        )
+        assert report.findings == []
+
+    def test_write_text_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def save_manifest(path, text):
+                path.write_text(text)
+            """,
+            [RawArtifactWriteRule()],
+        )
+        assert len(report.findings) == 1
+        assert "write_text" in report.findings[0].message
+
+    def test_helper_with_rename_does_not_launder_caller(self, tmp_path):
+        # The caller writes in place; only its *helper* renames.  The
+        # caller's write must still fire.
+        report = lint(
+            tmp_path,
+            """
+            import os
+
+            def save(path, text):
+                with open(path, "w") as fh:
+                    fh.write(text)
+
+            def rotate(path):
+                os.replace(path, str(path) + ".bak")
+            """,
+            [RawArtifactWriteRule()],
+        )
+        assert [f.line for f in report.findings] == [5]
+
+
+# --------------------------------------------------------------------------- #
+# REP003 — symbolic batch frozen into op attributes
+# --------------------------------------------------------------------------- #
+class TestREP003:
+    def test_axis_extent_n_into_attrs_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def build_reshape(builder, spec, x):
+                n = spec.axis_extent("N")
+                return builder.op("reshape", x, attrs={"shape": (n, -1)})
+            """,
+            [SymbolicBatchRule()],
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].line == 4
+
+    def test_direct_flow_into_reshape_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def build(builder, spec, x):
+                return builder.reshape(x, (spec.axis_extent("N"), -1))
+            """,
+            [SymbolicBatchRule()],
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].line == 3
+
+    def test_other_axes_are_fine(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def build(builder, spec, x):
+                c = spec.axis_extent("C")
+                return builder.reshape(x, (c, -1))
+            """,
+            [SymbolicBatchRule()],
+        )
+        assert report.findings == []
+
+    def test_cost_arithmetic_use_is_fine(self, tmp_path):
+        # Reading the nominal batch for cost estimates is legitimate — it
+        # only becomes a violation when it flows into graph construction.
+        report = lint(
+            tmp_path,
+            """
+            def flops(spec):
+                n = spec.axis_extent("N")
+                return n * spec.axis_extent("C") * 2
+            """,
+            [SymbolicBatchRule()],
+        )
+        assert report.findings == []
+
+
+# --------------------------------------------------------------------------- #
+# REP004 — lock-order inversions and blocking under locks
+# --------------------------------------------------------------------------- #
+class TestREP004:
+    def test_two_lock_inversion_fires_at_both_sites(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def forward():
+                with A:
+                    with B:
+                        pass
+
+            def backward():
+                with B:
+                    with A:
+                        pass
+            """,
+            [LockOrderRule()],
+        )
+        inversions = [f for f in report.findings if "inversion" in f.message]
+        assert len(inversions) == 2
+        assert {f.line for f in inversions} == {9, 14}
+        assert all("cycle" in f.message for f in inversions)
+
+    def test_consistent_order_is_silent(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def one():
+                with A:
+                    with B:
+                        pass
+
+            def two():
+                with A:
+                    with B:
+                        pass
+            """,
+            [LockOrderRule()],
+        )
+        assert report.findings == []
+
+    def test_inversion_through_helper_call_is_found(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import threading
+
+            A = threading.Lock()
+            B = threading.Lock()
+
+            def helper():
+                with B:
+                    pass
+
+            def forward():
+                with A:
+                    helper()
+
+            def backward():
+                with B:
+                    with A:
+                        pass
+            """,
+            [LockOrderRule()],
+        )
+        inversions = [f for f in report.findings if "inversion" in f.message]
+        assert len(inversions) == 2
+        assert 13 in {f.line for f in inversions}  # the helper() call site
+
+    def test_blocking_queue_get_under_lock_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.queue = None
+
+                def drain(self):
+                    with self._lock:
+                        return self.queue.get()
+            """,
+            [LockOrderRule()],
+        )
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert "blocking" in finding.message
+        assert finding.line == 11
+
+    def test_condition_wait_on_held_lock_is_exempt(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import threading
+
+            class BoundedQueue:
+                def __init__(self):
+                    self._mutex = threading.Lock()
+                    self._not_empty = threading.Condition(self._mutex)
+
+                def get(self):
+                    with self._not_empty:
+                        while not self._items:
+                            self._not_empty.wait()
+            """,
+            [LockOrderRule()],
+        )
+        assert report.findings == []
+
+    def test_reacquiring_nonreentrant_lock_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import threading
+
+            A = threading.Lock()
+
+            def recurse():
+                with A:
+                    with A:
+                        pass
+            """,
+            [LockOrderRule()],
+        )
+        assert len(report.findings) == 1
+        assert "self-deadlock" in report.findings[0].message
+
+    def test_reacquiring_rlock_is_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import threading
+
+            R = threading.RLock()
+
+            def recurse():
+                with R:
+                    with R:
+                        pass
+            """,
+            [LockOrderRule()],
+        )
+        assert report.findings == []
+
+    def test_file_io_under_lock_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            import threading
+
+            PIN_LOCK = threading.Lock()
+
+            def evict(path):
+                with PIN_LOCK:
+                    path.unlink()
+            """,
+            [LockOrderRule()],
+        )
+        assert len(report.findings) == 1
+        assert ".unlink()" in report.findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# REP005 — swallowed exceptions in dispatch paths
+# --------------------------------------------------------------------------- #
+class TestREP005:
+    def test_bare_except_fires_in_any_module(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def anywhere():
+                try:
+                    work()
+                except:
+                    pass
+            """,
+            [SwallowedExceptionRule()],
+            filename="util.py",
+        )
+        assert len(report.findings) == 1
+        assert "bare except" in report.findings[0].message
+
+    def test_silent_broad_except_in_dispatch_module_fires(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def loop(queue):
+                while True:
+                    try:
+                        queue.get()
+                    except Exception:
+                        pass
+            """,
+            [SwallowedExceptionRule()],
+            filename="scheduler.py",
+        )
+        assert len(report.findings) == 1
+        assert report.findings[0].line == 6
+
+    def test_silent_broad_except_outside_dispatch_is_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def probe():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """,
+            [SwallowedExceptionRule()],
+            filename="doc_helpers.py",
+        )
+        assert report.findings == []
+
+    def test_narrow_except_in_dispatch_is_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def loop(queue):
+                try:
+                    queue.get()
+                except AttributeError:
+                    pass
+            """,
+            [SwallowedExceptionRule()],
+            filename="threadpool.py",
+        )
+        assert report.findings == []
+
+    def test_broad_except_with_real_handling_is_allowed(self, tmp_path):
+        report = lint(
+            tmp_path,
+            """
+            def loop(queue, request):
+                try:
+                    queue.get()
+                except Exception as error:
+                    request.fail(error)
+            """,
+            [SwallowedExceptionRule()],
+            filename="scheduler.py",
+        )
+        assert report.findings == []
+
+
+# --------------------------------------------------------------------------- #
+# the engine and the CLI entry points
+# --------------------------------------------------------------------------- #
+class TestEngineAndCli:
+    def test_syntax_error_is_an_error_not_a_crash(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        report = LintEngine(default_rules()).run([tmp_path])
+        assert report.findings == []
+        assert len(report.errors) == 1
+        assert not report.clean
+
+    def test_unknown_rule_filter_raises(self):
+        with pytest.raises(KeyError):
+            default_rules(["REP999"])
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert analysis_main([str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_and_json_on_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "def fingerprint(n):\n    return hash(n)\n"
+        )
+        assert analysis_main(["--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["findings"][0]["rule"] == "REP001"
+        assert payload["findings"][0]["line"] == 2
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        assert analysis_main(["--rules", "REP999", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+    def test_rule_filter_runs_only_selected_rules(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "def fingerprint(n):\n    return hash(n)\n"
+        )
+        assert analysis_main(["--rules", "REP002", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_list_rules_catalog(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert rule_id in out
+
+    def test_cli_analyze_subcommand_delegates(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        (tmp_path / "bad.py").write_text(
+            "def fingerprint(n):\n    return hash(n)\n"
+        )
+        assert cli_main(["analyze", str(tmp_path)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# the self-clean gate: src/ must lint clean with the full rule set
+# --------------------------------------------------------------------------- #
+class TestSelfClean:
+    def test_src_tree_has_zero_unsuppressed_findings(self):
+        report = LintEngine(default_rules()).run([SRC_ROOT])
+        assert report.errors == []
+        assert report.findings == [], "\n" + report.render_text()
+
+    def test_every_suppression_in_src_is_justified(self):
+        # Policy: an intentional noqa carries a trailing "-- why" note.
+        report = LintEngine(default_rules()).run([SRC_ROOT])
+        assert report.suppressed, "expected the documented intentional noqas"
+        for finding in report.suppressed:
+            line = Path(finding.path).read_text().splitlines()[finding.line - 1]
+            assert "--" in line.split("noqa", 1)[1], finding.render()
+
+
+# --------------------------------------------------------------------------- #
+# verify_graph — semantic IR checks
+# --------------------------------------------------------------------------- #
+class TestVerifyGraph:
+    def test_clean_graph_verifies(self):
+        graph = infer_shapes(build_tiny_cnn())
+        assert verify_graph(graph) == []
+        assert assert_valid_graph(graph) is graph
+
+    def test_dangling_reference(self):
+        graph = infer_shapes(build_tiny_cnn())
+        graph.op_nodes()[0].inputs[0] = "gone"
+        problems = verify_graph(graph)
+        assert any(
+            p.kind == "structure" and "dangling" in p.message for p in problems
+        )
+
+    def test_cycle_is_detected_not_hung(self):
+        graph = infer_shapes(build_tiny_cnn())
+        ops = graph.op_nodes()
+        ops[0].inputs[0] = ops[-1]  # late node feeds an early one
+        problems = verify_graph(graph)
+        assert any(p.kind == "cycle" for p in problems)
+
+    def test_stripped_batchdim_marker(self):
+        graph = infer_shapes(build_tiny_cnn())
+        out = graph.outputs[0]
+        # BatchDim(1) == 1, so plain spec equality cannot see this; the
+        # verifier must compare batch_polymorphic explicitly.
+        out.spec.logical_shape = tuple(int(d) for d in out.spec.logical_shape)
+        problems = verify_graph(graph)
+        assert any(
+            p.kind == "shape" and "batch_polymorphic" in p.message
+            for p in problems
+        )
+
+    def test_duplicate_names(self):
+        graph = infer_shapes(build_tiny_cnn())
+        ops = graph.op_nodes()
+        ops[0].name = ops[1].name
+        problems = verify_graph(graph)
+        assert any(p.kind == "naming" for p in problems)
+
+    def test_unregistered_op(self):
+        graph = infer_shapes(build_tiny_cnn())
+        graph.op_nodes()[0].op = "listed_in_no_registry"
+        problems = verify_graph(graph)
+        assert any(
+            p.kind == "structure" and "unregistered" in p.message
+            for p in problems
+        )
+
+    def test_leaf_node_with_inputs(self):
+        graph = infer_shapes(build_tiny_cnn())
+        first_op = graph.op_nodes()[0]
+        constant = graph.constant_nodes()[0]
+        constant.inputs = [first_op.inputs[0]]
+        problems = verify_graph(graph)
+        assert any(
+            p.kind == "structure" and "leaf" in p.message for p in problems
+        )
+
+    def test_wrong_dtype_spec(self):
+        graph = infer_shapes(build_tiny_cnn())
+        node = graph.op_nodes()[0]
+        node.spec = TensorSpec(
+            node.spec.logical_shape, node.spec.layout, "int32"
+        )
+        problems = verify_graph(graph)
+        assert any(p.kind == "shape" and node.name in str(p.node) for p in problems)
+
+    def test_missing_spec(self):
+        graph = infer_shapes(build_tiny_cnn())
+        graph.op_nodes()[2].spec = None
+        problems = verify_graph(graph)
+        assert any(p.kind == "shape" and "no TensorSpec" in p.message for p in problems)
+        assert verify_graph(graph, check_shapes=False) == []
+
+    def test_batchdim_on_constant_flagged(self):
+        graph = infer_shapes(build_tiny_cnn())
+        constant = graph.constant_nodes()[0]
+        constant.spec.logical_shape = (
+            BatchDim(constant.spec.logical_shape[0]),
+        ) + tuple(constant.spec.logical_shape[1:])
+        problems = verify_graph(graph, check_shapes=False)
+        assert any(p.kind == "batch-dim" for p in problems)
+
+    def test_error_message_names_context_and_problems(self):
+        graph = infer_shapes(build_tiny_cnn())
+        graph.op_nodes()[0].inputs[0] = "gone"
+        with pytest.raises(GraphVerificationError) as excinfo:
+            assert_valid_graph(graph, context="unit test", check_shapes=False)
+        assert "unit test" in str(excinfo.value)
+        assert "dangling" in str(excinfo.value)
+
+
+# --------------------------------------------------------------------------- #
+# verify_ir wiring: pass manager + compile pipeline
+# --------------------------------------------------------------------------- #
+class TestVerifyIrWiring:
+    def test_pass_manager_verifier_names_the_corrupting_pass(self):
+        def corruptor(graph):
+            graph.op_nodes()[0].inputs[0] = "gone"
+            return graph
+
+        manager = PassManager(
+            verifier=lambda g, name: assert_valid_graph(
+                g, context=f"after pass {name}", check_shapes=False
+            )
+        )
+        manager.add(corruptor)
+        with pytest.raises(GraphVerificationError) as excinfo:
+            manager.run(infer_shapes(build_tiny_cnn()))
+        assert "corruptor" in str(excinfo.value)
+
+    def test_compile_with_verify_ir_succeeds_on_clean_model(self):
+        from repro.core.compiler import compile_graph
+        from repro.core.config import CompileConfig
+
+        module = compile_graph(
+            build_tiny_cnn(),
+            "skylake",
+            CompileConfig(opt_level="baseline", verify_ir=True),
+        )
+        assert verify_graph(module.graph) == []
+
+    def test_verify_ir_does_not_change_fingerprints(self):
+        from repro.core.config import CompileConfig
+        from repro.hardware.presets import get_target
+        from repro.runtime.artifact import compilation_fingerprint
+
+        cpu = get_target("skylake")
+        off = compilation_fingerprint(cpu, CompileConfig(verify_ir=False))
+        on = compilation_fingerprint(cpu, CompileConfig(verify_ir=True))
+        assert off == on
+
+
+# --------------------------------------------------------------------------- #
+# deep artifact verification of the embedded source graph
+# --------------------------------------------------------------------------- #
+class TestDeepVerify:
+    def _bundle(self, tmp_path, source_graph, name):
+        from repro.core.compiler import compile_graph
+        from repro.core.config import CompileConfig
+        from repro.runtime.artifact import (
+            compilation_fingerprint,
+            save_bundle,
+        )
+
+        config = CompileConfig(opt_level="baseline")
+        module = compile_graph(build_tiny_cnn(), "skylake", config)
+        fingerprint = compilation_fingerprint(module.cpu, config)
+        path = tmp_path / name
+        save_bundle(
+            [(module, fingerprint)],
+            path,
+            source={"graph": source_graph, "params": None, "config": config},
+        )
+        return path
+
+    def test_clean_source_graph_passes_deep_verify(self, tmp_path):
+        from repro.runtime.artifact import verify_artifact
+
+        path = self._bundle(tmp_path, build_tiny_cnn(), "clean.neocpu")
+        assert verify_artifact(path, deep=True) == []
+
+    def test_corrupt_source_graph_is_reported(self, tmp_path):
+        from repro.runtime.artifact import verify_artifact
+
+        bad = build_tiny_cnn()
+        bad.op_nodes()[0].inputs[0] = "gone"
+        path = self._bundle(tmp_path, bad, "corrupt.neocpu")
+        problems = verify_artifact(path, deep=True)
+        assert problems, "deep verify must flag the corrupt source graph"
+        assert any("source graph" in p and "dangling" in p for p in problems)
+
+    def test_shallow_verify_does_not_unpickle_the_source(self, tmp_path):
+        from repro.runtime.artifact import verify_artifact
+
+        bad = build_tiny_cnn()
+        bad.op_nodes()[0].inputs[0] = "gone"
+        path = self._bundle(tmp_path, bad, "corrupt2.neocpu")
+        # Checksums are intact — only the semantic deep check can see this.
+        assert verify_artifact(path, deep=False) == []
+
+
+# --------------------------------------------------------------------------- #
+# the zoo stays verifiable
+# --------------------------------------------------------------------------- #
+class TestZooVerifies:
+    @pytest.mark.parametrize("name", ["resnet-18", "vgg-11", "inception-v3"])
+    def test_zoo_model_verifies_clean(self, name):
+        from repro.models.zoo import get_model
+
+        graph = infer_shapes(get_model(name))
+        assert verify_graph(graph) == []
