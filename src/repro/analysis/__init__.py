@@ -5,7 +5,10 @@ Two tools share this package:
 * the **convention linter** (:class:`LintEngine`, ``python -m repro.analysis``,
   ``repro.cli analyze``) — AST rules REP001..REP005 enforcing the
   determinism, durability, symbolic-batch, lock-order and error-handling
-  conventions the ROADMAP asks reviewers to preserve;
+  conventions the ROADMAP asks reviewers to preserve, plus the lockset-based
+  concurrency rules REP006..REP008 (data races, atomicity violations,
+  thread escape) built on the shared model in
+  :mod:`repro.analysis.concurrency`;
 * the **graph-IR verifier** (:func:`verify_graph`) — semantic checks over a
   built :class:`~repro.graph.graph.Graph`, wired into compilation under
   ``CompileConfig.verify_ir`` and into ``repro.cli verify --deep``.

@@ -1,0 +1,842 @@
+"""Shared concurrency model behind REP006/REP007/REP008 (see ``races.py``).
+
+The lock-order analyzer (REP004, ``lockorder.py``) answers "in what order are
+locks taken"; the rules built on *this* module answer the Eraser-style
+question "which lock protects this piece of shared state, and is it held
+everywhere the state is touched".  The model is built once per project run
+and shared by the three race rules:
+
+* **lock discovery and alias resolution** are reused verbatim from
+  ``lockorder.py`` (``extract_module_locks`` + ``LockInfo.resolve``), so a
+  ``Condition(self._mutex)`` guards the same state its underlying mutex does;
+* **shared-state discovery** — every ``self.<field>`` access in a class's
+  methods, classified read vs write (plain stores, augmented assignments,
+  subscript stores and mutating method calls such as ``.append``/``.pop``
+  all count as writes), plus module-level *mutable registries* (a
+  module-global dict/list/set mutated from functions — the artifact pin
+  registry is the motivating case).  Fields that are themselves locks are
+  excluded: locks guard state, they are not state;
+* **thread entry points** — targets of ``threading.Thread``, callables
+  handed to ``.submit``/pool ``.map``, ``__del__``/``close``/``shutdown``
+  teardown hooks (the GC and other threads call them), and the public
+  surface of any lock-defining class or module (a class that allocates a
+  lock is declaring itself thread-safe: its public methods are its
+  concurrency boundary).  Reachability closes over same-module calls;
+* **calling-context locksets** — the same-module call-graph fixpoint from
+  the lock-order analysis, re-aimed: a helper only ever invoked while lock L
+  is held is analyzed *as if* it held L (the intersection over its call
+  sites), which is what makes guarded-increment helpers lint clean without
+  annotations;
+* **majority-protection inference** — a field whose post-``__init__``
+  accesses hold lock L at a strict majority of sites (and at least twice)
+  is *guarded by L*; every other access had better hold L too.  ``__init__``
+  writes are excluded (the constructor runs before the object is shared),
+  which is exactly the Eraser initialization exemption.
+
+Known blind spots, by construction (documented in the README rule catalog):
+state never accessed under any lock has no guard candidate and is invisible
+to lockset analysis; a deliberately lock-free majority (e.g. an SPSC queue
+relying on GIL-atomic deque ops) defeats inference and is likewise not
+reported; double-checked locking reads can outnumber guarded sites and
+suppress the guard the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .engine import ModuleSource
+from .lockorder import (
+    LockInfo,
+    _dotted_name,
+    _iter_functions,
+    extract_module_locks,
+)
+
+__all__ = [
+    "Access",
+    "BranchCheck",
+    "ConcurrencyModel",
+    "FunctionInfo",
+    "GuardInference",
+    "SpawnSite",
+    "WithBlock",
+    "build_project_model",
+]
+
+
+#: method names that mutate their receiver in place (a call on a field
+#: through one of these is a *write* to the field's object).
+MUTATOR_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "extendleft",
+    "insert",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+#: constructor tails whose module-level assignment makes a global a mutable
+#: registry worth tracking (the pin registry, rule registries, ...).
+_REGISTRY_CTORS = {
+    "Counter",
+    "OrderedDict",
+    "WeakValueDictionary",
+    "defaultdict",
+    "deque",
+    "dict",
+    "list",
+    "set",
+}
+
+#: method names treated as teardown hooks: the GC, context-manager exits and
+#: other threads call these, so they execute concurrently by convention.
+_TEARDOWN_HOOKS = {"__del__", "close", "shutdown"}
+
+#: receiver-name fragments marking ``.map``/``parallel_for`` as a thread
+#: pool handing its argument to worker threads.
+_POOLISH_FRAGMENTS = ("pool", "executor", "workers")
+
+#: call attribute names that block until handed-off work completed; a
+#: mutation of a captured local *after* one of these is sequenced, not racy.
+SYNC_CALLS = {"join", "result", "shutdown", "wait"}
+
+
+@dataclass
+class Access:
+    """One read or write of a shared field (or module registry)."""
+
+    field: str  # canonical key: "stem.Class.attr" or "stem:NAME"
+    kind: str  # "read" | "write"
+    rmw: bool  # augmented assignment (read-modify-write)
+    locks: FrozenSet[str]  # locks held locally at the site
+    path: str
+    line: int
+    col: int
+    qualname: str
+    #: filled in at model-finalize time: locks ∪ calling-context lockset.
+    effective: FrozenSet[str] = frozenset()
+    context_known: bool = False
+    concurrent: bool = False
+    in_init: bool = False
+
+
+@dataclass
+class BranchCheck:
+    """An ``if``/``while`` whose test reads shared fields (for REP007)."""
+
+    fields: Tuple[str, ...]  # field keys read in the test
+    body_writes: Dict[str, Tuple[int, int]]  # field -> first write site in body
+    locks: FrozenSet[str]  # locks held at the branch statement itself
+    path: str
+    line: int
+    col: int
+    qualname: str
+
+
+@dataclass
+class WithBlock:
+    """One ``with <lock>:`` block, for split-compound-update detection."""
+
+    locks: Tuple[str, ...]
+    line: int
+    #: local name -> field keys whose reads flowed into its assignment.
+    local_reads: Dict[str, Set[str]] = field(default_factory=dict)
+    #: writes inside the block: (field, line, col, names used in the value).
+    writes: List[Tuple[str, int, int, FrozenSet[str]]] = field(default_factory=list)
+
+
+@dataclass
+class SpawnSite:
+    """A point where a callable is handed to another thread."""
+
+    line: int
+    col: int
+    kind: str  # "thread-start" | "submit" | "map"
+    target: Optional[str]  # resolved local qualname of the target, if any
+    #: for REP008: name of a locally-defined callable handed off here.
+    closure: Optional[str] = None
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the race rules need to know about one function."""
+
+    module: str  # display path
+    stem: str
+    qualname: str
+    owner_class: str
+    node: ast.AST
+    is_init: bool = False
+    accesses: List[Access] = field(default_factory=list)
+    #: (held locks, callee local qualname, line) — *every* call, held or not.
+    call_sites: List[Tuple[FrozenSet[str], str, int]] = field(default_factory=list)
+    branch_checks: List[BranchCheck] = field(default_factory=list)
+    with_blocks: List[WithBlock] = field(default_factory=list)
+    spawns: List[SpawnSite] = field(default_factory=list)
+    entry: bool = False
+    #: H(f): locks held at *every* call site, to a fixpoint.  ``None`` means
+    #: unknown (never called in-module and not an entry point).
+    context: Optional[FrozenSet[str]] = None
+    concurrent: bool = False
+
+
+@dataclass
+class GuardInference:
+    """The inferred guard of one field, with the evidence counts."""
+
+    lock: str
+    guarded: int
+    total: int
+
+    def describe(self) -> str:
+        return f"{self.lock} (inferred guard, held at {self.guarded}/{self.total} sites)"
+
+
+@dataclass
+class ConcurrencyModel:
+    """The project-wide model shared by REP006/REP007/REP008."""
+
+    #: module display path -> {qualname -> FunctionInfo}
+    functions: Dict[str, Dict[str, FunctionInfo]] = field(default_factory=dict)
+    #: field key -> inferred guard (only fields that *have* one).
+    guards: Dict[str, GuardInference] = field(default_factory=dict)
+    #: field key -> every access, model-wide (effective locksets filled in).
+    accesses: Dict[str, List[Access]] = field(default_factory=dict)
+
+    def guarded_conflict(self, field_key: str, prefer_write: bool = True) -> Optional[Access]:
+        """A representative access that *does* hold the inferred guard."""
+        inference = self.guards.get(field_key)
+        if inference is None:
+            return None
+        guarded = [
+            a
+            for a in self.accesses.get(field_key, [])
+            if a.context_known and not a.in_init and inference.lock in a.effective
+        ]
+        if not guarded:
+            return None
+        if prefer_write:
+            writes = [a for a in guarded if a.kind == "write"]
+            if writes:
+                return writes[0]
+        return guarded[0]
+
+
+def _base_self_field(node: ast.AST) -> Optional[str]:
+    """``f`` when node is ``self.f`` possibly wrapped in attrs/subscripts.
+
+    ``self.f`` -> f; ``self.f.g`` -> f; ``self.f[k]`` -> f; else None.
+    """
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        inner = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(inner, ast.Name)
+            and inner.id == "self"
+        ):
+            return node.attr
+        node = inner
+    return None
+
+
+def _direct_self_field(node: ast.AST) -> Optional[str]:
+    """``f`` only for a plain ``self.f`` attribute node."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _module_registries(module: ModuleSource) -> Set[str]:
+    """Module-level names bound to a mutable container literal/constructor."""
+    names: Set[str] = set()
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        mutable = isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                                     ast.ListComp, ast.SetComp))
+        if isinstance(value, ast.Call):
+            dotted = _dotted_name(value.func) or ""
+            mutable = dotted.rsplit(".", 1)[-1] in _REGISTRY_CTORS
+        if mutable:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _value_names(node: ast.AST) -> FrozenSet[str]:
+    """Plain names read anywhere inside an expression."""
+    return frozenset(
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    )
+
+
+class _AccessScan(ast.NodeVisitor):
+    """Walk one function: held-lock stack, field accesses, call/spawn sites.
+
+    The held-lock tracking and lock-key resolution mirror
+    ``lockorder._FunctionScan`` (same ``with`` semantics, same
+    condition-alias resolution); this scan additionally records every shared
+    field/registry access with the locally held lockset, every same-module
+    call site (held or not — the context fixpoint needs them all), branch
+    tests over shared fields, per-``with``-block read/write summaries, and
+    thread spawn/handoff sites.
+    """
+
+    def __init__(
+        self,
+        module: ModuleSource,
+        info: FunctionInfo,
+        locks: Dict[str, LockInfo],
+        registries: Set[str],
+    ) -> None:
+        self.module = module
+        self.info = info
+        self.stem = info.stem
+        self.locks = locks
+        self.registries = registries
+        self.held: List[str] = []
+        self._with_stack: List[WithBlock] = []
+
+    # -- key resolution -------------------------------------------------- #
+    def _lock_key(self, expr: ast.AST) -> Optional[str]:
+        dotted = _dotted_name(expr)
+        if dotted is None:
+            return None
+        if dotted.startswith("self.") and self.info.owner_class:
+            attr = dotted[5:]
+            key = f"{self.stem}.{self.info.owner_class}.{attr}"
+            if key in self.locks:
+                return self.locks[key].resolve(self.locks)
+            if "lock" in attr.lower() or "mutex" in attr.lower():
+                return key
+            return None
+        if "." not in dotted:
+            key = f"{self.stem}:{dotted}"
+            if key in self.locks:
+                return self.locks[key].resolve(self.locks)
+            if "lock" in dotted.lower() or "mutex" in dotted.lower():
+                return key
+        return None
+
+    def _field_key(self, node: ast.AST) -> Optional[str]:
+        """Canonical shared-state key for ``self.f`` or a module registry."""
+        f = _base_self_field(node)
+        if f is not None and self.info.owner_class:
+            key = f"{self.stem}.{self.info.owner_class}.{f}"
+            return None if key in self.locks else key
+        base = node
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if isinstance(base, ast.Name) and base.id in self.registries:
+            key = f"{self.stem}:{base.id}"
+            return None if key in self.locks else key
+        return None
+
+    # -- recording ------------------------------------------------------- #
+    def _record(self, node: ast.AST, kind: str, rmw: bool = False) -> Optional[str]:
+        key = self._field_key(node)
+        if key is None:
+            return None
+        self.info.accesses.append(
+            Access(
+                field=key,
+                kind=kind,
+                rmw=rmw,
+                locks=frozenset(self.held),
+                path=self.module.display_path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                qualname=self.info.qualname,
+                in_init=self.info.is_init,
+            )
+        )
+        if kind == "write":
+            for block in self._with_stack:
+                block.writes.append(
+                    (key, node.lineno, node.col_offset + 1, frozenset())
+                )
+        return key
+
+    # -- traversal ------------------------------------------------------- #
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        acquired: List[str] = []
+        for item in node.items:
+            key = self._lock_key(item.context_expr)
+            if key is None:
+                self.visit(item.context_expr)
+                if item.optional_vars is not None:
+                    self.visit(item.optional_vars)
+                continue
+            self.held.append(key)
+            acquired.append(key)
+            pushed += 1
+        block: Optional[WithBlock] = None
+        if acquired:
+            block = WithBlock(locks=tuple(acquired), line=node.lineno)
+            self.info.with_blocks.append(block)
+            self._with_stack.append(block)
+        for stmt in node.body:
+            self.visit(stmt)
+        if block is not None:
+            self._with_stack.pop()
+        for _ in range(pushed):
+            self.held.pop()
+
+    visit_AsyncWith = visit_With
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs run later, in their own context; each gets its own scan.
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+    def _patch_write_names(self, value: ast.AST) -> None:
+        """Attach the value expression's names to the write just recorded."""
+        names = _value_names(value)
+        for block in self._with_stack:
+            if block.writes:
+                key, line, col, _ = block.writes[-1]
+                block.writes[-1] = (key, line, col, names)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                if self._record(target, "write") and self._with_stack:
+                    self._patch_write_names(node.value)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, (ast.Attribute, ast.Subscript)):
+                        self._record(element, "write")
+        # Track ``local = <expr reading guarded field>`` for split-update
+        # detection (REP007's released-between-compound-updates shape).
+        if self._with_stack and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                read_fields = {
+                    k
+                    for sub in ast.walk(node.value)
+                    if isinstance(sub, (ast.Attribute, ast.Subscript, ast.Name))
+                    for k in [self._field_key(sub)]
+                    if k is not None
+                }
+                if read_fields:
+                    block = self._with_stack[-1]
+                    block.local_reads.setdefault(target.id, set()).update(read_fields)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+            if self._record(node.target, "write", rmw=True) and self._with_stack:
+                self._patch_write_names(node.value)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self._record(target, "write")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load) and _direct_self_field(node) is not None:
+            self._record(node, "read")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load) and node.id in self.registries:
+            self._record(node, "read")
+
+    def visit_If(self, node: ast.If) -> None:
+        self._branch(node)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._branch(node)
+        self.generic_visit(node)
+
+    def _branch(self, node: "ast.If | ast.While") -> None:
+        test_fields = tuple(
+            dict.fromkeys(
+                k
+                for sub in ast.walk(node.test)
+                if isinstance(sub, ast.Attribute) or isinstance(sub, ast.Name)
+                for k in [self._field_key(sub)]
+                if k is not None
+            )
+        )
+        if not test_fields:
+            return
+        body_writes: Dict[str, Tuple[int, int]] = {}
+        for stmt in node.body + node.orelse:
+            for sub in ast.walk(stmt):
+                key = None
+                if isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if isinstance(target, (ast.Attribute, ast.Subscript)):
+                            key = self._field_key(target)
+                elif isinstance(sub, ast.AugAssign) and isinstance(
+                    sub.target, (ast.Attribute, ast.Subscript)
+                ):
+                    key = self._field_key(sub.target)
+                elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                    if sub.func.attr in MUTATOR_METHODS:
+                        key = self._field_key(sub.func.value)
+                if key is not None and key not in body_writes:
+                    body_writes[key] = (sub.lineno, sub.col_offset + 1)
+        self.info.branch_checks.append(
+            BranchCheck(
+                fields=test_fields,
+                body_writes=body_writes,
+                locks=frozenset(self.held),
+                path=self.module.display_path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                qualname=self.info.qualname,
+            )
+        )
+
+    # -- calls: mutators, local callees, spawns -------------------------- #
+    def _local_callee(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            if self.info.owner_class:
+                return f"{self.info.owner_class}.{func.attr}"
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None
+
+    def _resolve_target(self, expr: ast.AST) -> Tuple[Optional[str], Optional[str]]:
+        """(local qualname, simple name) of a spawn-target expression."""
+        f = _direct_self_field(expr)
+        if f is not None:
+            if self.info.owner_class:
+                return f"{self.info.owner_class}.{f}", f
+            return f, f
+        if isinstance(expr, ast.Name):
+            return expr.id, expr.id
+        dotted = _dotted_name(expr)
+        if dotted and "." in dotted:
+            return None, dotted.rsplit(".", 1)[-1]
+        return None, None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        handled_func = False
+        if isinstance(func, ast.Attribute):
+            if func.attr in MUTATOR_METHODS and _direct_self_field(func.value) is not None:
+                self._record(func.value, "write")
+                handled_func = True
+            elif func.attr in MUTATOR_METHODS:
+                base = func.value
+                if isinstance(base, ast.Name) and base.id in self.registries:
+                    self._record(base, "write")
+                    handled_func = True
+        callee = self._local_callee(node)
+        if callee is not None:
+            self.info.call_sites.append((frozenset(self.held), callee, node.lineno))
+        self._check_spawn(node)
+        if not handled_func:
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for keyword in node.keywords:
+            self.visit(keyword.value)
+
+    def _check_spawn(self, node: ast.Call) -> None:
+        func = node.func
+        dotted = _dotted_name(func) or ""
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail == "Thread" and (dotted == "Thread" or dotted.startswith("threading.")):
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    qual, simple = self._resolve_target(keyword.value)
+                    self.info.spawns.append(
+                        SpawnSite(
+                            line=node.lineno,
+                            col=node.col_offset + 1,
+                            kind="thread-ctor",
+                            target=qual or simple,
+                            closure=keyword.value.id
+                            if isinstance(keyword.value, ast.Name)
+                            else None,
+                        )
+                    )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = (_dotted_name(func.value) or "").rsplit(".", 1)[-1].lower()
+        poolish = any(fragment in receiver for fragment in _POOLISH_FRAGMENTS)
+        if func.attr == "submit" and node.args:
+            qual, simple = self._resolve_target(node.args[0])
+            self.info.spawns.append(
+                SpawnSite(
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    kind="submit",
+                    target=qual or simple,
+                    closure=node.args[0].id
+                    if isinstance(node.args[0], ast.Name)
+                    else None,
+                )
+            )
+        elif func.attr == "map" and poolish and node.args:
+            qual, simple = self._resolve_target(node.args[0])
+            self.info.spawns.append(
+                SpawnSite(
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    kind="map",
+                    target=qual or simple,
+                    closure=node.args[0].id
+                    if isinstance(node.args[0], ast.Name)
+                    else None,
+                )
+            )
+        elif func.attr == "parallel_for" and len(node.args) >= 2:
+            qual, simple = self._resolve_target(node.args[1])
+            self.info.spawns.append(
+                SpawnSite(
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    kind="map",
+                    target=qual or simple,
+                    closure=node.args[1].id
+                    if isinstance(node.args[1], ast.Name)
+                    else None,
+                )
+            )
+
+
+def _lock_owning_classes(locks: Dict[str, LockInfo], stem: str) -> Set[str]:
+    """Classes of this module that define at least one lock."""
+    owners: Set[str] = set()
+    prefix = f"{stem}."
+    for key in locks:
+        if key.startswith(prefix):
+            rest = key[len(prefix):]
+            if "." in rest:
+                owners.add(rest.split(".", 1)[0])
+    return owners
+
+
+def _module_has_lock(locks: Dict[str, LockInfo], stem: str) -> bool:
+    return any(key.startswith(f"{stem}:") for key in locks)
+
+
+def _mark_entries(
+    functions: Dict[str, FunctionInfo],
+    locks: Dict[str, LockInfo],
+    stem: str,
+    global_entry_names: Set[str],
+) -> None:
+    """Flag thread entry points, teardown hooks and public lock-class surface."""
+    spawn_targets: Set[str] = set()
+    for info in functions.values():
+        for spawn in info.spawns:
+            if spawn.target:
+                spawn_targets.add(spawn.target)
+    lock_classes = _lock_owning_classes(locks, stem)
+    module_locked = _module_has_lock(locks, stem)
+    for qual, info in functions.items():
+        simple = qual.rsplit(".", 1)[-1]
+        if qual in spawn_targets or simple in spawn_targets or simple in global_entry_names:
+            info.entry = True
+            continue
+        direct_method = bool(info.owner_class) and qual == f"{info.owner_class}.{simple}"
+        if simple in _TEARDOWN_HOOKS and direct_method:
+            info.entry = True
+            continue
+        public = not simple.startswith("_") or (
+            simple.startswith("__") and simple.endswith("__") and simple != "__init__"
+        )
+        if not public:
+            continue
+        if direct_method and info.owner_class in lock_classes:
+            info.entry = True
+        elif not info.owner_class and "." not in qual and module_locked:
+            info.entry = True
+
+
+def _context_fixpoint(functions: Dict[str, FunctionInfo]) -> None:
+    """H(f) = ∩ over call sites of (held ∪ H(caller)); entries start empty."""
+    callers: Dict[str, List[Tuple[str, FrozenSet[str]]]] = {}
+    for qual, info in functions.items():
+        for held, callee, _line in info.call_sites:
+            if callee in functions:
+                callers.setdefault(callee, []).append((qual, held))
+    for info in functions.values():
+        info.context = frozenset() if info.entry else None
+    changed = True
+    while changed:
+        changed = False
+        for qual, info in functions.items():
+            if info.entry:
+                continue
+            meet: Optional[FrozenSet[str]] = None
+            for caller_qual, held in callers.get(qual, ()):
+                caller_ctx = functions[caller_qual].context
+                if caller_ctx is None:
+                    continue  # unknown caller: contributes nothing yet
+                site = held | caller_ctx
+                meet = site if meet is None else (meet & site)
+            if meet is None:
+                continue
+            # Intersect with the previous value so the update is
+            # structurally monotone (termination is then immediate).
+            new = meet if info.context is None else info.context & meet
+            if new != info.context:
+                info.context = new
+                changed = True
+
+
+def _mark_concurrent(functions: Dict[str, FunctionInfo]) -> None:
+    """Transitive closure of concurrency over same-module calls."""
+    worklist = [qual for qual, info in functions.items() if info.entry]
+    for qual in worklist:
+        functions[qual].concurrent = True
+    while worklist:
+        qual = worklist.pop()
+        for _held, callee, _line in functions[qual].call_sites:
+            target = functions.get(callee)
+            if target is not None and not target.concurrent:
+                target.concurrent = True
+                worklist.append(callee)
+
+
+def _infer_guards(
+    accesses: Dict[str, List[Access]],
+) -> Dict[str, GuardInference]:
+    guards: Dict[str, GuardInference] = {}
+    for field_key, items in accesses.items():
+        usable = [a for a in items if a.context_known and not a.in_init]
+        total = len(usable)
+        if total < 2:
+            continue
+        counts: Dict[str, int] = {}
+        for access in usable:
+            for lock in access.effective:
+                counts[lock] = counts.get(lock, 0) + 1
+        best: Optional[Tuple[int, str]] = None
+        for lock, count in counts.items():
+            if count >= 2 and 2 * count > total:
+                candidate = (count, lock)
+                if best is None or candidate > best:
+                    best = candidate
+        if best is not None:
+            guards[field_key] = GuardInference(
+                lock=best[1], guarded=best[0], total=total
+            )
+    return guards
+
+
+def _build_module(
+    module: ModuleSource, global_entry_names: Set[str]
+) -> Dict[str, FunctionInfo]:
+    stem = module.path.stem
+    locks = extract_module_locks(module)
+    registries = _module_registries(module)
+    functions: Dict[str, FunctionInfo] = {}
+    for qual, owner, node in _iter_functions(module):
+        if qual in functions:
+            continue  # duplicate defs (overloads/conditionals): first wins
+        info = FunctionInfo(
+            module=module.display_path,
+            stem=stem,
+            qualname=qual,
+            owner_class=owner,
+            node=node,
+            is_init=qual.rsplit(".", 1)[-1] == "__init__",
+        )
+        scan = _AccessScan(module, info, locks, registries)
+        for stmt in getattr(node, "body", []):
+            scan.visit(stmt)
+        functions[qual] = info
+    _mark_entries(functions, locks, stem, global_entry_names)
+    _context_fixpoint(functions)
+    _mark_concurrent(functions)
+    for info in functions.values():
+        known = info.context is not None
+        for access in info.accesses:
+            access.context_known = known
+            access.effective = access.locks | (info.context or frozenset())
+            access.concurrent = info.concurrent
+    return functions
+
+
+#: small FIFO memo so the three race rules build the model once per run.
+_MODEL_CACHE: "OrderedDict[tuple, ConcurrencyModel]" = OrderedDict()
+_MODEL_CACHE_SIZE = 8
+
+
+def build_project_model(modules: Sequence[ModuleSource]) -> ConcurrencyModel:
+    """Build (or reuse) the shared concurrency model for one engine run."""
+    key = tuple(
+        (m.display_path, zlib.crc32(m.text.encode("utf-8"))) for m in modules
+    )
+    cached = _MODEL_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    # Cross-module, name-based entry marking: a Thread/submit target that a
+    # scan could not resolve locally (``worker.loop``) still marks every
+    # same-named function project-wide as a thread entry point.
+    global_entry_names: Set[str] = set()
+    prelim: Dict[str, Dict[str, FunctionInfo]] = {}
+    for module in modules:
+        prelim[module.display_path] = _build_module(module, set())
+    for functions in prelim.values():
+        for info in functions.values():
+            for spawn in info.spawns:
+                if spawn.target and spawn.target not in functions:
+                    global_entry_names.add(spawn.target.rsplit(".", 1)[-1])
+
+    model = ConcurrencyModel()
+    for module in modules:
+        functions = _build_module(module, global_entry_names)
+        model.functions[module.display_path] = functions
+        for info in functions.values():
+            for access in info.accesses:
+                model.accesses.setdefault(access.field, []).append(access)
+    model.guards = _infer_guards(model.accesses)
+
+    _MODEL_CACHE[key] = model
+    while len(_MODEL_CACHE) > _MODEL_CACHE_SIZE:
+        _MODEL_CACHE.popitem(last=False)
+    return model

@@ -485,9 +485,11 @@ class InferenceEngine:
                     f" (currently "
                     f"{self._scheduler.adaptive_timeout.window_ms:.2f}ms)"
                 )
+        with self._scheduler_lock:
+            num_workers = self.num_workers
         lines.append(
             f"  scheduler: batch_timeout_ms={timeout}, "
-            f"queue_depth={self.queue_depth}, num_workers={self.num_workers}"
+            f"queue_depth={self.queue_depth}, num_workers={num_workers}"
         )
         return "\n".join(lines)
 

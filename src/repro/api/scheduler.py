@@ -69,8 +69,9 @@ class AdaptiveTimeout:
     * Before any rate is observed the window is ``initial_ms`` (the fixed
       default a non-adaptive scheduler uses).
 
-    Thread-safe: arrivals are observed under a lock; reading the window is
-    lock-free.
+    Thread-safe: arrivals are observed and the EWMA state read under one
+    lock (the collector reads the window while submitters observe arrivals;
+    REP006 flagged the original lock-free reads).
     """
 
     def __init__(
@@ -110,12 +111,14 @@ class AdaptiveTimeout:
     @property
     def interarrival_s(self) -> Optional[float]:
         """The current EWMA inter-arrival gap (None until two arrivals)."""
-        return self._ewma_gap_s
+        with self._lock:
+            return self._ewma_gap_s
 
     @property
     def window_s(self) -> float:
         """The coalescing window the collector should use right now."""
-        gap = self._ewma_gap_s
+        with self._lock:
+            gap = self._ewma_gap_s
         if gap is None:
             return self.initial_s
         proposed = self.multiplier * gap
@@ -128,7 +131,7 @@ class AdaptiveTimeout:
         return self.window_s * 1e3
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        gap = self._ewma_gap_s
+        gap = self.interarrival_s
         observed = "unobserved" if gap is None else f"gap={gap * 1e3:.3f}ms"
         return f"AdaptiveTimeout(window={self.window_ms:.3f}ms, {observed})"
 

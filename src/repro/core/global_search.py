@@ -363,8 +363,13 @@ class DynamicProgrammingSearch:
         transform_time = _TransformTimeCache(self.cpu, self.num_threads)
         predecessors = dep.predecessor_map()  # one O(E) build for the solve
         best_cost: Dict[str, np.ndarray] = {}
-        #: choice[(src, dst)][j] = index of src's scheme chosen when dst uses j
-        choice: Dict[Tuple[str, str], np.ndarray] = {}
+        #: per node: its predecessors (row order) and the stacked choice
+        #: matrix — choice_stack[dst][p, j] = index of predecessor p's scheme
+        #: chosen when dst uses scheme j.  One (P, K) matrix per node keeps
+        #: the backtrack to a single column slice instead of a dict lookup
+        #: per edge.
+        choice_srcs: Dict[str, List[str]] = {}
+        choice_stack: Dict[str, np.ndarray] = {}
 
         for name in dep.topo_order:
             candidates = dep.candidates[name]
@@ -385,23 +390,33 @@ class DynamicProgrammingSearch:
                     matrices[edge.src] = matrices[edge.src] + matrix
                 else:
                     matrices[edge.src] = matrix
-            for src, matrix in matrices.items():
-                options = best_cost[src][:, None] + matrix  # (K_src, K_dst)
-                best_k = options.argmin(axis=0)
-                choice[(src, name)] = best_k
-                costs += options[best_k, np.arange(len(candidates))]
+            if matrices:
+                srcs: List[str] = []
+                rows: List[np.ndarray] = []
+                column = np.arange(len(candidates))
+                for src, matrix in matrices.items():
+                    options = best_cost[src][:, None] + matrix  # (K_src, K_dst)
+                    best_k = options.argmin(axis=0)
+                    srcs.append(src)
+                    rows.append(best_k)
+                    costs += options[best_k, column]
+                choice_srcs[name] = srcs
+                choice_stack[name] = np.vstack(rows)  # (P, K_dst)
             best_cost[name] = costs
 
-        # Backtrack: fix sinks first, then propagate predecessor choices.
+        # Backtrack: fix sinks first, then propagate predecessor choices —
+        # one column slice of the stacked choice matrix per node.
         assignment: Dict[str, int] = {}
         for name in reversed(dep.topo_order):
             if name not in assignment:
                 assignment[name] = int(best_cost[name].argmin())
-            j = assignment[name]
-            for edge in predecessors.get(name, []):
-                key = (edge.src, name)
-                if key in choice and edge.src not in assignment:
-                    assignment[edge.src] = int(choice[key][j])
+            srcs = choice_srcs.get(name)
+            if not srcs:
+                continue
+            picks = choice_stack[name][:, assignment[name]]
+            for src, pick in zip(srcs, picks):
+                if src not in assignment:
+                    assignment[src] = int(pick)
 
         return {
             name: dep.candidates[name][index].schedule

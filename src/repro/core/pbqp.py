@@ -127,20 +127,31 @@ class PBQPProblem:
 
 
 def solve_pbqp(problem: PBQPProblem) -> PBQPSolution:
-    """Heuristically solve a PBQP instance (reduction + back-propagation)."""
+    """Heuristically solve a PBQP instance (reduction + back-propagation).
+
+    The reduction loop maintains an incremental adjacency index (updated by
+    every edge pop/add) instead of rescanning the whole matrix table per
+    candidate per iteration, and it walks ``remaining`` in deterministic
+    insertion order — node insertion order, not ``set`` hash order, decides
+    which of several degree-tied candidates reduces first, so the solve (and
+    therefore every downstream schedule assignment) is reproducible across
+    processes and ``PYTHONHASHSEED`` values.
+    """
     vectors = {node: problem.vector(node).copy() for node in problem.nodes}
     matrices: Dict[Tuple[NodeId, NodeId], np.ndarray] = {
         key: mat.copy() for key, mat in problem._matrices.items()  # noqa: SLF001
     }
 
+    # Incremental adjacency: node -> ordered set of live neighbours.  Kept
+    # exactly in sync with ``matrices`` by pop_edge/add_edge, so a degree
+    # query is O(1) instead of a scan over every remaining edge.
+    adjacency: Dict[NodeId, Dict[NodeId, None]] = {node: {} for node in vectors}
+    for (a, b) in matrices:
+        adjacency[a][b] = None
+        adjacency[b][a] = None
+
     def neighbors(node: NodeId) -> List[NodeId]:
-        found = []
-        for (a, b) in matrices:
-            if a == node:
-                found.append(b)
-            elif b == node:
-                found.append(a)
-        return found
+        return list(adjacency[node])
 
     def get_matrix(u: NodeId, v: NodeId) -> np.ndarray:
         if (u, v) in matrices:
@@ -148,11 +159,15 @@ def solve_pbqp(problem: PBQPProblem) -> PBQPSolution:
         return matrices[(v, u)].T
 
     def pop_edge(u: NodeId, v: NodeId) -> np.ndarray:
+        adjacency[u].pop(v, None)
+        adjacency[v].pop(u, None)
         if (u, v) in matrices:
             return matrices.pop((u, v))
         return matrices.pop((v, u)).T
 
     def add_edge(u: NodeId, v: NodeId, mat: np.ndarray) -> None:
+        adjacency[u][v] = None
+        adjacency[v][u] = None
         if (u, v) in matrices:
             matrices[(u, v)] += mat
         elif (v, u) in matrices:
@@ -163,26 +178,34 @@ def solve_pbqp(problem: PBQPProblem) -> PBQPSolution:
     # Each stack entry knows how to decide its node once neighbours are fixed.
     DecisionFn = Callable[[Dict[NodeId, int]], int]
     stack: List[Tuple[NodeId, DecisionFn]] = []
-    remaining = set(vectors)
+    remaining: Dict[NodeId, None] = dict.fromkeys(vectors)
     num_rn = 0
 
     def eliminate(node: NodeId, decide: DecisionFn) -> None:
         stack.append((node, decide))
-        remaining.discard(node)
+        remaining.pop(node, None)
 
     while remaining:
-        # Prefer the cheapest applicable reduction.
-        degree_of = {node: len(neighbors(node)) for node in remaining}
-        r0_nodes = [n for n, d in degree_of.items() if d == 0]
-        if r0_nodes:
-            node = r0_nodes[0]
+        # Prefer the cheapest applicable reduction; first (in insertion
+        # order) candidate of the lowest applicable degree class wins.
+        r0_node = r1_node = r2_node = None
+        for candidate in remaining:
+            degree = len(adjacency[candidate])
+            if degree == 0:
+                r0_node = candidate
+                break
+            if degree == 1 and r1_node is None:
+                r1_node = candidate
+            elif degree == 2 and r2_node is None:
+                r2_node = candidate
+        if r0_node is not None:
+            node = r0_node
             vector = vectors[node]
             eliminate(node, lambda _sel, _v=vector: int(np.argmin(_v)))
             continue
 
-        r1_nodes = [n for n, d in degree_of.items() if d == 1]
-        if r1_nodes:
-            node = r1_nodes[0]
+        if r1_node is not None:
+            node = r1_node
             (neighbor,) = neighbors(node)
             mat = pop_edge(node, neighbor)  # shape (|node|, |neighbor|)
             vector = vectors[node]
@@ -195,9 +218,8 @@ def solve_pbqp(problem: PBQPProblem) -> PBQPSolution:
             )
             continue
 
-        r2_nodes = [n for n, d in degree_of.items() if d == 2]
-        if r2_nodes:
-            node = r2_nodes[0]
+        if r2_node is not None:
+            node = r2_node
             u, v = neighbors(node)
             mat_u = pop_edge(node, u)  # (|node|, |u|)
             mat_v = pop_edge(node, v)  # (|node|, |v|)
@@ -215,7 +237,7 @@ def solve_pbqp(problem: PBQPProblem) -> PBQPSolution:
 
         # RN: heuristically fix the node with the highest degree.
         num_rn += 1
-        node = max(remaining, key=lambda n: (degree_of[n], repr(n)))
+        node = max(remaining, key=lambda n: (len(adjacency[n]), repr(n)))
         vector = vectors[node]
         neighbor_list = neighbors(node)
         score = vector.copy()

@@ -151,9 +151,9 @@ class TuningRecord:
 class TuningDatabase:
     """In-memory (optionally JSON-backed) store of local-search results.
 
-    Thread-safe for concurrent ``put``/``get`` from the parallel tuner: all
-    mutations take an internal lock (lookups read a single dict entry, which
-    is atomic, but the lock keeps ``merge`` and future bulk mutations safe).
+    Thread-safe for concurrent ``put``/``get`` from the parallel tuner:
+    every access — lookups included — takes the internal lock, so bulk
+    mutations such as ``merge`` can never interleave with a read mid-update.
     """
 
     records: Dict[Tuple[str, str, str], List[TuningRecord]] = field(default_factory=dict)
@@ -186,7 +186,8 @@ class TuningDatabase:
         self, workload: ConvWorkload, cpu_name: str, params: str = ""
     ) -> Optional[List[TuningRecord]]:
         """All stored candidates for a workload, best first, or ``None``."""
-        return self.records.get(self._key(workload, cpu_name, params))
+        with self._lock:
+            return self.records.get(self._key(workload, cpu_name, params))
 
     def best(
         self, workload: ConvWorkload, cpu_name: str, params: str = ""
@@ -198,10 +199,12 @@ class TuningDatabase:
     def __contains__(self, key: tuple) -> bool:
         workload, cpu_name = key[0], key[1]
         params = key[2] if len(key) > 2 else ""
-        return self._key(workload, cpu_name, params) in self.records
+        with self._lock:
+            return self._key(workload, cpu_name, params) in self.records
 
     def __len__(self) -> int:
-        return len(self.records)
+        with self._lock:
+            return len(self.records)
 
     # ------------------------------------------------------------------ #
     # per-target views (what the multi-target bundle build consumes)
@@ -236,7 +239,9 @@ class TuningDatabase:
             return {"records": dict(self.records)}
 
     def __setstate__(self, state: dict) -> None:
-        self.records = state["records"]
+        # Pickle rehydration: the object is not shared with any thread until
+        # __setstate__ returns, and the lock itself only exists afterwards.
+        self.records = state["records"]  # repro: noqa[REP006] -- unpickled object is thread-private until __setstate__ returns; the guard is recreated on the next line
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #

@@ -103,7 +103,8 @@ class BoundedQueue:
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._mutex:
+            return self._closed
 
     def put(self, item, timeout: Optional[float] = None) -> bool:
         """Enqueue ``item``, blocking while the queue is full.
@@ -176,7 +177,8 @@ class BoundedQueue:
             self._not_empty.notify_all()
 
     def __len__(self) -> int:
-        return len(self._items)
+        with self._mutex:
+            return len(self._items)
 
 
 class BufferPool:

@@ -870,3 +870,545 @@ class TestZooVerifies:
 
         graph = infer_shapes(get_model(name))
         assert verify_graph(graph) == []
+
+
+# --------------------------------------------------------------------------- #
+# REP006/REP007/REP008 — lockset-based concurrency rules (ISSUE 7)
+# --------------------------------------------------------------------------- #
+from repro.analysis.races import (  # noqa: E402  (section-local import)
+    AtomicityRule,
+    DataRaceRule,
+    ThreadEscapeRule,
+)
+
+
+def loc(source, needle, skip=0):
+    """(line, col) of ``needle`` in the dedented fixture, 1-based."""
+    lines = textwrap.dedent(source).splitlines()
+    seen = 0
+    for i, line in enumerate(lines, 1):
+        if needle in line:
+            if seen == skip:
+                return i, line.index(needle) + 1
+            seen += 1
+    raise AssertionError(f"needle {needle!r} not found")
+
+
+COUNTER_RACE = """
+import threading
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, n):
+        with self._lock:
+            self._total += n
+
+    def reset(self):
+        with self._lock:
+            self._total = 0
+
+    def snapshot(self):
+        return self._total
+"""
+
+
+class TestDataRaceRule:
+    def test_unguarded_read_pinpointed_at_exact_line_and_col(self, tmp_path):
+        report = lint(tmp_path, COUNTER_RACE, [DataRaceRule()])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        line, col = loc(COUNTER_RACE, "self._total", skip=3)  # the snapshot read
+        assert finding.rule == "REP006"
+        assert (finding.line, finding.col) == (line, col)
+        assert "Counter._total" in finding.message
+        assert "_lock" in finding.message  # names the inferred guard
+
+    def test_message_names_both_conflicting_sites(self, tmp_path):
+        report = lint(tmp_path, COUNTER_RACE, [DataRaceRule()])
+        message = report.findings[0].message
+        assert "snapshot()" in message  # the racing site
+        assert "conflicts with the guarded" in message  # ...and a guarded one
+
+    def test_corrected_twin_is_silent(self, tmp_path):
+        fixed = COUNTER_RACE.replace(
+            "    def snapshot(self):\n        return self._total",
+            "    def snapshot(self):\n        with self._lock:\n"
+            "            return self._total",
+        )
+        report = lint(tmp_path, fixed, [DataRaceRule()])
+        assert report.findings == []
+
+    def test_constructor_write_does_not_dilute_majority(self, tmp_path):
+        # The unguarded ``self._total = 0`` in __init__ must not count
+        # against majority inference (Eraser's initialization exemption):
+        # with it excluded the guard is held at 2 of 3 sites and the rule
+        # fires; counted, 2 of 4 would be no majority and the race hides.
+        report = lint(tmp_path, COUNTER_RACE, [DataRaceRule()])
+        assert len(report.findings) == 1
+        assert "held at 2/3 sites" in report.findings[0].message
+
+    def test_thread_target_write_is_concurrent(self, tmp_path):
+        source = """
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+                self._thread = threading.Thread(target=self._loop)
+
+            def _loop(self):
+                self._count += 1
+
+            def bump(self):
+                with self._lock:
+                    self._count += 1
+
+            def read(self):
+                with self._lock:
+                    return self._count
+        """
+        report = lint(tmp_path, source, [DataRaceRule()])
+        assert len(report.findings) == 1
+        line, _ = loc(source, "self._count += 1")  # the _loop body write
+        assert report.findings[0].line == line
+        assert "read-modify-write" in report.findings[0].message
+
+    def test_lockset_propagates_through_helper(self, tmp_path):
+        # _bump is only ever called with the lock held: the calling-context
+        # fixpoint charges the lock to its body, so nothing fires.
+        source = """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def record(self):
+                with self._lock:
+                    self._bump()
+
+            def reset(self):
+                with self._lock:
+                    self._n = 0
+
+            def get(self):
+                with self._lock:
+                    return self._n
+
+            def _bump(self):
+                self._n += 1
+        """
+        report = lint(tmp_path, source, [DataRaceRule()])
+        assert report.findings == []
+
+    def test_helper_reached_without_lock_is_flagged(self, tmp_path):
+        # One unlocked call site drains the helper's context lockset (the
+        # fixpoint intersects over all call sites) and the race reappears.
+        source = """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0
+
+            def record(self):
+                with self._lock:
+                    self._bump()
+
+            def record_fast(self):
+                self._bump()
+
+            def reset(self):
+                with self._lock:
+                    self._n = 0
+
+            def get(self):
+                with self._lock:
+                    return self._n
+
+            def _bump(self):
+                self._n += 1
+        """
+        report = lint(tmp_path, source, [DataRaceRule()])
+        assert len(report.findings) == 1
+        line, _ = loc(source, "self._n += 1")
+        assert report.findings[0].line == line
+
+    def test_minority_guarded_field_has_no_inferred_guard(self, tmp_path):
+        # Deliberately lock-free structures (the SPSC queue shape): when the
+        # guarded sites are not a strict majority no guard is inferred and
+        # the rule stays silent — documented false-negative shape.
+        source = """
+        import threading
+
+        class Spsc:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def push(self, x):
+                self._items.append(x)
+
+            def pop(self):
+                return self._items.pop()
+
+            def drain(self):
+                with self._lock:
+                    out = list(self._items)
+                    self._items.clear()
+                    return out
+        """
+        report = lint(tmp_path, source, [DataRaceRule()])
+        assert report.findings == []
+
+    def test_module_registry_guarded_by_module_lock(self, tmp_path):
+        # The artifact-pin-registry shape: a module-global dict mutated
+        # under a module-level lock everywhere except one lookup.
+        source = """
+        import threading
+
+        _LOCK = threading.Lock()
+        _REGISTRY = {}
+
+        def register(key, value):
+            with _LOCK:
+                _REGISTRY[key] = value
+
+        def unregister(key):
+            with _LOCK:
+                _REGISTRY.pop(key, None)
+
+        def lookup(key):
+            return _REGISTRY.get(key)
+        """
+        report = lint(tmp_path, source, [DataRaceRule()])
+        assert len(report.findings) == 1
+        line, col = loc(source, "_REGISTRY.get")
+        assert (report.findings[0].line, report.findings[0].col) == (line, col)
+        assert "mod:_REGISTRY" in report.findings[0].message
+
+    def test_noqa_suppresses_rep006(self, tmp_path):
+        suppressed = COUNTER_RACE.replace(
+            "        return self._total",
+            "        return self._total  # repro: noqa[REP006] -- fixture",
+        )
+        report = lint(tmp_path, suppressed, [DataRaceRule()])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+        assert report.clean
+
+
+LAZY_DCL = """
+import threading
+
+class Lazy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = None
+
+    def set(self, v):
+        with self._lock:
+            self._value = v
+
+    def peek(self):
+        with self._lock:
+            return self._value
+
+    def get(self):
+        if self._value is None:
+            with self._lock:
+                self._value = object()
+        return self._value
+"""
+
+
+class TestAtomicityRule:
+    def test_check_then_act_flagged_at_the_test(self, tmp_path):
+        report = lint(tmp_path, LAZY_DCL, [AtomicityRule()])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        line, col = loc(LAZY_DCL, "if self._value is None:")
+        assert finding.rule == "REP007"
+        assert (finding.line, finding.col) == (line, col)
+        assert "check-then-act" in finding.message
+        assert "Lazy._value" in finding.message
+
+    def test_locked_check_then_act_is_silent(self, tmp_path):
+        fixed = LAZY_DCL.replace(
+            "    def get(self):\n"
+            "        if self._value is None:\n"
+            "            with self._lock:\n"
+            "                self._value = object()\n"
+            "        return self._value",
+            "    def get(self):\n"
+            "        with self._lock:\n"
+            "            if self._value is None:\n"
+            "                self._value = object()\n"
+            "            return self._value",
+        )
+        report = lint(tmp_path, fixed, [AtomicityRule()])
+        assert report.findings == []
+
+    def test_split_compound_update_flagged_at_the_write_back(self, tmp_path):
+        source = """
+        import threading
+
+        class Accum:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._total = 0
+
+            def get(self):
+                with self._lock:
+                    return self._total
+
+            def set(self, v):
+                with self._lock:
+                    self._total = v
+
+            def double(self):
+                with self._lock:
+                    current = self._total
+                with self._lock:
+                    self._total = current * 2
+        """
+        report = lint(tmp_path, source, [AtomicityRule()])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        line, col = loc(source, "self._total = current * 2")
+        assert (finding.line, finding.col) == (line, col)
+        assert "non-atomic compound update" in finding.message
+
+    def test_single_acquisition_compound_update_is_silent(self, tmp_path):
+        source = """
+        import threading
+
+        class Accum:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._total = 0
+
+            def get(self):
+                with self._lock:
+                    return self._total
+
+            def set(self, v):
+                with self._lock:
+                    self._total = v
+
+            def double(self):
+                with self._lock:
+                    current = self._total
+                    self._total = current * 2
+        """
+        report = lint(tmp_path, source, [AtomicityRule()])
+        assert report.findings == []
+
+    def test_independent_blocks_under_same_lock_are_silent(self, tmp_path):
+        # Two acquisitions that do not carry a value from one to the other
+        # (the scheduler's two independent stats blocks) are not a split
+        # update — data dependence is required.
+        source = """
+        import threading
+
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._a = 0
+                self._b = 0
+
+            def get_a(self):
+                with self._lock:
+                    return self._a
+
+            def get_b(self):
+                with self._lock:
+                    return self._b
+
+            def tick(self):
+                with self._lock:
+                    self._a += 1
+                with self._lock:
+                    self._b += 1
+        """
+        report = lint(tmp_path, source, [AtomicityRule()])
+        assert report.findings == []
+
+    def test_noqa_suppresses_rep007(self, tmp_path):
+        suppressed = LAZY_DCL.replace(
+            "        if self._value is None:",
+            "        if self._value is None:  # repro: noqa[REP007] -- fixture",
+        )
+        report = lint(tmp_path, suppressed, [AtomicityRule()])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+ESCAPING_INIT = """
+import threading
+
+class Service:
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+        self._ready = True
+
+    def _run(self):
+        pass
+"""
+
+
+class TestThreadEscapeRule:
+    def test_write_after_start_in_init_pinpointed(self, tmp_path):
+        report = lint(tmp_path, ESCAPING_INIT, [ThreadEscapeRule()])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        line, col = loc(ESCAPING_INIT, "self._ready = True")
+        assert finding.rule == "REP008"
+        assert (finding.line, finding.col) == (line, col)
+        assert "partially-constructed" in finding.message
+        start_line, _ = loc(ESCAPING_INIT, "self._worker.start()")
+        assert f"line {start_line}" in finding.message
+
+    def test_start_as_last_statement_is_silent(self, tmp_path):
+        fixed = """
+        import threading
+
+        class Service:
+            def __init__(self):
+                self._ready = True
+                self._worker = threading.Thread(target=self._run)
+                self._worker.start()
+
+            def _run(self):
+                pass
+        """
+        report = lint(tmp_path, fixed, [ThreadEscapeRule()])
+        assert report.findings == []
+
+    def test_loop_started_workers_track_thread_binding(self, tmp_path):
+        # The threadpool shape: threads built in a list comprehension and
+        # started through the loop variable — the loop variable inherits
+        # thread-ness, so a field write after the loop is still an escape.
+        source = """
+        import threading
+
+        class Pool:
+            def __init__(self, n):
+                self._workers = [
+                    threading.Thread(target=self._run) for _ in range(n)
+                ]
+                for worker in self._workers:
+                    worker.start()
+                self._accepting = True
+
+            def _run(self):
+                pass
+        """
+        report = lint(tmp_path, source, [ThreadEscapeRule()])
+        assert len(report.findings) == 1
+        line, col = loc(source, "self._accepting = True")
+        assert (report.findings[0].line, report.findings[0].col) == (line, col)
+
+    def test_closure_over_local_mutated_after_handoff(self, tmp_path):
+        source = """
+        class Runner:
+            def run(self, pool):
+                results = []
+
+                def task():
+                    results.append(1)
+
+                pool.submit(task)
+                results = [0]
+                return results
+        """
+        report = lint(tmp_path, source, [ThreadEscapeRule()])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        line, col = loc(source, "results = [0]")
+        assert (finding.line, finding.col) == (line, col)
+        assert "'results'" in finding.message
+        assert "'task'" in finding.message
+
+    def test_join_before_mutation_is_silent(self, tmp_path):
+        source = """
+        class Runner:
+            def run(self, pool):
+                results = []
+
+                def task():
+                    results.append(1)
+
+                future = pool.submit(task)
+                future.result()
+                results = [0]
+                return results
+        """
+        report = lint(tmp_path, source, [ThreadEscapeRule()])
+        assert report.findings == []
+
+    def test_read_after_handoff_is_silent(self, tmp_path):
+        # The pool.map shape: the closure fills slots, the caller only
+        # reads the list afterwards — no mutation, no escape hazard.
+        source = """
+        class Runner:
+            def run(self, pool, items):
+                results = [None] * len(items)
+
+                def body(index):
+                    results[index] = items[index]
+
+                pool.map(body, range(len(items)))
+                return results
+        """
+        report = lint(tmp_path, source, [ThreadEscapeRule()])
+        assert report.findings == []
+
+    def test_noqa_suppresses_rep008(self, tmp_path):
+        suppressed = ESCAPING_INIT.replace(
+            "        self._ready = True",
+            "        self._ready = True  # repro: noqa[REP008] -- fixture",
+        )
+        report = lint(tmp_path, suppressed, [ThreadEscapeRule()])
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+class TestConcurrencyRegressions:
+    """The real defects REP006 surfaced on src/ stay fixed (ISSUE 7).
+
+    The analyzer found unguarded reads of majority-guarded state in four
+    places: AdaptiveTimeout's EWMA properties, BoundedQueue.closed/__len__,
+    TuningDatabase get/__contains__/__len__, and InferenceEngine.describe's
+    num_workers read.  Each file must now analyze clean under the race rules.
+    """
+
+    FIXED_FILES = (
+        "api/scheduler.py",
+        "api/engine.py",
+        "runtime/threadpool.py",
+        "core/tuning_db.py",
+        "api/deployment.py",
+    )
+
+    @pytest.mark.parametrize("relative", FIXED_FILES)
+    def test_fixed_module_is_race_clean(self, relative):
+        rules = [DataRaceRule(), AtomicityRule(), ThreadEscapeRule()]
+        report = LintEngine(rules).run([SRC_ROOT / relative])
+        assert report.errors == []
+        assert report.findings == [], "\n" + report.render_text()
+
+    def test_race_rules_are_in_the_default_registry(self):
+        ids = {rule.rule_id for rule in default_rules()}
+        assert {"REP006", "REP007", "REP008"} <= ids
+
+    def test_rules_filter_accepts_new_ids(self):
+        rules = default_rules(only=["rep006", "REP008"])
+        assert [rule.rule_id for rule in rules] == ["REP006", "REP008"]

@@ -597,3 +597,93 @@ class TestAdaptiveTimeout:
             fixed_outputs = fixed_engine.serve_concurrent(requests)
         for got, expected in zip(auto_outputs, fixed_outputs):
             np.testing.assert_array_equal(got[0], expected[0])
+
+
+class TestConcurrencyFixes:
+    """Behavioral regressions for the races REP006 found and we fixed.
+
+    The static analyzer (``repro.analysis.races``) flagged lock-free reads
+    of guarded state in AdaptiveTimeout and BoundedQueue; these tests hammer
+    the fixed read paths from concurrent threads.  They cannot *prove* the
+    absence of a race under the GIL, but they pin the invariants the locked
+    reads now guarantee (bounded values, consistent len/closed snapshots)
+    and would catch a regression to torn multi-field reads.
+    """
+
+    def test_adaptive_timeout_concurrent_observe_and_read(self):
+        from repro.runtime.threadpool import ThreadPool  # noqa: F401  (import check)
+
+        timeout = AdaptiveTimeout(alpha=0.5, multiplier=2.0, min_ms=0.1, max_ms=50.0)
+        stop = threading.Event()
+        errors = []
+
+        def observer():
+            now = 0.0
+            while not stop.is_set():
+                now += 0.001
+                timeout.observe(now=now)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    window = timeout.window_s
+                    gap = timeout.interarrival_s
+                    assert 0.1e-3 <= window <= 50e-3
+                    assert gap is None or gap >= 0.0
+                    repr(timeout)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=observer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert errors == []
+        assert timeout.interarrival_s is not None
+
+    def test_bounded_queue_concurrent_len_closed_during_transfer(self):
+        from repro.runtime.threadpool import BoundedQueue
+
+        queue = BoundedQueue(capacity=4)
+        per_producer = 200
+        received = []
+        errors = []
+
+        def producer():
+            for i in range(per_producer):
+                assert queue.put(i, timeout=5.0)
+
+        def consumer():
+            while True:
+                item = queue.get(timeout=5.0)
+                if item is None:
+                    return
+                received.append(item)
+
+        def poller():
+            try:
+                while not queue.closed:
+                    size = len(queue)
+                    assert 0 <= size <= queue.capacity
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        producers = [threading.Thread(target=producer) for _ in range(3)]
+        consumer_thread = threading.Thread(target=consumer)
+        poller_thread = threading.Thread(target=poller)
+        for thread in [*producers, consumer_thread, poller_thread]:
+            thread.start()
+        for thread in producers:
+            thread.join(timeout=30.0)
+        # Drain stragglers, then close: consumer exits on closed-and-empty.
+        while len(queue):
+            time.sleep(0.001)
+        queue.close()
+        consumer_thread.join(timeout=10.0)
+        poller_thread.join(timeout=10.0)
+        assert errors == []
+        assert sorted(received) == sorted(list(range(per_producer)) * 3)

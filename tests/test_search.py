@@ -684,3 +684,219 @@ class TestGlobalSearchGraphShapes:
         assert dep.total_cost({"a": schedule}, skylake, 4) == pytest.approx(1.0)
         dep.candidates["a"] = [ConvCandidate(schedule, 5.0)]  # e.g. force re-tune
         assert dep.total_cost({"a": schedule}, skylake, 4) == pytest.approx(5.0)
+
+
+# --------------------------------------------------------------------------- #
+# solver-optimization parity gates (PR 7)
+# --------------------------------------------------------------------------- #
+def _reference_dp_solve(dep, cpu, num_threads):
+    """The pre-vectorization DP backtrack: one choice-vector dict entry per
+    edge instead of a stacked (P, K) matrix per node.  Kept as the byte-level
+    reference the optimized solver must reproduce exactly."""
+    from repro.core.global_search import _TransformTimeCache, _edge_cost_matrix
+
+    transform_time = _TransformTimeCache(cpu, num_threads)
+    predecessors = dep.predecessor_map()
+    best_cost = {}
+    choice = {}
+    for name in dep.topo_order:
+        candidates = dep.candidates[name]
+        costs = np.array([c.exec_time_s for c in candidates], dtype=np.float64)
+        matrices = {}
+        for edge in predecessors.get(name, []):
+            if edge.src not in best_cost:
+                continue
+            matrix = _edge_cost_matrix(
+                edge, dep.candidates[edge.src], candidates, transform_time
+            )
+            if edge.src in matrices:
+                matrices[edge.src] = matrices[edge.src] + matrix
+            else:
+                matrices[edge.src] = matrix
+        for src, matrix in matrices.items():
+            options = best_cost[src][:, None] + matrix
+            best_k = options.argmin(axis=0)
+            choice[(src, name)] = best_k
+            costs += options[best_k, np.arange(len(candidates))]
+        best_cost[name] = costs
+    assignment = {}
+    for name in reversed(dep.topo_order):
+        if name not in assignment:
+            assignment[name] = int(best_cost[name].argmin())
+        j = assignment[name]
+        for edge in predecessors.get(name, []):
+            key = (edge.src, name)
+            if key in choice and edge.src not in assignment:
+                assignment[edge.src] = int(choice[key][j])
+    return {
+        name: dep.candidates[name][index].schedule
+        for name, index in assignment.items()
+    }
+
+
+def _reference_solve_pbqp(problem):
+    """The pre-optimization PBQP reduction loop: neighbour sets recomputed by
+    scanning every remaining edge per iteration (instead of the solver's
+    incremental adjacency index), with the same deterministic insertion-order
+    node selection.  Scanning the insertion-ordered matrix table yields
+    neighbours in exactly the order the incremental index maintains, so the
+    two implementations must agree bit for bit."""
+    vectors = {node: problem.vector(node).copy() for node in problem.nodes}
+    matrices = {key: mat.copy() for key, mat in problem._matrices.items()}
+
+    def neighbors(node):
+        found = []
+        for (a, b) in matrices:
+            if a == node:
+                found.append(b)
+            elif b == node:
+                found.append(a)
+        return found
+
+    def get_matrix(u, v):
+        if (u, v) in matrices:
+            return matrices[(u, v)]
+        return matrices[(v, u)].T
+
+    def pop_edge(u, v):
+        if (u, v) in matrices:
+            return matrices.pop((u, v))
+        return matrices.pop((v, u)).T
+
+    def add_edge(u, v, mat):
+        if (u, v) in matrices:
+            matrices[(u, v)] += mat
+        elif (v, u) in matrices:
+            matrices[(v, u)] += mat.T
+        else:
+            matrices[(u, v)] = mat
+
+    stack = []
+    remaining = dict.fromkeys(vectors)
+    num_rn = 0
+
+    def eliminate(node, decide):
+        stack.append((node, decide))
+        remaining.pop(node, None)
+
+    while remaining:
+        degree_of = {node: len(neighbors(node)) for node in remaining}
+        r0_node = r1_node = r2_node = None
+        for candidate in remaining:
+            degree = degree_of[candidate]
+            if degree == 0:
+                r0_node = candidate
+                break
+            if degree == 1 and r1_node is None:
+                r1_node = candidate
+            elif degree == 2 and r2_node is None:
+                r2_node = candidate
+        if r0_node is not None:
+            vector = vectors[r0_node]
+            eliminate(r0_node, lambda _sel, _v=vector: int(np.argmin(_v)))
+            continue
+        if r1_node is not None:
+            node = r1_node
+            (neighbor,) = neighbors(node)
+            mat = pop_edge(node, neighbor)
+            vector = vectors[node]
+            combined = vector[:, None] + mat
+            vectors[neighbor] = vectors[neighbor] + combined.min(axis=0)
+            best_for = combined.argmin(axis=0)
+            eliminate(node, lambda sel, _n=neighbor, _b=best_for: int(_b[sel[_n]]))
+            continue
+        if r2_node is not None:
+            node = r2_node
+            u, v = neighbors(node)
+            mat_u = pop_edge(node, u)
+            mat_v = pop_edge(node, v)
+            vector = vectors[node]
+            combined = vector[:, None, None] + mat_u[:, :, None] + mat_v[:, None, :]
+            delta = combined.min(axis=0)
+            best_for = combined.argmin(axis=0)
+            add_edge(u, v, delta)
+            eliminate(
+                node, lambda sel, _u=u, _v=v, _b=best_for: int(_b[sel[_u], sel[_v]])
+            )
+            continue
+        num_rn += 1
+        node = max(remaining, key=lambda n: (degree_of[n], repr(n)))
+        vector = vectors[node]
+        neighbor_list = neighbors(node)
+        score = vector.copy()
+        for neighbor in neighbor_list:
+            mat = get_matrix(node, neighbor)
+            score = score + (mat + vectors[neighbor][None, :]).min(axis=1)
+        chosen = int(np.argmin(score))
+        for neighbor in neighbor_list:
+            mat = pop_edge(node, neighbor)
+            vectors[neighbor] = vectors[neighbor] + mat[chosen, :]
+        eliminate(node, lambda _sel, _c=chosen: _c)
+
+    selection = {}
+    for node, decide in reversed(stack):
+        selection[node] = decide(selection)
+    return selection, num_rn
+
+
+class TestSolverOptimizationParity:
+    """Byte-identity gates for the vectorized DP backtrack and the PBQP
+    incremental-adjacency reduction loop, on the zoo models the paper
+    evaluates (the SSD instance is the one that exercises RN reductions)."""
+
+    MODELS = ("resnet-50", "vgg-19", "ssd-resnet-50")
+
+    _dep_cache = {}
+
+    @classmethod
+    def _tuned_dep(cls, model_name):
+        from repro.models import get_model
+
+        if model_name not in cls._dep_cache:
+            cpu = get_target("skylake")
+            graph = get_model(model_name)
+            infer_shapes(graph)
+            search = LocalSearch(
+                CostModelMeasurer(cpu), cpu.name, database=TuningDatabase(), top_k=4
+            )
+            cls._dep_cache[model_name] = (cpu, extract_dependency_graph(graph, search))
+        return cls._dep_cache[model_name]
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_dp_backtrack_byte_identical(self, model_name):
+        cpu, dep = self._tuned_dep(model_name)
+        fast = DynamicProgrammingSearch(cpu, cpu.num_cores).solve(dep)
+        reference = _reference_dp_solve(dep, cpu, cpu.num_cores)
+        assert fast == reference
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_pbqp_reduction_byte_identical(self, model_name):
+        cpu, dep = self._tuned_dep(model_name)
+        search = LocalSearch(
+            CostModelMeasurer(cpu), cpu.name, database=TuningDatabase(), top_k=4
+        )
+        problem = GlobalSearch(cpu, search)._build_pbqp(dep)
+        fast = solve_pbqp(problem)
+        reference_selection, reference_rn = _reference_solve_pbqp(problem)
+        assert fast.selection == reference_selection
+        assert fast.num_rn_reductions == reference_rn
+
+    def test_pbqp_order_independent_of_insertion_hash(self):
+        """Same instance built twice (different key objects) solves the same —
+        the reduction order depends on insertion order only, never on
+        ``PYTHONHASHSEED``-style set iteration."""
+        def build():
+            problem = PBQPProblem()
+            for name in ("n0", "n1", "n2", "n3", "n4"):
+                problem.add_node(name, [3.0, 1.0, 2.0])
+            rng = np.random.default_rng(7)
+            edges = [("n0", "n1"), ("n1", "n2"), ("n2", "n3"), ("n3", "n0"),
+                     ("n0", "n2"), ("n1", "n4")]
+            for u, v in edges:
+                problem.add_edge(u, v, rng.random((3, 3)))
+            return problem
+
+        first = solve_pbqp(build())
+        second = solve_pbqp(build())
+        assert first.selection == second.selection
+        assert first.cost == second.cost
