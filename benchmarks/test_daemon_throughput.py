@@ -1,0 +1,151 @@
+"""Multi-process serving: the daemon's worker fleet vs one process (ISSUE 8).
+
+The single-process scheduler owns batching and priority, but it still lives
+under one GIL: the functional numpy executor spends real interpreter time
+per node, so one serving process leaves cores idle that a second process
+could use.  The multi-process tier (``repro.api.dispatch``) shards a
+request stream across worker processes that each load the *same* artifact
+from the *same* repository — cross-process pin files keep repository GC
+safe beside them.
+
+Gated claims, on a ResNet-50 stream at reduced resolution (32x32):
+
+* aggregate throughput of a 2-worker dispatcher is at least **1x** the
+  single-process scheduler on the same stream (the fleet must never cost
+  throughput; on multi-core hosts it typically wins well above the gate);
+* every response served by the fleet is **byte-identical** to the
+  single-process engine's response for the same request.
+
+The artifact bundle and tuning database persist in the session cache, so
+re-runs start warm.
+"""
+
+import os
+import time
+
+import numpy as np
+from conftest import write_result
+
+from repro.api import EngineDispatcher, build, load_engine
+from repro.graph import infer_shapes
+from repro.models.resnet import resnet50
+
+#: 32 requests split evenly over 2 workers give every engine full batches
+#: (4x8 single-process, 2x8 per worker): the gate compares scheduling tiers,
+#: not batch-density accidents.
+NUM_REQUESTS = 32
+NUM_WORKERS = 2
+MAX_BATCH_SIZE = 8
+THROUGHPUT_GATE = 1.0
+#: A single hardware core cannot run two worker processes in parallel, so the
+#: fleet can only tie the single process minus the IPC/timeslicing tax.  On
+#: such hosts the gate degrades to "the tax is bounded, no pathological
+#: collapse" — the >= 1x claim is gated wherever the fleet has a second core
+#: to use (CI runners do).
+SINGLE_CORE_GATE = 0.35
+
+ENGINE_KWARGS = {
+    "host": "skylake",
+    "seed": 0,
+    "max_batch_size": MAX_BATCH_SIZE,
+    "batch_timeout_ms": 20.0,
+}
+
+
+def build_requests(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        {"data": rng.standard_normal((1, 3, 32, 32)).astype(np.float32)}
+        for _ in range(count)
+    ]
+
+
+def _drain(dispatcher, requests):
+    futures = [dispatcher.submit(request) for request in requests]
+    return [future.result(timeout=600.0) for future in futures]
+
+
+def _timed_stream(submit, requests):
+    """Submit the whole stream; outputs, wall time, per-request latencies.
+
+    Latency is stream-start-to-completion (the whole stream submits within
+    microseconds, so this is each request's sojourn time), recorded from the
+    futures' done callbacks — callback threads append to a list, and list
+    appends are atomic.
+    """
+    latencies = []
+    start = time.perf_counter()
+    futures = []
+    for request in requests:
+        future = submit(request)
+        future.add_done_callback(
+            lambda _f: latencies.append(time.perf_counter() - start)
+        )
+        futures.append(future)
+    outputs = [future.result(timeout=600.0) for future in futures]
+    elapsed = time.perf_counter() - start
+    return outputs, elapsed, latencies
+
+
+def test_resnet50_stream_multiprocess_serving(
+    benchmark, results_dir, tuning_cache_dir, tuning_db
+):
+    graph = resnet50(image_size=32)
+    infer_shapes(graph)
+    bundle = build(
+        graph,
+        ["skylake"],
+        cache_dir=tuning_cache_dir,
+        database=tuning_db,
+        jobs=1,
+    )
+    requests = build_requests(NUM_REQUESTS)
+
+    # Single-process baseline: the scheduler engine, loaded the same way the
+    # workers load it.
+    with load_engine(bundle.path, **ENGINE_KWARGS) as engine:
+        engine.run(requests[0])  # warm the constant cache
+        single_outputs, single_s, single_lat = _timed_stream(
+            engine.submit, requests
+        )
+
+    with EngineDispatcher(
+        bundle.path, num_workers=NUM_WORKERS, engine_kwargs=ENGINE_KWARGS
+    ) as dispatcher:
+        # Warm every worker: concurrent submits spread over the fleet by the
+        # least-outstanding routing.
+        _drain(dispatcher, requests[:NUM_WORKERS] * 2)
+
+        def serve():
+            return _timed_stream(dispatcher.submit, requests)
+
+        benchmark.pedantic(serve, rounds=1, iterations=1)
+        fleet_outputs, fleet_s, fleet_lat = serve()
+
+    # Byte-identical responses, in request order.
+    for single, fleet in zip(single_outputs, fleet_outputs):
+        assert len(single) == len(fleet)
+        for single_out, fleet_out in zip(single, fleet):
+            assert np.array_equal(single_out, fleet_out)
+
+    count = len(requests)
+    ratio = single_s / fleet_s
+    cores = os.cpu_count() or 1
+    gate = THROUGHPUT_GATE if cores >= 2 else SINGLE_CORE_GATE
+    single_p99 = float(np.percentile(single_lat, 99))
+    fleet_p99 = float(np.percentile(fleet_lat, 99))
+    lines = [
+        f"multi-process serving ({count} requests, ResNet-50 32x32, skylake, "
+        f"{cores} core(s))",
+        f"  single-process scheduler: {single_s * 1e3:8.1f} ms "
+        f"({count / single_s:6.1f} req/s, p99 {single_p99 * 1e3:7.1f} ms)",
+        f"  {NUM_WORKERS}-worker dispatcher    : {fleet_s * 1e3:8.1f} ms "
+        f"({count / fleet_s:6.1f} req/s, p99 {fleet_p99 * 1e3:7.1f} ms)",
+        f"  aggregate speedup       : {ratio:8.2f}x (gate >= {gate:.2f}x)",
+    ]
+    write_result(results_dir, "daemon_throughput_resnet50", "\n".join(lines))
+
+    assert ratio >= gate, (
+        f"2-worker fleet served {count / fleet_s:.1f} req/s vs "
+        f"{count / single_s:.1f} req/s single-process on {cores} core(s)"
+    )

@@ -29,24 +29,38 @@ load time::
           cache_dir="~/.cache/neocpu")
     engine = load_engine("~/.cache/neocpu/modules/resnet50-....neocpu")
 
+Multi-process serving shards one artifact across worker processes — each
+worker pins the artifact with a ``.pin.<pid>`` file, so ``repro.cli gc`` is
+safe to run beside the fleet::
+
+    from repro.api import EngineDispatcher
+
+    with EngineDispatcher("model.neocpu", num_workers=4) as dispatcher:
+        outputs = dispatcher.run({"data": image}, priority="interactive")
+
 ``python -m repro.cli`` exposes the same repository as a command line
-(``build`` / ``list`` / ``inspect`` / ``verify`` / ``gc``).
+(``build`` / ``list`` / ``inspect`` / ``verify`` / ``gc`` / ``serve``).
 """
 
 from ..core.config import CompileConfig, OptLevel
 from ..runtime.artifact import ArtifactError, StaleArtifactError
 from ..runtime.module import CompiledModule
+from .daemon import DaemonClient, ServingDaemon
 from .deployment import (
     ArtifactBundle,
     GCReport,
     ModelRepository,
     build,
+    cross_pinned_artifacts,
     load_engine,
     pinned_artifacts,
 )
+from .dispatch import DispatchError, EngineDispatcher, WorkerCrashed
 from .engine import InferenceEngine, batchability_report
 from .optimizer import Optimizer
 from .scheduler import (
+    DEFAULT_PRIORITY,
+    DEFAULT_PRIORITY_WEIGHTS,
     AdaptiveTimeout,
     DeadlineExceeded,
     RequestScheduler,
@@ -59,7 +73,12 @@ __all__ = [
     "ArtifactError",
     "CompileConfig",
     "CompiledModule",
+    "DEFAULT_PRIORITY",
+    "DEFAULT_PRIORITY_WEIGHTS",
+    "DaemonClient",
     "DeadlineExceeded",
+    "DispatchError",
+    "EngineDispatcher",
     "GCReport",
     "InferenceEngine",
     "ModelRepository",
@@ -67,8 +86,11 @@ __all__ = [
     "Optimizer",
     "RequestScheduler",
     "SchedulerStats",
+    "ServingDaemon",
+    "WorkerCrashed",
     "batchability_report",
     "build",
+    "cross_pinned_artifacts",
     "load_engine",
     "pinned_artifacts",
     "StaleArtifactError",

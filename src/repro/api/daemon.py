@@ -1,0 +1,312 @@
+"""The serving daemon: a socket front-end over :class:`EngineDispatcher`.
+
+``python -m repro.cli serve --artifact model.neocpu --workers 2`` starts a
+:class:`ServingDaemon`: a TCP listener whose connections feed requests into
+the multi-process dispatcher (see :mod:`repro.api.dispatch`) and stream
+replies back as workers finish them.  :class:`DaemonClient` is the matching
+client — ``submit``/``run`` with the same priority classes the in-process
+scheduler takes, and byte-identical outputs.
+
+Wire protocol
+-------------
+
+Length-prefixed pickle frames: 8 bytes big-endian payload length, then the
+pickled message.  Requests are ``{"id", "inputs", "priority", "timeout_ms"}``
+dicts; replies are ``{"id", "outputs"}`` or ``{"id", "error"}`` (the error
+is the worker's exception instance, re-raised client-side).  Replies are
+out of order — priority scheduling reorders requests by design — so the id
+is the correlation key.  Pickle over a socket means the daemon trusts its
+clients; it binds loopback by default and is a serving tier, not an
+authentication tier.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .dispatch import DispatchError, EngineDispatcher
+
+__all__ = ["ServingDaemon", "DaemonClient"]
+
+_LENGTH = struct.Struct(">Q")
+
+#: Refuse frames above this size instead of allocating attacker-controlled
+#: amounts of memory on a garbage length prefix.
+MAX_FRAME_BYTES = 1 << 31
+
+
+def _send_frame(sock: socket.socket, message: object) -> None:
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            return None  # orderly EOF
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[object]:
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        return None
+    return pickle.loads(blob)
+
+
+class ServingDaemon:
+    """Accept request streams on a TCP socket, serve them via worker processes.
+
+    Args:
+        artifact_path: the ``.neocpu`` artifact the worker fleet serves.
+        num_workers: worker-process count.
+        host: bind address; loopback by default (the protocol is pickle).
+        port: bind port; 0 picks a free one (read :attr:`address`).
+        engine_kwargs: forwarded to every worker's ``load_engine``.
+    """
+
+    def __init__(
+        self,
+        artifact_path: "str | Path",
+        num_workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine_kwargs: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.dispatcher = EngineDispatcher(
+            artifact_path, num_workers=num_workers, engine_kwargs=engine_kwargs
+        )
+        try:
+            self._sock = socket.create_server((host, port))
+        except BaseException:
+            self.dispatcher.close()
+            raise
+        self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conns: List[socket.socket] = []
+        self._threads: List[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle --------------------------------------------------------- #
+    def start(self) -> "ServingDaemon":
+        """Start accepting connections on a background thread; returns self."""
+        thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="repro-serve-accept"
+        )
+        with self._lock:
+            if self._closed:
+                raise DispatchError("daemon is closed")
+            if self._accept_thread is not None:
+                return self
+            self._accept_thread = thread
+        thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread (what the CLI does)."""
+        self._accept_loop()
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _peer = self._sock.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                daemon=True,
+                name="repro-serve-conn",
+            )
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._conns.append(conn)
+                self._threads.append(thread)
+            thread.start()
+
+    # -- per-connection service -------------------------------------------- #
+    def _serve_connection(self, conn: socket.socket) -> None:
+        send_lock = threading.Lock()
+
+        def _reply(request_id: int, future: "Future") -> None:
+            error = future.exception()
+            if error is not None:
+                message = {"id": request_id, "error": error}
+            else:
+                message = {"id": request_id, "outputs": future.result()}
+            with send_lock:
+                try:
+                    _send_frame(conn, message)
+                except (OSError, ValueError, pickle.PicklingError):
+                    conn.close()  # client gone mid-reply: drop the stream
+
+        try:
+            while True:
+                try:
+                    request = _recv_frame(conn)
+                except (OSError, ValueError, pickle.UnpicklingError, EOFError):
+                    return  # torn frame or reset: drop the connection
+                if request is None:
+                    return  # client closed its end
+                request_id = request.get("id")
+                try:
+                    future = self.dispatcher.submit(
+                        request["inputs"],
+                        timeout_ms=request.get("timeout_ms"),
+                        priority=request.get("priority"),
+                    )
+                except BaseException as exc:  # reported to the client, not dropped
+                    with send_lock:
+                        _send_frame(conn, {"id": request_id, "error": exc})
+                    continue
+                future.add_done_callback(
+                    lambda f, request_id=request_id: _reply(request_id, f)
+                )
+        finally:
+            conn.close()
+
+    # -- teardown ---------------------------------------------------------- #
+    def close(self) -> None:
+        """Stop accepting, drop client connections, drain the worker fleet."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns)
+            accept_thread = self._accept_thread
+        self._sock.close()
+        for conn in conns:
+            conn.close()
+        if accept_thread is not None:
+            accept_thread.join(5.0)
+        self.dispatcher.close()
+
+    def __enter__(self) -> "ServingDaemon":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class DaemonClient:
+    """Client for :class:`ServingDaemon`: async ``submit``, sync ``run``.
+
+    A background reader thread matches out-of-order replies to their
+    futures by request id, so many requests can be in flight on one
+    connection — that is how mixed-priority streams are meant to be pushed.
+    """
+
+    def __init__(self, host: str, port: int, connect_timeout_s: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout_s)
+        self._sock.settimeout(None)
+        self._lock = threading.Lock()
+        self._inflight: Dict[int, "Future"] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._reader_loop, daemon=True, name="repro-client-reader"
+        )
+        self._reader.start()
+
+    def _reader_loop(self) -> None:
+        while True:
+            try:
+                message = _recv_frame(self._sock)
+            except (OSError, ValueError, pickle.UnpicklingError, EOFError):
+                message = None
+            if message is None:
+                break
+            with self._lock:
+                future = self._inflight.pop(message["id"], None)
+            if future is None:
+                continue  # reply for a request we gave up on
+            error = message.get("error")
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(message["outputs"])
+        with self._lock:
+            orphans = list(self._inflight.values())
+            self._inflight.clear()
+            closed = self._closed
+        if not closed:
+            for future in orphans:
+                future.set_exception(
+                    DispatchError("connection to serving daemon lost")
+                )
+
+    def submit(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
+    ) -> "Future[List[np.ndarray]]":
+        """Send one request; the future resolves when its reply arrives."""
+        future: "Future[List[np.ndarray]]" = Future()
+        with self._lock:
+            if self._closed:
+                raise DispatchError("client is closed")
+            request_id = self._next_id
+            self._next_id += 1
+            self._inflight[request_id] = future
+        message = {
+            "id": request_id,
+            "inputs": dict(inputs),
+            "priority": priority,
+            "timeout_ms": timeout_ms,
+        }
+        try:
+            with self._lock:
+                _send_frame(self._sock, message)
+        except (OSError, ValueError, pickle.PicklingError) as exc:
+            with self._lock:
+                self._inflight.pop(request_id, None)
+            raise DispatchError(f"send to serving daemon failed: {exc}") from exc
+        return future
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
+        result_timeout_s: Optional[float] = 300.0,
+    ) -> List[np.ndarray]:
+        """Synchronous :meth:`submit`; re-raises worker-side errors here."""
+        return self.submit(inputs, timeout_ms=timeout_ms, priority=priority).result(
+            timeout=result_timeout_s
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._sock.close()
+        self._reader.join(5.0)
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

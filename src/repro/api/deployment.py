@@ -56,13 +56,17 @@ from ..runtime.artifact import (
     bundle_fingerprint,
     compilation_fingerprint,
     graph_fingerprint,
+    live_pin_owners,
     load_member,
     load_source,
     manifest_targets,
     params_fingerprint,
     read_manifest,
+    remove_pin_file,
     save_bundle,
+    sweep_stale_pin_files,
     verify_artifact,
+    write_pin_file,
 )
 from ..runtime.module import CompiledModule
 from .engine import InferenceEngine
@@ -76,6 +80,7 @@ __all__ = [
     "load_engine",
     "module_fingerprint",
     "pinned_artifacts",
+    "cross_pinned_artifacts",
 ]
 
 ModelLike = Union[str, Graph]
@@ -128,6 +133,50 @@ def pinned_artifacts() -> "set[str]":
         return set(_PINS)
 
 
+# Cross-process pins: on top of the in-process registry above, the *first*
+# pin a process takes on an artifact also publishes a ``<artifact>.pin.<pid>``
+# file next to it (see :mod:`repro.runtime.artifact`), and the last release
+# removes it.  A ``repro.cli gc`` running in a *different* process checks
+# those pin files — validated for owner liveness — before every unlink, so
+# repository GC is safe to run unattended beside a live worker fleet.  The
+# per-process refcount below exists because pin files are per (artifact,
+# pid): two engines in one process must not drop the shared pin file when
+# the first of them closes.
+_CROSS_LOCK = threading.Lock()
+_CROSS_PINS: Dict[str, int] = {}
+
+
+def _acquire_cross_pin(path: "str | Path") -> None:
+    key = _pin_key(path)
+    with _CROSS_LOCK:
+        count = _CROSS_PINS.get(key, 0) + 1
+        _CROSS_PINS[key] = count
+        if count == 1:
+            # The pin file must appear while the lock is held: the refcount
+            # transition 0->1 and the file's existence are one atomic fact,
+            # or a racing release in another thread could observe count==1
+            # with no file yet and remove a pin it never saw.
+            write_pin_file(path)  # repro: noqa[REP004] -- pin count and pin file must transition together
+
+
+def _release_cross_pin(path: "str | Path") -> None:
+    key = _pin_key(path)
+    with _CROSS_LOCK:
+        count = _CROSS_PINS.get(key, 0) - 1
+        if count > 0:
+            _CROSS_PINS[key] = count
+        else:
+            _CROSS_PINS.pop(key, None)
+            # Same atomicity argument as _acquire_cross_pin, in reverse.
+            remove_pin_file(path)  # repro: noqa[REP004] -- pin count and pin file must transition together
+
+
+def cross_pinned_artifacts() -> "set[str]":
+    """Resolved paths this *process* is currently cross-process-pinning."""
+    with _CROSS_LOCK:
+        return set(_CROSS_PINS)
+
+
 def _unlink_unless_pinned(path: Path) -> str:
     """Atomically (w.r.t. the pin registry) delete an unpinned artifact.
 
@@ -135,11 +184,20 @@ def _unlink_unless_pinned(path: Path) -> str:
     concurrent :func:`load_engine` either pinned first (the file survives)
     or pins after the unlink (its load starts on an already-deleted file and
     fails cleanly) — there is no window where a load that pinned in time
-    loses its file mid-read.  Returns ``"pinned"``, ``"evicted"`` or
-    ``"missing"`` (someone else deleted it first).
+    loses its file mid-read.  The same contract holds across processes via
+    pin files: a loader elsewhere renames its pin into place *before* its
+    first read, so a pin that exists when this check runs keeps the file;
+    a loader that pins after the unlink fails cleanly on the missing file.
+    Returns ``"pinned"``, ``"evicted"`` or ``"missing"`` (someone else
+    deleted it first).
     """
     with _PIN_LOCK:
         if _pin_key(path) in _PINS:
+            return "pinned"
+        if live_pin_owners(path):
+            # Pinned by another process (a serving daemon's worker, a
+            # concurrent load): the pin file's owner is alive, so the
+            # artifact is in use even though this process never pinned it.
             return "pinned"
         try:
             # The unlink must happen under _PIN_LOCK: the pin-check and
@@ -685,8 +743,15 @@ def load_engine(
     # Pin before the first read: a concurrent repository GC sweep must see
     # this artifact as in-use for the whole load, not just once an engine
     # holds it — otherwise an over-budget sweep could unlink the file
-    # between the manifest read and the payload read.
+    # between the manifest read and the payload read.  The cross-process pin
+    # file goes down equally early so a GC sweep in *another* process obeys
+    # the same contract.
     pin_artifact(path)
+    try:
+        _acquire_cross_pin(path)
+    except BaseException:
+        release_artifact(path)
+        raise
     try:
         bundle = ArtifactBundle.load(path)
         entry, reason = bundle.select(host)
@@ -728,12 +793,18 @@ def load_engine(
 
         engine = InferenceEngine(module, params=params, seed=seed, **engine_kwargs)
     except BaseException:
+        _release_cross_pin(path)
         release_artifact(path)
         raise
     engine.artifact_path = path
     engine.host_match = reason
     engine.served_target = module.cpu.name
-    engine.add_close_hook(lambda: release_artifact(path))
+
+    def _release_pins() -> None:
+        _release_cross_pin(path)
+        release_artifact(path)
+
+    engine.add_close_hook(_release_pins)
     _touch(path)
     return engine
 
@@ -775,6 +846,7 @@ class GCReport:
     evicted: List[Path] = field(default_factory=list)
     kept: List[Path] = field(default_factory=list)
     pinned: List[Path] = field(default_factory=list)
+    stale_pins_removed: List[Path] = field(default_factory=list)
     dry_run: bool = False
 
     @property
@@ -798,6 +870,8 @@ class GCReport:
             lines.append(f"  {verb}: {path.name}")
         for path in self.pinned:
             lines.append(f"  pinned (in use): {path.name}")
+        for path in self.stale_pins_removed:
+            lines.append(f"  stale pin swept (owner gone): {path.name}")
         if self.over_budget:
             lines.append(
                 "  still over budget: every remaining artifact is pinned by a "
@@ -819,8 +893,10 @@ class ModelRepository:
     Eviction is least-recently-*used*: every artifact load (engine open,
     cache hit, rebuild hit) refreshes the file's mtime, and :meth:`gc`
     deletes oldest-first until the store fits ``max_bytes`` — skipping
-    artifacts pinned by live engines (see :func:`pin_artifact`) and
-    in-progress ``.tmp-*`` writes.  Deletion is whole-file ``unlink``, so a
+    artifacts pinned by live engines in this process (see
+    :func:`pin_artifact`) or any other (``<artifact>.pin.<pid>`` files with
+    a live owner) and in-progress ``.tmp-*`` writes.  Deletion is whole-file
+    ``unlink``, so a
     concurrent reader either sees an intact artifact or none at all, never a
     truncated one.
     """
@@ -909,17 +985,21 @@ class ModelRepository:
 
         Artifacts pinned by live engines are never deleted, even if the
         budget cannot be met without them (the report's ``over_budget`` flag
-        says so).  Safe to run concurrently with engine loads *in this
-        process*: :func:`load_engine` pins before its first read, pins are
-        checked per file immediately before its unlink, and a file that
-        vanishes underneath the sweep (a racing GC) is simply skipped.  The
-        pin registry is per-process — a ``repro.cli gc`` run next to
-        *separate* serving processes cannot see their pins, so unattended
-        cross-process GC needs external coordination (ROADMAP item).
+        says so).  Safe to run concurrently with engine loads in this
+        process *and in others*: :func:`load_engine` pins before its first
+        read (in-process registry plus a ``<artifact>.pin.<pid>`` file other
+        processes can see), pins are checked per file immediately before its
+        unlink, and a file that vanishes underneath the sweep (a racing GC)
+        is simply skipped.  Pin files whose owning process has died are
+        swept first — a crashed worker cannot exempt an artifact forever —
+        while a live owner's pin file is never touched by anyone but that
+        owner.
 
         Args:
             max_bytes: byte budget for ``modules/``; must be >= 0.
-            dry_run: report what would be evicted without deleting.
+            dry_run: report what would be evicted without deleting (stale
+                pin files are still swept — they are bookkeeping for dead
+                processes, not artifacts).
         """
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
@@ -935,6 +1015,8 @@ class ModelRepository:
             entries.append((stat.st_mtime, stat.st_size, path))
         entries.sort()  # oldest first
         report = GCReport(max_bytes=max_bytes, dry_run=dry_run)
+        if self.modules_dir.is_dir():
+            report.stale_pins_removed = sweep_stale_pin_files(self.modules_dir)
         total = sum(size for _, size, _ in entries)
         report.total_bytes_before = total
         for _, size, path in entries:
@@ -942,7 +1024,7 @@ class ModelRepository:
                 report.kept.append(path)
                 continue
             if dry_run:
-                if _pin_key(path) in pinned_artifacts():
+                if _pin_key(path) in pinned_artifacts() or live_pin_owners(path):
                     report.pinned.append(path)
                 else:
                     total -= size

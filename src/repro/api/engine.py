@@ -143,6 +143,14 @@ class InferenceEngine:
             parallelism, is the throughput lever there) and to the target's
             core count (capped at 8) for non-batchable graphs, whose only
             overlap is concurrent executor passes.
+        priority_weights: request classes and their weighted-fair service
+            weights (default
+            :data:`~repro.api.scheduler.DEFAULT_PRIORITY_WEIGHTS`:
+            interactive 8, normal 4, bulk 1).  Every serving entry point
+            accepts ``priority=<class>``; classes are dispatched
+            weighted-fair and never share a batch.
+        default_priority: the class of requests submitted without an
+            explicit ``priority=``.
     """
 
     def __init__(
@@ -155,6 +163,8 @@ class InferenceEngine:
         batch_timeout_ms: "float | str" = 2.0,
         queue_depth: int = 256,
         num_workers: Optional[int] = None,
+        priority_weights: Optional[Mapping[str, float]] = None,
+        default_priority: Optional[str] = None,
     ) -> None:
         self.module = module
         self._executor = module.create_executor(params, seed)
@@ -190,6 +200,8 @@ class InferenceEngine:
         if num_workers is None:
             num_workers = 2 if self.batchable else min(8, module.cpu.num_cores)
         self.num_workers = num_workers
+        self.priority_weights = priority_weights
+        self.default_priority = default_priority
         self._buffers = BufferPool()
         self._scheduler: Optional[RequestScheduler] = None
         self._scheduler_lock = threading.Lock()
@@ -202,6 +214,7 @@ class InferenceEngine:
         self.served_target: Optional[str] = None
         self._close_hooks: List = []
         self._close_hooks_fired = False
+        self._close_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # scheduler plumbing
@@ -218,6 +231,8 @@ class InferenceEngine:
                         batch_timeout_ms=self.batch_timeout_ms,
                         queue_depth=self.queue_depth,
                         num_workers=self.num_workers,
+                        priority_weights=self.priority_weights,
+                        default_priority=self.default_priority,
                         signature=self._request_signature,
                         name=f"neocpu-{self.module.graph.name}",
                     )
@@ -342,6 +357,7 @@ class InferenceEngine:
         self,
         inputs: Mapping[str, np.ndarray],
         timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> List[np.ndarray]:
         """Serve one request: input-name -> array mapping, outputs as a list.
 
@@ -350,17 +366,35 @@ class InferenceEngine:
             timeout_ms: optional deadline; raises
                 :class:`~repro.api.DeadlineExceeded` when the request cannot
                 be dispatched in time.
+            priority: request class (``"interactive"``/``"normal"``/
+                ``"bulk"`` by default); latency-sensitive classes are
+                dispatched ahead of bulk by their weighted-fair share.
         """
-        return self.scheduler.run(inputs, timeout_ms=timeout_ms)
+        return self.scheduler.run(inputs, timeout_ms=timeout_ms, priority=priority)
 
     def run_single(self, **inputs: np.ndarray) -> np.ndarray:
         """Convenience wrapper returning the first output only."""
         return self.run(inputs)[0]
 
+    def submit(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
+    ):
+        """Enqueue one request without blocking; returns its future.
+
+        The asynchronous face of :meth:`run` (what the serving daemon's
+        workers use): the future resolves to the request's output list, or
+        to the original worker exception tagged with ``request_index``.
+        """
+        return self.scheduler.submit(inputs, timeout_ms=timeout_ms, priority=priority)
+
     def run_batch(
         self,
         requests: Sequence[Mapping[str, np.ndarray]],
         timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> List[List[np.ndarray]]:
         """Serve a request sequence; results in request order.
 
@@ -369,13 +403,16 @@ class InferenceEngine:
         re-raises its original worker exception with ``request_index`` set to
         its position in ``requests``.
         """
-        return self._collect(self.scheduler.submit_all(requests, timeout_ms=timeout_ms))
+        return self._collect(
+            self.scheduler.submit_all(requests, timeout_ms=timeout_ms, priority=priority)
+        )
 
     def serve_concurrent(
         self,
         requests: Sequence[Mapping[str, np.ndarray]],
         max_workers: Optional[int] = None,
         timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> List[List[np.ndarray]]:
         """Serve many requests concurrently through the scheduler.
 
@@ -389,6 +426,7 @@ class InferenceEngine:
                 yet (its pool is sized once, at creation); afterwards the
                 existing pool is used and the hint is ignored.
             timeout_ms: optional per-request deadline.
+            priority: request class shared by the whole stream.
         """
         if max_workers is not None and self._scheduler is None:
             with self._scheduler_lock:
@@ -396,7 +434,7 @@ class InferenceEngine:
                     self.num_workers = max(1, int(max_workers))
         if not requests:
             return []
-        return self.run_batch(requests, timeout_ms=timeout_ms)
+        return self.run_batch(requests, timeout_ms=timeout_ms, priority=priority)
 
     @staticmethod
     def _collect(futures) -> List[List[np.ndarray]]:
@@ -435,8 +473,16 @@ class InferenceEngine:
         finally:
             # Hooks release artifact pins: they must fire even if scheduler
             # shutdown raises, or the pinned file is GC-exempt forever.
-            if not self._close_hooks_fired:
+            # The test-and-set is atomic under _close_lock so concurrent
+            # close() calls cannot both claim the hooks (a double fire is a
+            # double pin release, making the artifact GC-eligible while a
+            # sibling engine still holds it).  Hooks themselves run outside
+            # the lock: they do file I/O (pin release), which must not block
+            # other closers.
+            with self._close_lock:
+                fire = not self._close_hooks_fired
                 self._close_hooks_fired = True
+            if fire:
                 for hook in self._close_hooks:
                     hook()
 

@@ -17,7 +17,15 @@ module is the real scheduler the ROADMAP called for:
   ``batch_timeout_ms`` for stragglers) into one executor pass over the
   stacked batch.  Per-request :class:`~concurrent.futures.Future` objects
   keep response order and error attribution exact: each caller observes only
-  its own result or its own exception (tagged with ``request_index``).
+  its own result or its own exception (tagged with ``request_index``);
+* **priority classes** — every request belongs to a class
+  (``"interactive"``, ``"normal"`` or ``"bulk"`` by default; the ``priority=``
+  knob on :meth:`RequestScheduler.submit` and every engine entry point), and
+  the queue is a :class:`~repro.runtime.threadpool.WeightedFairQueue`:
+  dispatch order across classes follows the configured weights (stride
+  scheduling — latency-sensitive traffic overtakes bulk backfill by its
+  weight ratio but can never starve it), while order *within* a class stays
+  strictly FIFO and batches never mix classes.
 
 The scheduler is deliberately engine-agnostic: it schedules *requests* and
 delegates execution to a ``runner`` callable that maps a list of compatible
@@ -33,20 +41,31 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..runtime.threadpool import BoundedQueue
+from ..runtime.threadpool import WeightedFairQueue
 
 __all__ = [
     "AdaptiveTimeout",
+    "DEFAULT_PRIORITY",
+    "DEFAULT_PRIORITY_WEIGHTS",
     "DeadlineExceeded",
     "RequestScheduler",
     "SchedulerStats",
     "request_signature",
 ]
+
+#: Default request classes and their weighted-fair service weights: a
+#: backlogged scheduler serves interactive traffic 8x as often as bulk (and
+#: 2x as often as normal), but every class always drains (stride scheduling
+#: is starvation-free).
+DEFAULT_PRIORITY_WEIGHTS = {"interactive": 8.0, "normal": 4.0, "bulk": 1.0}
+
+#: The class a request lands in when ``priority=`` is not given.
+DEFAULT_PRIORITY = "normal"
 
 
 class AdaptiveTimeout:
@@ -183,6 +202,9 @@ class SchedulerStats:
     batches: int = 0
     executed: int = 0
     max_batch_size: int = 0
+    #: requests handed to the runner, per priority class (coalescing quality
+    #: and fairness are judged per class).
+    executed_by_priority: Dict[str, int] = field(default_factory=dict)
 
     @property
     def in_flight(self) -> int:
@@ -196,14 +218,15 @@ class SchedulerStats:
 
 
 class _Request:
-    __slots__ = ("inputs", "future", "deadline", "index", "signature")
+    __slots__ = ("inputs", "future", "deadline", "index", "signature", "priority")
 
-    def __init__(self, inputs, future, deadline, index, signature) -> None:
+    def __init__(self, inputs, future, deadline, index, signature, priority) -> None:
         self.inputs = inputs
         self.future = future
         self.deadline = deadline
         self.index = index
         self.signature = signature
+        self.priority = priority
 
 
 def _attach_index(error: BaseException, index: int) -> BaseException:
@@ -236,6 +259,12 @@ class RequestScheduler:
         num_workers: worker threads executing dispatched batches.  Two by
             default so a batch can execute while the collector gathers the
             next one.
+        priority_weights: request classes and their weighted-fair service
+            weights (:data:`DEFAULT_PRIORITY_WEIGHTS` when omitted).  The
+            class set is fixed at construction; ``submit(priority=...)``
+            must name one of them.
+        default_priority: the class of requests submitted without an
+            explicit ``priority=`` (must be a ``priority_weights`` key).
         name: thread-name prefix, for debuggability of stress-test dumps.
     """
 
@@ -247,6 +276,8 @@ class RequestScheduler:
         batch_timeout_ms: "float | str | AdaptiveTimeout" = 2.0,
         queue_depth: int = 256,
         num_workers: int = 2,
+        priority_weights: Optional[Mapping[str, float]] = None,
+        default_priority: Optional[str] = None,
         signature: Callable[[Mapping[str, object]], Tuple] = request_signature,
         name: str = "neocpu-scheduler",
     ) -> None:
@@ -256,6 +287,20 @@ class RequestScheduler:
             raise ValueError("num_workers must be >= 1")
         self._runner = runner
         self.max_batch_size = max_batch_size
+        weights = dict(
+            DEFAULT_PRIORITY_WEIGHTS if priority_weights is None else priority_weights
+        )
+        if default_priority is None:
+            default_priority = (
+                DEFAULT_PRIORITY if DEFAULT_PRIORITY in weights else next(iter(weights))
+            )
+        if default_priority not in weights:
+            raise ValueError(
+                f"default_priority {default_priority!r} is not a declared "
+                f"request class (declared: {sorted(weights)})"
+            )
+        self.priority_weights = weights
+        self.default_priority = default_priority
         self.adaptive_timeout: Optional[AdaptiveTimeout] = None
         self._fixed_timeout_s = 0.0
         if isinstance(batch_timeout_ms, AdaptiveTimeout):
@@ -273,7 +318,7 @@ class RequestScheduler:
             self._fixed_timeout_s = batch_timeout_ms / 1e3
         self.queue_depth = queue_depth
         self._signature = signature
-        self._queue = BoundedQueue(queue_depth)
+        self._queue = WeightedFairQueue(queue_depth, weights)
         self._stats = SchedulerStats()
         self._stats_lock = threading.Lock()
         self._counter = itertools.count()
@@ -305,6 +350,7 @@ class RequestScheduler:
         self,
         inputs: Mapping[str, np.ndarray],
         timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> "Future[List[np.ndarray]]":
         """Enqueue one request; resolve its future when served.
 
@@ -315,6 +361,11 @@ class RequestScheduler:
                 still queued past the deadline), the future fails with
                 :class:`DeadlineExceeded`.  An already-executing request is
                 not interrupted.
+            priority: request class (a ``priority_weights`` key —
+                ``"interactive"``/``"normal"``/``"bulk"`` by default;
+                ``default_priority`` when omitted).  Classes are served
+                weighted-fair: latency-sensitive traffic overtakes bulk by
+                its weight ratio, bulk is never starved.
 
         Returns:
             A future resolving to the request's output list.  Failures carry
@@ -322,18 +373,30 @@ class RequestScheduler:
         """
         if self._closed:
             raise RuntimeError("scheduler is closed")
+        if priority is None:
+            priority = self.default_priority
+        elif priority not in self.priority_weights:
+            raise ValueError(
+                f"unknown priority {priority!r} "
+                f"(declared: {sorted(self.priority_weights)})"
+            )
         future: "Future[List[np.ndarray]]" = Future()
         now = time.monotonic()
         if self.adaptive_timeout is not None:
             self.adaptive_timeout.observe(now)
         deadline = now + timeout_ms / 1e3 if timeout_ms is not None else None
         request = _Request(
-            inputs, future, deadline, next(self._counter), self._signature(inputs)
+            inputs,
+            future,
+            deadline,
+            next(self._counter),
+            self._signature(inputs),
+            priority,
         )
         with self._stats_lock:
             self._stats.queued += 1
         queue_timeout = None if deadline is None else max(0.0, deadline - now)
-        if not self._queue.put(request, timeout=queue_timeout):
+        if not self._queue.put(request, priority, timeout=queue_timeout):
             if self._queue.closed:
                 self._resolve_error(
                     request, RuntimeError("scheduler closed while request queued")
@@ -346,22 +409,31 @@ class RequestScheduler:
         self,
         requests: Sequence[Mapping[str, np.ndarray]],
         timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> List["Future[List[np.ndarray]]"]:
         """Enqueue a request stream; one future per request, in order."""
-        return [self.submit(request, timeout_ms=timeout_ms) for request in requests]
+        return [
+            self.submit(request, timeout_ms=timeout_ms, priority=priority)
+            for request in requests
+        ]
 
     def run(
         self,
         inputs: Mapping[str, np.ndarray],
         timeout_ms: Optional[float] = None,
+        priority: Optional[str] = None,
     ) -> List[np.ndarray]:
         """Submit one request and block for its outputs."""
-        return self.submit(inputs, timeout_ms=timeout_ms).result()
+        return self.submit(inputs, timeout_ms=timeout_ms, priority=priority).result()
 
     def stats(self) -> SchedulerStats:
         """A consistent snapshot of the scheduler counters."""
         with self._stats_lock:
-            return replace(self._stats)
+            snapshot = replace(self._stats)
+            # replace() copies shallowly: snapshot the per-class dict too, or
+            # the caller's "snapshot" keeps mutating under later dispatches.
+            snapshot.executed_by_priority = dict(self._stats.executed_by_priority)
+            return snapshot
 
     # ------------------------------------------------------------------ #
     # collector / execution side
@@ -369,8 +441,9 @@ class RequestScheduler:
     def _collect_loop(self) -> None:
         while True:
             # Blocking get: close() wakes the wait, so an idle scheduler
-            # parks here without polling.
-            request = self._queue.get()
+            # parks here without polling.  The weighted-fair queue picks the
+            # next request class by stride order; within the class, FIFO.
+            request, _ = self._queue.get()
             if request is None:
                 if self._queue.closed and not len(self._queue):
                     return
@@ -391,16 +464,20 @@ class RequestScheduler:
     def _gather(self, batch: List[_Request]) -> None:
         """Coalesce consecutive compatible requests into ``batch``.
 
-        Strict FIFO: only the queue head is ever considered, so an
-        incompatible request never overtakes (or is overtaken by) the batch
-        being formed — response *dispatch* order is submission order.
+        Per-class strict FIFO: only the head of the *batch's own class* is
+        ever considered, so an incompatible request never overtakes (or is
+        overtaken by) the batch being formed within its class, and a batch
+        never mixes priority classes — bulk backfill cannot ride along in
+        (and thereby delay) an interactive dispatch.
         """
         signature = batch[0].signature
         wait_until = time.monotonic() + self.batch_timeout_s
         while len(batch) < self.max_batch_size:
             remaining = wait_until - time.monotonic()
             request, status = self._queue.pop_matching(
-                lambda r: r.signature == signature, timeout=max(0.0, remaining)
+                batch[0].priority,
+                lambda r: r.signature == signature,
+                timeout=max(0.0, remaining),
             )
             if request is not None:
                 batch.append(request)
@@ -421,12 +498,7 @@ class RequestScheduler:
                     self._stats.failed += 1
         if not live:
             return
-        with self._stats_lock:
-            self._stats.batches += 1
-            self._stats.executed += len(live)
-            self._stats.max_batch_size = max(self._stats.max_batch_size, len(live))
-            if len(live) > 1:
-                self._stats.batched += len(live)
+        self._count_dispatch(live)
         try:
             outputs = self._runner([request.inputs for request in live])
             if len(outputs) != len(live):
@@ -454,7 +526,26 @@ class RequestScheduler:
             for request, out in zip(live, outputs):
                 self._resolve_ok(request, out)
 
+    def _count_dispatch(self, live: List[_Request]) -> None:
+        """Account one runner dispatch of ``live`` in the stats."""
+        with self._stats_lock:
+            self._stats.batches += 1
+            self._stats.executed += len(live)
+            self._stats.max_batch_size = max(self._stats.max_batch_size, len(live))
+            if len(live) > 1:
+                self._stats.batched += len(live)
+            for request in live:
+                self._stats.executed_by_priority[request.priority] = (
+                    self._stats.executed_by_priority.get(request.priority, 0)
+                    + 1
+                )
+
     def _execute_single(self, request: _Request) -> None:
+        # A serial re-run after a batch failure is a real runner dispatch:
+        # count it, or ``executed``/``mean_batch_size`` under-report actual
+        # runner calls (the failed batch counted once, then N re-runs ran
+        # invisibly).
+        self._count_dispatch([request])
         try:
             outputs = self._runner([request.inputs])
         except BaseException as error:

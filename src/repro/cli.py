@@ -13,6 +13,8 @@ Subcommands::
     gc --max-bytes N [--dry-run]             LRU-evict down to a byte budget
     check ARTIFACT [--host TARGET]           load on a host, serve a probe
                                              request, print the output digest
+    serve ARTIFACT --workers N [--port P]    multi-process serving daemon on
+                                             a TCP socket (see repro.api.daemon)
     analyze [PATHS...] [--format json]       lint source trees against the
                                              stack's conventions (REP001..)
 
@@ -164,6 +166,36 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .api.daemon import ServingDaemon
+
+    repository = _repository(args)
+    path = repository.resolve(args.artifact)
+    engine_kwargs = {}
+    if args.host:
+        engine_kwargs["host"] = args.host
+    if args.max_batch_size is not None:
+        engine_kwargs["max_batch_size"] = args.max_batch_size
+    daemon = ServingDaemon(
+        path,
+        num_workers=args.workers,
+        host=args.bind,
+        port=args.port,
+        engine_kwargs=engine_kwargs,
+    )
+    host, port = daemon.address
+    # One parseable line, flushed before serving: scripts (and the CI daemon
+    # job) read the bound port from here.
+    print(f"serving {path.name} on {host}:{port} with {args.workers} worker(s)", flush=True)
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass  # SIGINT is the intended foreground shutdown
+    finally:
+        daemon.close()
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     # Delegate to the python -m repro.analysis front end so both entry
     # points accept the same flags and exit codes.
@@ -272,6 +304,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--batch", type=int, default=1, help="probe batch extent (default 1)"
     )
     check_cmd.set_defaults(run=_cmd_check)
+
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="serve an artifact from N worker processes over a TCP socket",
+    )
+    serve_cmd.add_argument("artifact", help="artifact name or path")
+    serve_cmd.add_argument(
+        "--workers", type=int, default=2, help="worker-process count (default 2)"
+    )
+    serve_cmd.add_argument(
+        "--bind", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; the protocol is pickle — "
+        "keep it loopback unless the network is trusted)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0: pick a free port, printed on stdout)",
+    )
+    serve_cmd.add_argument(
+        "--host",
+        help="CPU target the workers serve on (default: auto-detect)",
+    )
+    serve_cmd.add_argument(
+        "--max-batch-size", type=int, default=None,
+        help="per-worker dynamic-batching cap (default: engine default)",
+    )
+    serve_cmd.set_defaults(run=_cmd_serve)
 
     analyze_cmd = commands.add_parser(
         "analyze",

@@ -26,6 +26,7 @@ from .threadpool import (
     BufferPool,
     SPSCQueue,
     ThreadPool,
+    WeightedFairQueue,
     parallel_for,
     static_partition,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "StaleArtifactError",
     "ThreadPool",
     "Timer",
+    "WeightedFairQueue",
     "bundle_fingerprint",
     "compilation_fingerprint",
     "format_report",

@@ -76,6 +76,14 @@ __all__ = [
     "load_module",
     "load_source",
     "verify_artifact",
+    "PIN_INFIX",
+    "pin_file_path",
+    "write_pin_file",
+    "remove_pin_file",
+    "pid_alive",
+    "pin_file_owners",
+    "live_pin_owners",
+    "sweep_stale_pin_files",
 ]
 
 #: Version of the artifact container written by this code; bumped when the
@@ -617,3 +625,141 @@ def verify_artifact(path: "str | Path", deep: bool = False) -> "list[str]":
     # only proves the manifest parses; the deep unpickle above is the only
     # real integrity evidence.)
     return problems
+
+
+# --------------------------------------------------------------------------- #
+# cross-process pin files
+# --------------------------------------------------------------------------- #
+#: Separator between an artifact's filename and the owning pid in a pin file:
+#: ``model.neocpu`` pinned by pid 4242 is shadowed by ``model.neocpu.pin.4242``.
+PIN_INFIX = ".pin."
+
+
+def pin_file_path(artifact: "str | Path", pid: Optional[int] = None) -> Path:
+    """The pin file that marks ``artifact`` as in use by process ``pid``.
+
+    Pin files are siblings of the artifact (same directory), so a repository
+    sweep sees artifact and pins in one ``iterdir`` pass, and deleting the
+    repository deletes its pins with it.  ``pid`` defaults to the calling
+    process.
+    """
+    artifact = Path(artifact)
+    if pid is None:
+        pid = os.getpid()
+    return artifact.with_name(f"{artifact.name}{PIN_INFIX}{int(pid)}")
+
+
+def write_pin_file(artifact: "str | Path", pid: Optional[int] = None) -> Path:
+    """Pin ``artifact`` for ``pid`` (default: this process); returns the pin.
+
+    The pin is written write-then-rename so a concurrent sweep never observes
+    a half-written pin: it either sees no pin (artifact evictable) or a
+    complete one.  Re-pinning by the same pid is idempotent — the rename
+    simply replaces the previous pin.
+    """
+    artifact = Path(artifact)
+    pin = pin_file_path(artifact, pid)
+    # One writer per (artifact, pid) by construction, so a pid-suffixed tmp
+    # name cannot collide with another writer's.
+    tmp = pin.with_name(f"{pin.name}.tmp-{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(f"{int(pid if pid is not None else os.getpid())}\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, pin)
+    return pin
+
+
+def remove_pin_file(artifact: "str | Path", pid: Optional[int] = None) -> bool:
+    """Release ``pid``'s pin on ``artifact``; True if a pin was removed."""
+    pin = pin_file_path(artifact, pid)
+    try:
+        pin.unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a pin's owning process.
+
+    ``kill(pid, 0)`` delivers no signal, it only checks deliverability:
+    ``ProcessLookupError`` means the process is gone (its pins are stale),
+    ``PermissionError`` means it exists but belongs to another user (alive).
+    Non-positive pids are never probed — ``kill(0, ...)``/``kill(-n, ...)``
+    address process *groups*, not processes — and count as dead.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def pin_file_owners(artifact: "str | Path") -> "list[tuple[int, Path]]":
+    """Every pin file shadowing ``artifact``: ``(owning pid, pin path)`` pairs.
+
+    A pin file whose pid segment does not parse was not written by this
+    protocol; it is reported as pid ``-1`` (which :func:`pid_alive` treats as
+    dead, so sweeps reclaim it).
+    """
+    artifact = Path(artifact)
+    owners = []
+    prefix = artifact.name + PIN_INFIX
+    try:
+        siblings = list(artifact.parent.iterdir())
+    except OSError:
+        return []
+    for path in siblings:
+        name = path.name
+        if not name.startswith(prefix) or ".tmp-" in name:
+            continue
+        try:
+            pid = int(name[len(prefix):])
+        except ValueError:
+            pid = -1
+        owners.append((pid, path))
+    owners.sort()
+    return owners
+
+
+def live_pin_owners(artifact: "str | Path") -> "list[int]":
+    """Pids of live processes currently cross-process-pinning ``artifact``."""
+    return [pid for pid, _ in pin_file_owners(artifact) if pid_alive(pid)]
+
+
+def sweep_stale_pin_files(directory: "str | Path") -> "list[Path]":
+    """Remove pin files whose owning process is gone; returns what was removed.
+
+    Only dead-owner (and unparseable) pins are touched — a live process's pin
+    is never removed by anyone but that process.  Safe to run concurrently
+    with pinning: :func:`write_pin_file` renames complete pins into place, so
+    the sweep never sees a partial pin, and a pin appearing after the
+    ``iterdir`` snapshot is simply not considered this sweep.
+    """
+    directory = Path(directory)
+    removed = []
+    try:
+        snapshot = list(directory.iterdir())
+    except OSError:
+        return removed
+    for path in snapshot:
+        name = path.name
+        if PIN_INFIX not in name or ".tmp-" in name:
+            continue
+        try:
+            pid = int(name.rsplit(PIN_INFIX, 1)[1])
+        except ValueError:
+            pid = -1
+        if pid_alive(pid):
+            continue
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            continue  # raced with a concurrent sweep
+        removed.append(path)
+    return removed

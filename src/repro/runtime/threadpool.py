@@ -22,9 +22,9 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,7 @@ __all__ = [
     "BufferPool",
     "SPSCQueue",
     "ThreadPool",
+    "WeightedFairQueue",
     "parallel_for",
     "static_partition",
 ]
@@ -41,11 +42,13 @@ __all__ = [
 class SPSCQueue:
     """A single-producer single-consumer queue.
 
-    Only the scheduler thread pushes and only the owning worker pops, so a
+    The scheduler side pushes and only the owning worker pops, so a
     ``collections.deque`` (append/popleft are atomic under the GIL) gives the
     same progress guarantees the paper's lock-free queue provides, without a
     lock in the fast path.  A condition variable is used purely to let the
-    worker sleep when idle.
+    worker sleep when idle.  (Concurrent parallel regions mean several
+    scheduler threads may push; ``deque.append`` stays atomic under the GIL,
+    so the lock-free fast path survives the plural producers.)
     """
 
     def __init__(self) -> None:
@@ -59,16 +62,31 @@ class SPSCQueue:
             self._not_empty.notify()
 
     def pop(self, timeout: Optional[float] = None):
-        """Consumer side: dequeue a task, blocking while empty."""
+        """Consumer side: dequeue a task, blocking while empty.
+
+        The wait is deadline-based against ``time.monotonic()``: a spurious
+        wakeup, or a ``notify`` consumed by an earlier pop, re-enters the
+        wait with only the *remaining* budget, so ``pop(timeout=t)`` raises
+        :class:`TimeoutError` no earlier and not appreciably later than
+        ``t`` seconds after the call (it used to restart the full wait on
+        every loop iteration, and to raise early when a wakeup raced an
+        empty queue).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             try:
                 return self._items.popleft()
             except IndexError:
                 with self._not_empty:
-                    if not self._items:
-                        self._not_empty.wait(timeout)
-                        if timeout is not None and not self._items:
-                            raise TimeoutError("SPSC queue pop timed out") from None
+                    if self._items:
+                        continue
+                    if deadline is None:
+                        self._not_empty.wait(None)
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("SPSC queue pop timed out") from None
+                    self._not_empty.wait(remaining)
 
     def __len__(self) -> int:
         return len(self._items)
@@ -181,8 +199,173 @@ class BoundedQueue:
             return len(self._items)
 
 
+class WeightedFairQueue:
+    """A bounded MPSC queue with weighted-fair dequeue across request classes.
+
+    The serving scheduler's request queue, generalized from strict FIFO to
+    *per-class* FIFO: every request belongs to one of a fixed set of classes
+    (``weights`` keys — e.g. latency-sensitive ``"interactive"`` traffic vs.
+    ``"bulk"`` backfill), each class keeps its own FIFO, and the consumer's
+    :meth:`get` picks the next class by stride scheduling: the class with the
+    smallest virtual *pass* value is served and its pass advances by
+    ``1 / weight``.  Over any backlogged interval class service converges to
+    the weight ratio, and because the minimum pass always wins, no non-empty
+    class is ever starved — a flood of interactive traffic slows bulk down
+    by its weight ratio, never to zero.
+
+    A class whose queue was empty re-enters at the current virtual time
+    (``max(own pass, last served pass)``), so idling earns no credit: a
+    class cannot save up service while idle and then monopolize the
+    consumer.  Within one class, order is strictly FIFO — :meth:`pop_matching`
+    (the batching collector's gather step) only ever looks at *that class's*
+    head, so coalescing never reorders a class's stream.
+
+    The capacity bound spans all classes; like
+    :class:`BoundedQueue`, ``put`` blocking on a full queue is the
+    backpressure that keeps a burst from growing tail latency without bound.
+    """
+
+    def __init__(self, capacity: int, weights: Mapping[str, float]) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not weights:
+            raise ValueError("WeightedFairQueue needs at least one class")
+        for key, weight in weights.items():
+            if not weight > 0:
+                raise ValueError(f"class {key!r} weight must be > 0, got {weight}")
+        self.capacity = capacity
+        self.weights = {str(key): float(weight) for key, weight in weights.items()}
+        self._mutex = threading.Lock()
+        self._not_full = threading.Condition(self._mutex)
+        self._not_empty = threading.Condition(self._mutex)
+        self._queues: Dict[str, deque] = {key: deque() for key in self.weights}
+        self._pass: Dict[str, float] = {key: 0.0 for key in self.weights}
+        self._vtime = 0.0
+        self._size = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        with self._mutex:
+            return self._closed
+
+    def put(self, item, class_key: str, timeout: Optional[float] = None) -> bool:
+        """Enqueue ``item`` under ``class_key``, blocking while full.
+
+        Returns True on success, False when the queue stayed full past
+        ``timeout`` or was closed while waiting.  Unknown classes raise
+        ``KeyError`` — the class set is fixed at construction so the
+        consumer's scheduling state covers every queue.
+        """
+        if class_key not in self.weights:
+            raise KeyError(
+                f"unknown request class {class_key!r} "
+                f"(declared: {sorted(self.weights)})"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._mutex:
+            while self._size >= self.capacity:
+                if self._closed:
+                    return False
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._not_full.wait(remaining)
+            if self._closed:
+                return False
+            queue = self._queues[class_key]
+            if not queue:
+                # Re-entering service: no credit accrues while idle.
+                self._pass[class_key] = max(self._pass[class_key], self._vtime)
+            queue.append(item)
+            self._size += 1
+            self._not_empty.notify()
+            return True
+
+    def _select_class_locked(self) -> str:
+        """The non-empty class with the smallest pass value (caller holds lock)."""
+        best = None
+        for key, queue in self._queues.items():
+            if queue and (best is None or self._pass[key] < self._pass[best]):
+                best = key
+        assert best is not None, "selection requires a non-empty class"
+        return best
+
+    def get(self, timeout: Optional[float] = None):
+        """Dequeue by weighted-fair order: ``(item, class_key)``.
+
+        Returns ``(None, None)`` on timeout or when closed and drained.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._mutex:
+            while self._size == 0:
+                if self._closed:
+                    return None, None
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None, None
+                self._not_empty.wait(remaining)
+            key = self._select_class_locked()
+            item = self._queues[key].popleft()
+            self._size -= 1
+            self._vtime = self._pass[key]
+            self._pass[key] += 1.0 / self.weights[key]
+            self._not_full.notify()
+            return item, key
+
+    def pop_matching(
+        self,
+        class_key: str,
+        predicate: Callable[[object], bool],
+        timeout: Optional[float] = None,
+    ) -> Tuple[Optional[object], str]:
+        """Pop the head of ``class_key``'s queue only if the predicate holds.
+
+        The batching collector's gather step, scoped to the class of the
+        batch being formed: coalesce *consecutive* compatible requests of
+        one class, stop at the first incompatible one.  Returns
+        ``(item, "ok")`` on a match, ``(None, "mismatch")`` when the class
+        head exists but does not match (it stays queued, per-class FIFO
+        preserved), and ``(None, "empty")`` on timeout or close.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._mutex:
+            queue = self._queues[class_key]
+            while not queue:
+                if self._closed:
+                    return None, "empty"
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return None, "empty"
+                self._not_empty.wait(remaining)
+            if not predicate(queue[0]):
+                return None, "mismatch"
+            item = queue.popleft()
+            self._size -= 1
+            self._vtime = self._pass[class_key]
+            self._pass[class_key] += 1.0 / self.weights[class_key]
+            self._not_full.notify()
+            return item, "ok"
+
+    def close(self) -> None:
+        """Refuse further puts and wake every waiter; queued items stay readable."""
+        with self._mutex:
+            self._closed = True
+            self._not_full.notify_all()
+            self._not_empty.notify_all()
+
+    def depth(self, class_key: str) -> int:
+        """Queued items of one class (diagnostics)."""
+        with self._mutex:
+            return len(self._queues[class_key])
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return self._size
+
+
 class BufferPool:
-    """Reusable numpy buffers, keyed by (shape, dtype).
+    """Reusable numpy buffers, keyed by (shape, dtype), under a byte budget.
 
     The scheduler coalesces requests by concatenating their input arrays into
     one batch array per graph input; without reuse every dispatched batch
@@ -190,27 +373,69 @@ class BufferPool:
     buffers out per batch — concurrent batches of the same signature each get
     their own array, so an in-flight executor run never shares a buffer —
     and keeps up to ``max_free`` released buffers per key for the next batch.
+
+    Retention is bounded two ways: ``max_free`` buffers per key, and
+    ``max_bytes`` across *all* keys.  The byte budget is what keeps a
+    long-lived serving daemon healthy: a pool keyed only per shape retains
+    ``max_free`` staging arrays for every (batch size × input shape) ever
+    seen, which over days of varied traffic is an unbounded leak.  When a
+    release pushes the pool over budget, the least-recently-used keys are
+    evicted (their buffers dropped to the allocator) until it fits; a buffer
+    larger than the whole budget is simply not retained.
     """
 
-    def __init__(self, max_free: int = 4) -> None:
-        self._free: dict = {}
+    def __init__(self, max_free: int = 4, max_bytes: int = 128 * 1024 * 1024) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self._free: "OrderedDict[tuple, list]" = OrderedDict()
         self._mutex = threading.Lock()
         self._max_free = max_free
+        self._max_bytes = max_bytes
+        self._free_bytes = 0
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes currently retained across all free lists."""
+        with self._mutex:
+            return self._free_bytes
 
     def acquire(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
         key = (tuple(int(d) for d in shape), str(dtype))
         with self._mutex:
             stack = self._free.get(key)
             if stack:
-                return stack.pop()
+                buffer = stack.pop()
+                self._free_bytes -= buffer.nbytes
+                if stack:
+                    self._free.move_to_end(key)
+                else:
+                    del self._free[key]
+                return buffer
         return np.empty(key[0], dtype=key[1])
 
     def release(self, buffer: np.ndarray) -> None:
         key = (tuple(buffer.shape), str(buffer.dtype))
         with self._mutex:
-            stack = self._free.setdefault(key, [])
-            if len(stack) < self._max_free:
-                stack.append(buffer)
+            if self._max_free < 1 or buffer.nbytes > self._max_bytes:
+                return
+            stack = self._free.get(key)
+            if stack is None:
+                stack = self._free[key] = []
+            if len(stack) >= self._max_free:
+                self._free.move_to_end(key)
+                return
+            stack.append(buffer)
+            self._free_bytes += buffer.nbytes
+            self._free.move_to_end(key)
+            # LRU eviction: drop buffers of the least-recently-used keys
+            # until the pool fits the budget again (possibly evicting from
+            # this key itself when it alone exceeds the budget).
+            while self._free_bytes > self._max_bytes:
+                old_key, old_stack = next(iter(self._free.items()))
+                victim = old_stack.pop(0)
+                self._free_bytes -= victim.nbytes
+                if not old_stack:
+                    del self._free[old_key]
 
 
 @dataclass
@@ -224,6 +449,36 @@ class _PaddedCounter:
 
     value: int = 0
     _padding: Tuple[int, ...] = tuple(0 for _ in range(15))
+
+
+class _Region:
+    """Fork/join state for one parallel region.
+
+    Each :meth:`ThreadPool.parallel_for` call gets its *own* counter and
+    join event, carried inside every task it enqueues.  The state used to
+    live on the pool (one ``_done``/``_pending``/``_join_event`` triple
+    shared by every region), which silently assumed one region at a time:
+    two threads driving regions through one pool — exactly what the request
+    scheduler's ``num_workers=2`` executor passes do on a shared executor —
+    would reset each other's counters and trip each other's join events, so
+    one caller could return before its own chunks had run.  Per-region state
+    makes concurrent regions independent by construction; no region-wide
+    lock is held while chunks execute.
+    """
+
+    __slots__ = ("pending", "counter", "lock", "event")
+
+    def __init__(self, pending: int) -> None:
+        self.pending = pending
+        self.counter = _PaddedCounter()
+        self.lock = threading.Lock()
+        self.event = threading.Event()
+
+    def task_done(self) -> None:
+        with self.lock:
+            self.counter.value += 1
+            if self.counter.value >= self.pending:
+                self.event.set()
 
 
 def static_partition(total: int, num_parts: int) -> List[Tuple[int, int]]:
@@ -264,11 +519,7 @@ class ThreadPool:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
         self._queues = [SPSCQueue() for _ in range(num_workers)]
-        self._done = _PaddedCounter()
-        self._done_lock = threading.Lock()
-        self._join_event = threading.Event()
         self._shutdown = False
-        self._pending = 0
         pool_id = next(self._pool_counter)
         self._workers = [
             threading.Thread(
@@ -291,14 +542,11 @@ class ThreadPool:
             task = queue.pop()
             if task is None:  # shutdown sentinel
                 return
-            func, args = task
+            func, args, region = task
             try:
                 func(*args)
             finally:
-                with self._done_lock:
-                    self._done.value += 1
-                    if self._done.value >= self._pending:
-                        self._join_event.set()
+                region.task_done()
 
     # ------------------------------------------------------------------ #
     # scheduler side
@@ -310,6 +558,12 @@ class ThreadPool:
         OFMAP" loop of Algorithm 1.  The calling thread participates by
         executing the first chunk itself, mirroring the paper's scheduler
         thread which is also a worker.
+
+        Reentrancy-safe: every region carries its own :class:`_Region`
+        fork/join state, so concurrent ``parallel_for`` calls from different
+        threads (the scheduler's parallel executor passes share one pool)
+        never corrupt each other's join — each caller returns only after
+        *its own* chunks have all run.
         """
         if self._shutdown:
             raise RuntimeError("thread pool has been shut down")
@@ -317,15 +571,14 @@ class ThreadPool:
         if not chunks:
             return
         own_chunk, remote_chunks = chunks[0], chunks[1:]
-        self._join_event.clear()
-        with self._done_lock:
-            self._done.value = 0
-            self._pending = len(remote_chunks)
+        region = _Region(pending=len(remote_chunks))
         for worker_index, (start, stop) in enumerate(remote_chunks):
-            self._queues[worker_index % self.num_workers].push((body, (start, stop)))
+            self._queues[worker_index % self.num_workers].push(
+                (body, (start, stop), region)
+            )
         body(*own_chunk)
         if remote_chunks:
-            self._join_event.wait()
+            region.event.wait()
 
     def map(self, func: Callable[[int], object], items: Sequence) -> List[object]:
         """Apply ``func`` to every item, preserving order."""
@@ -343,8 +596,6 @@ class ThreadPool:
         if self._shutdown:
             return
         self._shutdown = True
-        with self._done_lock:
-            self._pending = 0
         for queue in self._queues:
             queue.push(None)
         for worker in self._workers:

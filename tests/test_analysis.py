@@ -1250,6 +1250,73 @@ class TestAtomicityRule:
         assert len(report.suppressed) == 1
 
 
+#: The `InferenceEngine.close` double-fire bug (ISSUE 8), reduced: a
+#: check-then-act on a flag that is never accessed under ANY lock in the
+#: class.  REP007 infers each field's guard from the locks actually held at
+#: its access sites — a field with zero locked accesses has no guard
+#: candidate, so the lockset analysis has nothing to compare against and
+#: the race is invisible to it.
+UNGUARDED_FLAG = """
+import threading
+
+class Closer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hooks = []
+        self._fired = False
+
+    def close(self):
+        if not self._fired:
+            self._fired = True
+            for hook in self._hooks:
+                hook()
+"""
+
+
+class TestAtomicityBlindSpot:
+    """Why REP007 missed the engine.close check-then-act (ISSUE 8).
+
+    Lockset inference is evidence-based: a guard is proposed for a field
+    only from locks observed held at its access sites.  `_close_hooks_fired`
+    was read and written with no lock anywhere, so there was no majority
+    guard to accuse the unlocked sites of violating — the rule is silent by
+    construction, not by bug.  These tests pin that boundary down: the
+    unguarded flag analyzes clean (the documented blind spot), and once
+    locked accesses form the majority the rule lights up (so the *fixed*
+    engine — which now takes `_close_lock` — stays inside REP007's sight).
+    """
+
+    def test_flag_never_locked_anywhere_is_invisible(self, tmp_path):
+        report = lint(
+            tmp_path, UNGUARDED_FLAG, [DataRaceRule(), AtomicityRule()]
+        )
+        assert report.findings == [], "\n" + report.render_text()
+
+    def test_majority_locked_access_creates_the_guard_candidate(self, tmp_path):
+        # Same class, three locked accesses added: locked sites are now the
+        # majority (3/5), so `_lock` becomes `_fired`'s inferred guard.
+        witnessed = UNGUARDED_FLAG + (
+            "\n"
+            "    def fired(self):\n"
+            "        with self._lock:\n"
+            "            return self._fired\n"
+            "\n"
+            "    def reset(self):\n"
+            "        with self._lock:\n"
+            "            self._fired = False\n"
+            "\n"
+            "    def mark(self):\n"
+            "        with self._lock:\n"
+            "            self._fired = True\n"
+        )
+        report = lint(tmp_path, witnessed, [DataRaceRule(), AtomicityRule()])
+        assert report.findings != [], (
+            "once locked sites are the majority, the lockset analysis has "
+            "its guard candidate and the unlocked check-then-act is exposed"
+        )
+        assert any("_fired" in f.message for f in report.findings)
+
+
 ESCAPING_INIT = """
 import threading
 

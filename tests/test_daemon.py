@@ -1,0 +1,376 @@
+"""Multi-process serving tier tests: pin files, dispatcher, socket daemon.
+
+The invariant this file defends (ISSUE 8 acceptance): repository GC running
+concurrently with live workers — in this process or any other — never
+unlinks a pinned artifact, while a dead process's pins never exempt an
+artifact forever.  Plus the serving contract: responses through the
+dispatcher and the socket daemon are byte-identical to in-process
+``InferenceEngine.run``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    EngineDispatcher,
+    ModelRepository,
+    WorkerCrashed,
+    build,
+    load_engine,
+)
+from repro.api.daemon import DaemonClient, ServingDaemon
+from repro.runtime.artifact import (
+    live_pin_owners,
+    pid_alive,
+    pin_file_owners,
+    pin_file_path,
+    remove_pin_file,
+    sweep_stale_pin_files,
+    write_pin_file,
+)
+
+from tests.conftest import build_tiny_cnn
+
+RESULT_TIMEOUT_S = 120.0
+
+#: A pid that is certainly not a live process: above the default Linux
+#: pid_max on most systems, and os.kill-probed before every use.
+DEAD_PID = 2**22 - 3
+
+
+def _certainly_dead_pid():
+    pid = DEAD_PID
+    while pid_alive(pid):  # pragma: no cover - astronomically unlikely
+        pid -= 1
+    return pid
+
+
+@pytest.fixture(scope="module")
+def repo(tmp_path_factory):
+    """A repository holding one tiny-cnn bundle plus the reference outputs."""
+    cache_dir = tmp_path_factory.mktemp("daemon-repo")
+    bundle = build(build_tiny_cnn(), ["skylake"], cache_dir=cache_dir, jobs=1)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, 3, 16, 16)).astype(np.float32)
+    with load_engine(bundle.path, host="skylake", seed=7) as engine:
+        expected = engine.run({"data": x})
+    return {
+        "cache_dir": cache_dir,
+        "artifact": bundle.path,
+        "x": x,
+        "expected": expected,
+    }
+
+
+ENGINE_KWARGS = {"host": "skylake", "seed": 7}
+
+
+# --------------------------------------------------------------------------- #
+# pin-file protocol (repro.runtime.artifact)
+# --------------------------------------------------------------------------- #
+class TestPinFileProtocol:
+    def test_pin_path_encodes_artifact_and_pid(self, tmp_path):
+        artifact = tmp_path / "m.neocpu"
+        assert pin_file_path(artifact, 42).name == "m.neocpu.pin.42"
+        assert pin_file_path(artifact).name == f"m.neocpu.pin.{os.getpid()}"
+
+    def test_write_is_complete_and_idempotent(self, tmp_path):
+        artifact = tmp_path / "m.neocpu"
+        artifact.write_bytes(b"payload")
+        pin = write_pin_file(artifact)
+        assert pin.exists()
+        assert pin.read_text().strip() == str(os.getpid())
+        assert write_pin_file(artifact) == pin  # re-pin replaces, no error
+        # write-then-rename leaves no tmp litter behind
+        assert [p.name for p in tmp_path.iterdir() if ".tmp-" in p.name] == []
+
+    def test_owners_and_liveness(self, tmp_path):
+        artifact = tmp_path / "m.neocpu"
+        artifact.write_bytes(b"payload")
+        write_pin_file(artifact)  # us: alive
+        dead = _certainly_dead_pid()
+        write_pin_file(artifact, pid=dead)
+        owners = dict(pin_file_owners(artifact))
+        assert set(owners) == {os.getpid(), dead}
+        assert live_pin_owners(artifact) == [os.getpid()]
+
+    def test_unparseable_pin_counts_as_stale(self, tmp_path):
+        artifact = tmp_path / "m.neocpu"
+        artifact.write_bytes(b"payload")
+        rogue = tmp_path / "m.neocpu.pin.not-a-pid"
+        rogue.write_text("?")
+        assert live_pin_owners(artifact) == []
+        removed = sweep_stale_pin_files(tmp_path)
+        assert rogue in removed and not rogue.exists()
+
+    def test_sweep_reclaims_dead_owners_only(self, tmp_path):
+        artifact = tmp_path / "m.neocpu"
+        artifact.write_bytes(b"payload")
+        live_pin = write_pin_file(artifact)
+        stale_pin = write_pin_file(artifact, pid=_certainly_dead_pid())
+        removed = sweep_stale_pin_files(tmp_path)
+        assert removed == [stale_pin]
+        assert live_pin.exists(), "a live owner's pin is never swept"
+        assert remove_pin_file(artifact) is True
+        assert remove_pin_file(artifact) is False
+
+    def test_pid_alive_never_probes_process_groups(self):
+        assert pid_alive(0) is False
+        assert pid_alive(-1) is False
+        assert pid_alive(os.getpid()) is True
+
+
+# --------------------------------------------------------------------------- #
+# GC x cross-process pins (repro.api.deployment)
+# --------------------------------------------------------------------------- #
+class TestGCWithCrossProcessPins:
+    def test_load_engine_pins_and_close_unpins(self, repo):
+        artifact = repo["artifact"]
+        with load_engine(artifact, **ENGINE_KWARGS) as engine:
+            assert os.getpid() in live_pin_owners(artifact)
+            assert engine.artifact_path == artifact
+        assert os.getpid() not in live_pin_owners(artifact)
+
+    def test_pin_file_is_refcounted_within_a_process(self, repo):
+        artifact = repo["artifact"]
+        first = load_engine(artifact, **ENGINE_KWARGS)
+        second = load_engine(artifact, **ENGINE_KWARGS)
+        first.close()
+        assert os.getpid() in live_pin_owners(artifact), (
+            "closing one of two engines must not drop the shared pin file"
+        )
+        second.close()
+        assert os.getpid() not in live_pin_owners(artifact)
+
+    def test_gc_never_unlinks_an_artifact_with_a_live_foreign_pin(self, repo):
+        artifact = repo["artifact"]
+        # Simulate another process's pin with our own (definitely live) pid
+        # written directly, bypassing the in-process registry entirely.
+        write_pin_file(artifact)
+        try:
+            report = ModelRepository(repo["cache_dir"]).gc(max_bytes=0)
+            assert artifact.exists()
+            assert artifact in report.pinned
+            assert report.over_budget
+        finally:
+            remove_pin_file(artifact)
+
+    def test_gc_reclaims_artifact_after_owner_dies(self, repo, tmp_path):
+        repository = ModelRepository(tmp_path)
+        repository.modules_dir.mkdir(parents=True)
+        victim = repository.modules_dir / "crashed-worker.neocpu"
+        victim.write_bytes(b"x" * 128)
+        stale = write_pin_file(victim, pid=_certainly_dead_pid())
+        report = repository.gc(max_bytes=0)
+        assert stale in report.stale_pins_removed
+        assert victim in report.evicted and not victim.exists()
+
+    def test_gc_dry_run_respects_foreign_pins(self, repo):
+        artifact = repo["artifact"]
+        write_pin_file(artifact)
+        try:
+            report = ModelRepository(repo["cache_dir"]).gc(max_bytes=0, dry_run=True)
+            assert artifact in report.pinned and artifact.exists()
+        finally:
+            remove_pin_file(artifact)
+
+    def test_gc_in_a_separate_process_respects_this_processes_pin(self, repo):
+        """The actual cross-process contract: a `repro.cli gc` subprocess
+        cannot see our in-process registry — only the pin file keeps the
+        artifact alive."""
+        artifact = repo["artifact"]
+        src_root = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ, REPRO_CACHE_DIR=str(repo["cache_dir"]))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + [p for p in (env.get("PYTHONPATH"),) if p]
+        )
+        with load_engine(artifact, **ENGINE_KWARGS):
+            result = subprocess.run(
+                [sys.executable, "-m", "repro.cli", "gc", "--max-bytes", "0"],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=120,
+            )
+            assert result.returncode == 2, result.stderr  # over budget: all pinned
+            assert "pinned" in result.stdout
+            assert artifact.exists()
+        # Engine closed: the same sweep now evicts it... on a copy, so the
+        # module-scoped bundle survives for other tests.
+
+
+# --------------------------------------------------------------------------- #
+# dispatcher: round trip, priorities, crash isolation, GC storm
+# --------------------------------------------------------------------------- #
+class TestEngineDispatcher:
+    def test_round_trip_byte_identical_across_workers(self, repo):
+        with EngineDispatcher(
+            repo["artifact"], num_workers=2, engine_kwargs=ENGINE_KWARGS
+        ) as dispatcher:
+            futures = [
+                dispatcher.submit(
+                    {"data": repo["x"]},
+                    priority=["interactive", "normal", "bulk"][i % 3],
+                )
+                for i in range(12)
+            ]
+            for future in futures:
+                outputs = future.result(timeout=RESULT_TIMEOUT_S)
+                np.testing.assert_array_equal(outputs[0], repo["expected"][0])
+
+    def test_unknown_priority_rejected_before_dispatch(self, repo):
+        with EngineDispatcher(
+            repo["artifact"], num_workers=1, engine_kwargs=ENGINE_KWARGS
+        ) as dispatcher:
+            with pytest.raises(ValueError, match="priority"):
+                dispatcher.submit({"data": repo["x"]}, priority="vip")
+
+    def test_worker_crash_fails_over_and_leaves_a_stale_pin(self, repo):
+        artifact = repo["artifact"]
+        dispatcher = EngineDispatcher(
+            artifact, num_workers=2, engine_kwargs=ENGINE_KWARGS
+        )
+        try:
+            # Both workers up and pinned.
+            deadline = time.monotonic() + 60
+            while len(live_pin_owners(artifact)) < 2:
+                assert time.monotonic() < deadline, "workers never pinned"
+                time.sleep(0.05)
+            victim_pid = dispatcher.worker_pids()[0]
+            os.kill(victim_pid, signal.SIGKILL)
+            deadline = time.monotonic() + 60
+            while dispatcher.live_workers() != 1:
+                assert time.monotonic() < deadline, "crash never detected"
+                time.sleep(0.05)
+            # The fleet keeps serving through the survivor.
+            outputs = dispatcher.run(
+                {"data": repo["x"]}, result_timeout_s=RESULT_TIMEOUT_S
+            )
+            np.testing.assert_array_equal(outputs[0], repo["expected"][0])
+            # The dead worker's pin is stale; GC sweeps it but keeps the
+            # artifact (the survivor's pin is live).
+            assert victim_pid not in live_pin_owners(artifact)
+            report = ModelRepository(repo["cache_dir"]).gc(max_bytes=0)
+            assert pin_file_path(artifact, victim_pid) in report.stale_pins_removed
+            assert artifact.exists() and artifact in report.pinned
+        finally:
+            dispatcher.close()
+
+    def test_submit_after_close_is_refused(self, repo):
+        dispatcher = EngineDispatcher(
+            repo["artifact"], num_workers=1, engine_kwargs=ENGINE_KWARGS
+        )
+        dispatcher.close()
+        with pytest.raises(Exception):
+            dispatcher.submit({"data": repo["x"]})
+
+    def test_gc_storm_beside_live_worker_fleet(self, repo):
+        """Acceptance: hammer `gc(max_bytes=0)` from multiple threads while
+        the fleet serves a mixed-priority stream — zero failed requests and
+        the artifact survives every sweep."""
+        artifact = repo["artifact"]
+        repository = ModelRepository(repo["cache_dir"])
+        stop = threading.Event()
+        gc_errors = []
+
+        def storm():
+            while not stop.is_set():
+                try:
+                    report = repository.gc(max_bytes=0)
+                    if artifact in report.evicted:
+                        gc_errors.append("gc evicted a pinned artifact")
+                        return
+                except Exception as error:  # pragma: no cover - failure path
+                    gc_errors.append(repr(error))
+                    return
+
+        with EngineDispatcher(
+            artifact, num_workers=2, engine_kwargs=ENGINE_KWARGS
+        ) as dispatcher:
+            deadline = time.monotonic() + 60
+            while len(live_pin_owners(artifact)) < 2:
+                assert time.monotonic() < deadline, "workers never pinned"
+                time.sleep(0.05)
+            storms = [threading.Thread(target=storm, daemon=True) for _ in range(3)]
+            for thread in storms:
+                thread.start()
+            try:
+                futures = [
+                    dispatcher.submit(
+                        {"data": repo["x"]},
+                        priority=["interactive", "bulk"][i % 2],
+                    )
+                    for i in range(24)
+                ]
+                failed = 0
+                for future in futures:
+                    outputs = future.result(timeout=RESULT_TIMEOUT_S)
+                    np.testing.assert_array_equal(outputs[0], repo["expected"][0])
+            finally:
+                stop.set()
+                for thread in storms:
+                    thread.join(timeout=30)
+        assert gc_errors == []
+        assert failed == 0
+        assert artifact.exists(), "a pinned artifact must survive the GC storm"
+
+
+# --------------------------------------------------------------------------- #
+# socket daemon: wire round trip
+# --------------------------------------------------------------------------- #
+class TestServingDaemon:
+    def test_socket_round_trip_byte_identical(self, repo):
+        with ServingDaemon(
+            repo["artifact"], num_workers=2, engine_kwargs=ENGINE_KWARGS
+        ) as daemon:
+            daemon.start()
+            host, port = daemon.address
+            with DaemonClient(host, port) as client:
+                futures = [
+                    client.submit(
+                        {"data": repo["x"]},
+                        priority=["interactive", "normal", "bulk"][i % 3],
+                    )
+                    for i in range(9)
+                ]
+                for future in futures:
+                    outputs = future.result(timeout=RESULT_TIMEOUT_S)
+                    np.testing.assert_array_equal(outputs[0], repo["expected"][0])
+
+    def test_worker_side_errors_reach_the_client(self, repo):
+        with ServingDaemon(
+            repo["artifact"], num_workers=1, engine_kwargs=ENGINE_KWARGS
+        ) as daemon:
+            daemon.start()
+            host, port = daemon.address
+            with DaemonClient(host, port) as client:
+                with pytest.raises(ValueError, match="priority"):
+                    client.run({"data": repo["x"]}, priority="vip")
+                with pytest.raises(Exception):
+                    # wrong input name: the worker's engine rejects it and
+                    # the original exception crosses the wire
+                    client.run({"wrong": repo["x"]})
+                # the connection is still healthy afterwards
+                outputs = client.run({"data": repo["x"]})
+                np.testing.assert_array_equal(outputs[0], repo["expected"][0])
+
+    def test_daemon_close_releases_every_worker_pin(self, repo):
+        artifact = repo["artifact"]
+        daemon = ServingDaemon(
+            artifact, num_workers=2, engine_kwargs=ENGINE_KWARGS
+        ).start()
+        deadline = time.monotonic() + 60
+        while len(live_pin_owners(artifact)) < 2:
+            assert time.monotonic() < deadline, "workers never pinned"
+            time.sleep(0.05)
+        daemon.close()
+        assert pin_file_owners(artifact) == []

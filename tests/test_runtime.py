@@ -15,6 +15,7 @@ from repro.runtime import (
     SPSCQueue,
     ThreadPool,
     Timer,
+    WeightedFairQueue,
     format_report,
     initialize_parameters,
     static_partition,
@@ -293,3 +294,246 @@ class TestProfilerAndModule:
         assert "CompiledModule" in module.summary()
         out = module.run({"data": tiny_input}, seed=1)[0]
         assert out.shape == (1, 10)
+
+
+# --------------------------------------------------------------------------- #
+# ISSUE 8 regressions: SPSC deadline, buffer budget, region isolation, WFQ
+# --------------------------------------------------------------------------- #
+class TestSPSCQueueDeadline:
+    def test_spurious_notify_does_not_raise_early(self):
+        """Regression: pop(timeout) is one monotonic deadline, so a notify
+        that carries no item (a consumer racing a prior pop) must neither
+        raise TimeoutError early nor reset the wait window."""
+        queue = SPSCQueue()
+        started = time.monotonic()
+        poker = threading.Thread(
+            target=lambda: [
+                (time.sleep(0.02), queue._not_empty.__enter__(),
+                 queue._not_empty.notify_all(), queue._not_empty.__exit__(None, None, None))
+                for _ in range(10)
+            ],
+            daemon=True,
+        )
+        poker.start()
+        with pytest.raises(TimeoutError):
+            queue.pop(timeout=0.4)
+        elapsed = time.monotonic() - started
+        poker.join()
+        assert elapsed >= 0.35, f"raised early after {elapsed:.3f}s"
+        assert elapsed < 5.0, f"overslept the deadline: {elapsed:.3f}s"
+
+    def test_pop_returns_promptly_when_item_arrives_mid_wait(self):
+        queue = SPSCQueue()
+        threading.Timer(0.05, queue.push, args=("late",)).start()
+        assert queue.pop(timeout=5.0) == "late"
+
+    def test_zero_timeout_polls(self):
+        queue = SPSCQueue()
+        with pytest.raises(TimeoutError):
+            queue.pop(timeout=0.0)
+        queue.push(1)
+        assert queue.pop(timeout=0.0) == 1
+
+
+class TestBufferPoolBudget:
+    def test_release_beyond_budget_evicts_least_recently_used_key(self):
+        pool = BufferPool(max_free=4, max_bytes=4 * 1024)
+        old = pool.acquire((256,), "float32")  # 1 KiB
+        new = pool.acquire((512,), "float32")  # 2 KiB
+        pool.release(old)
+        pool.release(new)
+        assert pool.free_bytes == 3 * 1024
+        third = pool.acquire((256,), "float64")  # 2 KiB: over budget by 1 KiB
+        pool.release(third)
+        # The float32 (256,) key was released first => least recently used.
+        assert pool.free_bytes == 4 * 1024
+        assert pool.acquire((256,), "float32") is not old, "LRU key evicted"
+        probe = pool.acquire((512,), "float32")
+        assert probe is new, "recently-released key must survive eviction"
+
+    def test_buffer_larger_than_budget_is_not_retained(self):
+        pool = BufferPool(max_free=4, max_bytes=1024)
+        big = pool.acquire((1024,), "float64")  # 8 KiB > budget
+        pool.release(big)
+        assert pool.free_bytes == 0
+        assert pool.acquire((1024,), "float64") is not big
+
+    def test_budget_spans_keys_not_just_per_key_count(self):
+        """Regression: max_free alone lets every (shape, dtype) ever seen
+        retain buffers forever; the byte budget must cap the union."""
+        pool = BufferPool(max_free=4, max_bytes=8 * 1024)
+        for extent in range(1, 64):  # 63 distinct keys, 4 bytes each * extent
+            buffer = pool.acquire((extent * 16,), "float32")
+            pool.release(buffer)
+        assert pool.free_bytes <= 8 * 1024
+
+    def test_zero_budget_retains_nothing(self):
+        pool = BufferPool(max_free=4, max_bytes=0)
+        buffer = pool.acquire((8,), "float32")
+        pool.release(buffer)
+        assert pool.free_bytes == 0
+
+
+class TestThreadPoolRegionIsolation:
+    def test_concurrent_parallel_for_regions_do_not_corrupt_each_other(self):
+        """Regression: fork/join state was pool-global (_done/_pending), so
+        two threads driving regions through one pool could return before
+        their own chunks ran.  Per-region counters make each join private."""
+        pool = ThreadPool(4)
+        failures = []
+        barrier = threading.Barrier(4)
+
+        def drive(which):
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(50):
+                    hits = np.zeros(256, dtype=np.int64)
+
+                    def body(start, stop):
+                        for i in range(start, stop):
+                            hits[i] += 1
+
+                    pool.parallel_for(256, body)
+                    if not (hits == 1).all():
+                        failures.append(
+                            f"driver {which}: {int(hits.sum())} hits over 256 items"
+                        )
+                        return
+            except Exception as error:  # pragma: no cover - diagnostic path
+                failures.append(f"driver {which}: {error!r}")
+
+        drivers = [
+            threading.Thread(target=drive, args=(n,), daemon=True) for n in range(4)
+        ]
+        for thread in drivers:
+            thread.start()
+        for thread in drivers:
+            thread.join(timeout=120)
+            assert not thread.is_alive(), "parallel_for join hung"
+        pool.shutdown()
+        assert failures == []
+
+
+class TestWeightedFairQueue:
+    def make(self, capacity=64, weights=None):
+        return WeightedFairQueue(
+            capacity, weights or {"interactive": 8.0, "bulk": 1.0}
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedFairQueue(0, {"a": 1.0})
+        with pytest.raises(ValueError):
+            WeightedFairQueue(4, {})
+        with pytest.raises(ValueError):
+            WeightedFairQueue(4, {"a": 0.0})
+        with pytest.raises(KeyError):
+            self.make().put("x", "unknown")
+
+    def test_single_class_is_fifo(self):
+        queue = WeightedFairQueue(16, {"only": 1.0})
+        for value in range(10):
+            queue.put(value, "only")
+        assert [queue.get()[0] for _ in range(10)] == list(range(10))
+
+    def test_service_converges_to_weight_ratio(self):
+        queue = self.make(capacity=400, weights={"interactive": 8.0, "bulk": 1.0})
+        for index in range(180):
+            queue.put(("i", index), "interactive")
+            queue.put(("b", index), "bulk")
+        served = [queue.get()[1] for _ in range(90)]
+        interactive = served.count("interactive")
+        bulk = served.count("bulk")
+        # 8:1 stride => about 80/10 over any backlogged window.
+        assert interactive >= 8 * bulk - 8, (interactive, bulk)
+        assert bulk >= 1, "weighted fairness must not starve the light class"
+
+    def test_no_starvation_under_flood(self):
+        queue = self.make(capacity=4096)
+        queue.put("victim", "bulk")
+        for index in range(1000):
+            queue.put(index, "interactive")
+        drained = []
+        for _ in range(20):
+            item, key = queue.get(timeout=1.0)
+            drained.append((item, key))
+            if key == "bulk":
+                break
+        assert ("victim", "bulk") in drained, (
+            "bulk item not served within 20 dequeues under interactive flood"
+        )
+
+    def test_idle_class_earns_no_credit(self):
+        """A class idle for a long stretch re-enters at the current virtual
+        time: it must not monopolize the consumer to 'catch up'."""
+        queue = self.make(capacity=4096)
+        # Serve a long interactive-only phase; bulk stays idle.
+        for index in range(400):
+            queue.put(index, "interactive")
+        for _ in range(400):
+            queue.get()
+        # Bulk wakes up alongside fresh interactive traffic.
+        for index in range(100):
+            queue.put(("b", index), "bulk")
+            queue.put(("i", index), "interactive")
+        served = [queue.get()[1] for _ in range(45)]
+        bulk_share = served.count("bulk") / len(served)
+        # At 8:1 weights, a fair window serves bulk ~1/9 of the time; an
+        # idle-credit bug would serve bulk nearly 100% here.
+        assert bulk_share <= 0.4, f"idle class monopolized service: {served}"
+
+    def test_within_class_order_survives_interleaving(self):
+        queue = self.make(capacity=64)
+        for index in range(8):
+            queue.put(index, "interactive")
+            queue.put(index, "bulk")
+        seen = {"interactive": [], "bulk": []}
+        for _ in range(16):
+            item, key = queue.get()
+            seen[key].append(item)
+        assert seen["interactive"] == sorted(seen["interactive"])
+        assert seen["bulk"] == sorted(seen["bulk"])
+
+    def test_pop_matching_stops_at_class_head_mismatch(self):
+        queue = self.make(capacity=8)
+        queue.put("small", "bulk")
+        queue.put("LARGE", "bulk")
+        item, status = queue.pop_matching("bulk", lambda v: v.islower())
+        assert (item, status) == ("small", "ok")
+        item, status = queue.pop_matching("bulk", lambda v: v.islower())
+        assert (item, status) == (None, "mismatch")
+        assert queue.depth("bulk") == 1, "mismatched head must stay queued"
+
+    def test_pop_matching_only_sees_its_class(self):
+        queue = self.make(capacity=8)
+        queue.put("other-class", "interactive")
+        item, status = queue.pop_matching("bulk", lambda v: True, timeout=0.05)
+        assert (item, status) == (None, "empty")
+        assert queue.depth("interactive") == 1
+
+    def test_put_times_out_when_full(self):
+        queue = self.make(capacity=1)
+        assert queue.put("a", "bulk") is True
+        started = time.monotonic()
+        assert queue.put("b", "bulk", timeout=0.1) is False
+        assert time.monotonic() - started >= 0.05
+
+    def test_close_wakes_getters_and_refuses_puts(self):
+        queue = self.make(capacity=4)
+        results = []
+        getter = threading.Thread(
+            target=lambda: results.append(queue.get(timeout=30)), daemon=True
+        )
+        getter.start()
+        time.sleep(0.05)
+        queue.close()
+        getter.join(timeout=10)
+        assert results == [(None, None)]
+        assert queue.put("x", "bulk") is False
+
+    def test_queued_items_stay_readable_after_close(self):
+        queue = self.make(capacity=4)
+        queue.put("x", "bulk")
+        queue.close()
+        assert queue.get()[0] == "x"
+        assert queue.get(timeout=0.05) == (None, None)
