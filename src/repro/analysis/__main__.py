@@ -1,8 +1,10 @@
 """Command-line front end: ``python -m repro.analysis [options] [paths...]``.
 
-Exit codes: 0 clean, 1 unsuppressed findings (or verify problems), 2 usage
-or I/O errors.  ``repro.cli analyze`` delegates here so both entry points
-stay behaviourally identical.
+Exit codes: 0 clean, 1 unsuppressed findings (or verify problems, or — under
+``--suppressions`` — a justification-free pragma), 2 usage or I/O errors.
+``repro.cli analyze`` delegates here so both entry points stay behaviourally
+identical.  ``--format sarif`` renders the same report as SARIF 2.1.0 for CI
+annotation; the JSON schema of ``--format json`` is unchanged.
 """
 
 from __future__ import annotations
@@ -13,7 +15,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from .engine import LintEngine, default_rules
+from .engine import LintEngine, LintReport, collect_files, default_rules
+from .findings import Suppression, iter_suppressions
 
 __all__ = ["build_parser", "main"]
 
@@ -30,7 +33,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -48,6 +51,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the graph verifier over every model in the zoo",
     )
+    parser.add_argument(
+        "--suppressions",
+        action="store_true",
+        help=(
+            "report every '# repro: noqa' pragma with its rule list and "
+            "justification instead of linting; exit 1 on any pragma without "
+            "a '-- justification'"
+        ),
+    )
     return parser
 
 
@@ -57,6 +69,101 @@ def _list_rules() -> str:
         lines.append(f"{rule.rule_id}: {rule.summary}")
         lines.append(f"    {rule.rationale}")
     return "\n".join(lines)
+
+
+def _sarif_payload(report: LintReport, rules) -> dict:
+    """Render a report as SARIF 2.1.0 (what CI uploads for PR annotation).
+
+    Suppressed findings are included with an ``inSource`` suppression object
+    — SARIF viewers then show them greyed out instead of hiding the history.
+    """
+
+    def _result(finding, suppressed: bool) -> dict:
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(1, finding.col),
+                        },
+                    }
+                }
+            ],
+        }
+        if suppressed:
+            result["suppressions"] = [{"kind": "inSource"}]
+        return result
+
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "shortDescription": {"text": rule.summary},
+                                "fullDescription": {"text": rule.rationale},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": [
+                    *(_result(f, suppressed=False) for f in report.findings),
+                    *(_result(f, suppressed=True) for f in report.suppressed),
+                ],
+            }
+        ],
+    }
+
+
+def _suppressions_report(paths: Sequence[str], as_json: bool) -> int:
+    """The ``--suppressions`` mode: audit every pragma in the tree."""
+    suppressions: List[Suppression] = []
+    errors: List[str] = []
+    for path in collect_files(paths):
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except (OSError, UnicodeDecodeError) as error:
+            errors.append(f"{path}: {error}")
+            continue
+        suppressions.extend(iter_suppressions(str(path), lines))
+    unjustified = [s for s in suppressions if not s.justified]
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "suppressions": [s.to_dict() for s in suppressions],
+                    "unjustified": len(unjustified),
+                    "errors": errors,
+                    "clean": not unjustified and not errors,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for suppression in suppressions:
+            print(suppression.render())
+        for error in errors:
+            print(f"error: {error}")
+        print(
+            f"{len(suppressions)} suppression(s), "
+            f"{len(unjustified)} missing a justification"
+        )
+    if errors:
+        return 2
+    return 1 if unjustified else 0
 
 
 def _verify_zoo() -> List[str]:
@@ -92,6 +199,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Default: lint the installed package itself (works from any cwd).
         paths = [str(Path(__file__).resolve().parent.parent)]
 
+    if args.suppressions:
+        if args.format == "sarif":
+            print("error: --suppressions supports text/json only", file=sys.stderr)
+            return 2
+        return _suppressions_report(paths, as_json=args.format == "json")
+
     engine = LintEngine(rules)
     report = engine.run(paths)
 
@@ -105,6 +218,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             payload["zoo_problems"] = zoo_problems
             payload["clean"] = payload["clean"] and not zoo_problems
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(_sarif_payload(report, engine.rules), indent=2))
+        for line in zoo_problems:
+            print(f"zoo problem: {line}", file=sys.stderr)
     else:
         print(report.render_text())
         for line in zoo_problems:

@@ -118,7 +118,13 @@ def default_rules(only: Optional[Iterable[str]] = None) -> List[Rule]:
     """
     # Importing the rule modules registers them; done lazily so importing
     # the engine alone (e.g. for the Finding type) stays dependency-free.
-    from . import lockorder, races, rules  # noqa: F401  (import-for-registration)
+    from . import (  # noqa: F401  (import-for-registration)
+        boundaries,
+        lockorder,
+        races,
+        resources,
+        rules,
+    )
 
     if only is None:
         ids = sorted(RULE_REGISTRY)

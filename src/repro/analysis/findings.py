@@ -18,13 +18,17 @@ tree is intentional (and, by policy, carries a trailing justification).
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
-__all__ = ["Finding", "NOQA_PATTERN", "line_suppressions"]
+__all__ = ["Finding", "NOQA_PATTERN", "Suppression", "iter_suppressions", "line_suppressions"]
 
-#: ``# repro: noqa`` or ``# repro: noqa[REP001,REP002]`` (anywhere in a line).
+#: the repro pragma, bare or with a bracketed rule list ("[REP001,REP002]"),
+#: anywhere in a line.  (Described obliquely so this comment is not itself
+#: reported by the ``--suppressions`` audit.)
 NOQA_PATTERN = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?"
 )
@@ -84,6 +88,83 @@ def line_suppressions(
             # everything: a typo must not silently disable the linter.
             if rules:
                 result[lineno] = rules
+    return result
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: noqa`` pragma, as the suppression report sees it.
+
+    ``rules`` mirrors :func:`line_suppressions`: ``None`` means every rule
+    (a bare ``noqa``); an *empty* frozenset is an inert ``noqa[]`` — it
+    suppresses nothing, but it is still reported so a bracket typo is
+    visible instead of silently dead.  The justification is whatever
+    follows ``--`` after the pragma; policy (and the self-clean gate)
+    requires it to be non-empty.
+    """
+
+    path: str
+    line: int
+    rules: Optional[FrozenSet[str]]
+    justification: str
+    text: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification)
+
+    def render(self) -> str:
+        if self.rules is None:
+            scope = "all rules"
+        elif not self.rules:
+            scope = "nothing (empty bracket)"
+        else:
+            scope = ",".join(sorted(self.rules))
+        tail = self.justification if self.justified else "MISSING JUSTIFICATION"
+        return f"{self.path}:{self.line}: [{scope}] {tail}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": None if self.rules is None else sorted(self.rules),
+            "justification": self.justification,
+            "justified": self.justified,
+        }
+
+
+def iter_suppressions(path: str, lines: Sequence[str]) -> List[Suppression]:
+    """Every ``# repro: noqa`` pragma in a file, with its justification text.
+
+    Tokenize-based on purpose: only real ``COMMENT`` tokens count, so a
+    docstring or help text *describing* the pragma (this module's own
+    docstring, the CLI ``--suppressions`` help) is not reported as one.
+    """
+    result: List[Suppression] = []
+    source = "\n".join(lines) + "\n"
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return result  # unparseable file: the lint engine reports the error
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = NOQA_PATTERN.search(token.string)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            rules: Optional[FrozenSet[str]] = None
+        else:
+            rules = frozenset(
+                rule.strip().upper() for rule in listed.split(",") if rule.strip()
+            )
+        tail = token.string[match.end():]
+        justification = tail.split("--", 1)[1].strip() if "--" in tail else ""
+        lineno = token.start[0]
+        result.append(
+            Suppression(path, lineno, rules, justification, token.string.strip())
+        )
     return result
 
 

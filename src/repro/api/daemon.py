@@ -23,12 +23,13 @@ authentication tier.
 from __future__ import annotations
 
 import pickle
+import select
 import socket
 import struct
 import threading
 from concurrent.futures import Future
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -42,16 +43,39 @@ _LENGTH = struct.Struct(">Q")
 #: amounts of memory on a garbage length prefix.
 MAX_FRAME_BYTES = 1 << 31
 
+#: How often a parked receive loop wakes to re-check its abort signal.
+#: Data sockets stay *blocking for sends* — a ``settimeout`` would also bound
+#: ``sendall``, and a timeout mid-send tears the length-prefixed framing
+#: irrecoverably — so bounded receives poll readability with ``select``
+#: instead of a socket-level timeout.
+_POLL_INTERVAL_S = 1.0
+
 
 def _send_frame(sock: socket.socket, message: object) -> None:
     blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     sock.sendall(_LENGTH.pack(len(blob)) + blob)
 
 
-def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+def _recv_exact(
+    sock: socket.socket,
+    count: int,
+    should_abort: Optional[Callable[[], bool]] = None,
+) -> Optional[bytes]:
     chunks = []
     while count:
-        chunk = sock.recv(min(count, 1 << 20))
+        if should_abort is not None:
+            try:
+                ready, _, _ = select.select([sock], [], [], _POLL_INTERVAL_S)
+            except (ValueError, OSError):
+                return None  # socket closed under us: treat as EOF
+            if not ready:
+                if should_abort():
+                    return None
+                continue
+        try:
+            chunk = sock.recv(min(count, 1 << 20))
+        except socket.timeout:
+            continue  # deadline tick: keep accumulated chunks, retry
         if not chunk:
             return None  # orderly EOF
         chunks.append(chunk)
@@ -59,14 +83,17 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def _recv_frame(sock: socket.socket) -> Optional[object]:
-    header = _recv_exact(sock, _LENGTH.size)
+def _recv_frame(
+    sock: socket.socket,
+    should_abort: Optional[Callable[[], bool]] = None,
+) -> Optional[object]:
+    header = _recv_exact(sock, _LENGTH.size, should_abort)
     if header is None:
         return None
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ValueError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
-    blob = _recv_exact(sock, length)
+    blob = _recv_exact(sock, length, should_abort)
     if blob is None:
         return None
     return pickle.loads(blob)
@@ -99,7 +126,15 @@ class ServingDaemon:
         except BaseException:
             self.dispatcher.close()
             raise
-        self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        try:
+            # The listener never sends, so a socket-level timeout is safe
+            # here: it turns accept() into a periodic shutdown check.
+            self._sock.settimeout(_POLL_INTERVAL_S)
+            self.address: Tuple[str, int] = self._sock.getsockname()[:2]
+        except BaseException:
+            self._sock.close()
+            self.dispatcher.close()
+            raise
         self._lock = threading.Lock()
         self._closed = False
         self._conns: List[socket.socket] = []
@@ -129,6 +164,13 @@ class ServingDaemon:
         while True:
             try:
                 conn, _peer = self._sock.accept()
+            except socket.timeout:
+                # Periodic wake-up: the only way a parked accept loop can
+                # observe close() without an inbound connection.
+                with self._lock:
+                    if self._closed:
+                        return
+                continue
             except OSError:
                 return  # listener closed: shutdown
             thread = threading.Thread(
@@ -142,10 +184,23 @@ class ServingDaemon:
                     conn.close()
                     return
                 self._conns.append(conn)
+            try:
+                thread.start()
+            except RuntimeError:
+                # Thread limit: shed this connection, keep serving the rest.
+                with self._lock:
+                    if conn in self._conns:
+                        self._conns.remove(conn)
+                conn.close()
+                continue
+            with self._lock:
                 self._threads.append(thread)
-            thread.start()
 
     # -- per-connection service -------------------------------------------- #
+    def _should_abort(self) -> bool:
+        with self._lock:
+            return self._closed
+
     def _serve_connection(self, conn: socket.socket) -> None:
         send_lock = threading.Lock()
 
@@ -154,7 +209,7 @@ class ServingDaemon:
             if error is not None:
                 message = {"id": request_id, "error": error}
             else:
-                message = {"id": request_id, "outputs": future.result()}
+                message = {"id": request_id, "outputs": future.result()}  # repro: noqa[REP011] -- done-callback: the future is already resolved here
             with send_lock:
                 try:
                     _send_frame(conn, message)
@@ -164,7 +219,7 @@ class ServingDaemon:
         try:
             while True:
                 try:
-                    request = _recv_frame(conn)
+                    request = _recv_frame(conn, should_abort=self._should_abort)
                 except (OSError, ValueError, pickle.UnpicklingError, EOFError):
                     return  # torn frame or reset: drop the connection
                 if request is None:
@@ -219,20 +274,33 @@ class DaemonClient:
 
     def __init__(self, host: str, port: int, connect_timeout_s: float = 30.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=connect_timeout_s)
-        self._sock.settimeout(None)
-        self._lock = threading.Lock()
-        self._inflight: Dict[int, "Future"] = {}
-        self._next_id = 0
-        self._closed = False
-        self._reader = threading.Thread(
-            target=self._reader_loop, daemon=True, name="repro-client-reader"
-        )
-        self._reader.start()
+        try:
+            # Back to blocking: sends must never time out mid-sendall (that
+            # would tear the framing); receives are bounded by the reader
+            # loop's select-based polling instead.
+            self._sock.settimeout(None)
+            self._lock = threading.Lock()
+            self._inflight: Dict[int, "Future"] = {}
+            self._next_id = 0
+            self._closed = False
+            self._reader = threading.Thread(
+                target=self._reader_loop, daemon=True, name="repro-client-reader"
+            )
+            self._reader.start()
+        except BaseException:
+            # The caller never receives the object, so close() is
+            # unreachable: release the socket here or it leaks.
+            self._sock.close()
+            raise
+
+    def _should_abort(self) -> bool:
+        with self._lock:
+            return self._closed
 
     def _reader_loop(self) -> None:
         while True:
             try:
-                message = _recv_frame(self._sock)
+                message = _recv_frame(self._sock, should_abort=self._should_abort)
             except (OSError, ValueError, pickle.UnpicklingError, EOFError):
                 message = None
             if message is None:

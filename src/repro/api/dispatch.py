@@ -43,6 +43,12 @@ __all__ = [
 ]
 
 
+#: How often a parked pipe-receive loop wakes to re-check liveness (worker:
+#: is the parent still alive; parent: has close() started).  ``Connection``
+#: has no settimeout, so bounded receives go through ``poll(deadline)``.
+_POLL_INTERVAL_S = 1.0
+
+
 class DispatchError(RuntimeError):
     """The dispatcher cannot serve a request (no live workers, closed, ...)."""
 
@@ -101,7 +107,7 @@ def _worker_main(conn, artifact_path: str, engine_kwargs: dict) -> None:
         if error is not None:
             payload = (request_id, None, _picklable_error(error))
         else:
-            payload = (request_id, future.result(), None)
+            payload = (request_id, future.result(), None)  # repro: noqa[REP011] -- done-callback: the future is already resolved here
         with send_lock:
             try:
                 conn.send(payload)
@@ -111,9 +117,16 @@ def _worker_main(conn, artifact_path: str, engine_kwargs: dict) -> None:
                 # next reply may still have a live parent.
                 _worker_main.last_send_error = send_error  # type: ignore[attr-defined]
 
+    parent = mp.parent_process()
     try:
         while True:
             try:
+                if not conn.poll(_POLL_INTERVAL_S):
+                    # Idle tick: a parent that died without closing the pipe
+                    # (hard kill) would otherwise park this worker forever.
+                    if parent is not None and not parent.is_alive():
+                        break
+                    continue
                 message = conn.recv()
             except (EOFError, OSError):
                 break  # parent died: exit; our pin file goes stale with us
@@ -197,13 +210,20 @@ class EngineDispatcher:
         try:
             for index in range(self.num_workers):
                 parent_conn, child_conn = self._ctx.Pipe()
-                process = self._ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, str(self.artifact_path), self._engine_kwargs),
-                    daemon=True,
-                    name=f"repro-serve-worker-{index}",
-                )
-                process.start()
+                try:
+                    process = self._ctx.Process(
+                        target=_worker_main,
+                        args=(child_conn, str(self.artifact_path), self._engine_kwargs),
+                        daemon=True,
+                        name=f"repro-serve-worker-{index}",
+                    )
+                    process.start()
+                except BaseException:
+                    # Spawn failed before the handle took ownership: both
+                    # pipe ends would leak their descriptors otherwise.
+                    parent_conn.close()
+                    child_conn.close()
+                    raise
                 child_conn.close()  # child owns its end now
                 handle = _WorkerHandle(index, process, parent_conn)
                 handle.reader = threading.Thread(
@@ -226,6 +246,8 @@ class EngineDispatcher:
         """Resolve futures as ``handle``'s worker replies; fail them if it dies."""
         while True:
             try:
+                if not handle.conn.poll(_POLL_INTERVAL_S):
+                    continue  # idle tick: recv stays bounded, shutdown observable
                 message = handle.conn.recv()
             except (EOFError, OSError):
                 break
@@ -354,7 +376,10 @@ class EngineDispatcher:
                 handle.process.join(5.0)
             handle.conn.close()
         for handle in workers:
-            if handle.reader is not None:
+            # `.ident is None` = never started: joining such a thread raises
+            # RuntimeError, which on the constructor-failure path would mask
+            # the original exception.
+            if handle.reader is not None and handle.reader.ident is not None:
                 handle.reader.join(5.0)
 
     def __enter__(self) -> "EngineDispatcher":

@@ -441,7 +441,7 @@ class InferenceEngine:
         results = []
         for position, future in enumerate(futures):
             try:
-                results.append(future.result())
+                results.append(future.result())  # repro: noqa[REP011] -- scheduler close() resolves every accepted future, so this wait is bounded by scheduler teardown
             except Exception as error:
                 # Attribute the failure to its position in this call's
                 # request list (the scheduler tagged the engine-global

@@ -424,7 +424,7 @@ class RequestScheduler:
         priority: Optional[str] = None,
     ) -> List[np.ndarray]:
         """Submit one request and block for its outputs."""
-        return self.submit(inputs, timeout_ms=timeout_ms, priority=priority).result()
+        return self.submit(inputs, timeout_ms=timeout_ms, priority=priority).result()  # repro: noqa[REP011] -- the collector resolves every accepted future (timeout_ms bounds queue wait; close() fails leftovers)
 
     def stats(self) -> SchedulerStats:
         """A consistent snapshot of the scheduler counters."""
@@ -443,7 +443,7 @@ class RequestScheduler:
             # Blocking get: close() wakes the wait, so an idle scheduler
             # parks here without polling.  The weighted-fair queue picks the
             # next request class by stride order; within the class, FIFO.
-            request, _ = self._queue.get()
+            request, _ = self._queue.get()  # repro: noqa[REP011] -- close() enqueues a wake-up sentinel; an idle collector parks here by design
             if request is None:
                 if self._queue.closed and not len(self._queue):
                     return

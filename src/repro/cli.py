@@ -208,6 +208,8 @@ def _cmd_analyze(args) -> int:
         argv.append("--list-rules")
     if args.verify_zoo:
         argv.append("--verify-zoo")
+    if args.suppressions:
+        argv.append("--suppressions")
     argv.extend(args.paths)
     return analysis_main(argv)
 
@@ -342,7 +344,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: the installed repro package)",
     )
     analyze_cmd.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     analyze_cmd.add_argument(
@@ -355,6 +357,13 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_cmd.add_argument(
         "--verify-zoo", action="store_true",
         help="also run the graph verifier over every zoo model",
+    )
+    analyze_cmd.add_argument(
+        "--suppressions", action="store_true",
+        help=(
+            "audit every '# repro: noqa' pragma (rule list + justification); "
+            "exit 1 on justification-free suppressions"
+        ),
     )
     analyze_cmd.set_defaults(run=_cmd_analyze)
 

@@ -662,11 +662,21 @@ def write_pin_file(artifact: "str | Path", pid: Optional[int] = None) -> Path:
     # One writer per (artifact, pid) by construction, so a pid-suffixed tmp
     # name cannot collide with another writer's.
     tmp = pin.with_name(f"{pin.name}.tmp-{os.getpid()}")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(f"{int(pid if pid is not None else os.getpid())}\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, pin)
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(f"{int(pid if pid is not None else os.getpid())}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, pin)
+    except BaseException:
+        # A failed write/fsync/rename must not orphan the temp pin: it would
+        # sit beside the artifact forever (sweeps only reclaim it once this
+        # process dies).
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
     return pin
 
 
@@ -749,12 +759,21 @@ def sweep_stale_pin_files(directory: "str | Path") -> "list[Path]":
         return removed
     for path in snapshot:
         name = path.name
-        if PIN_INFIX not in name or ".tmp-" in name:
+        if PIN_INFIX not in name:
             continue
-        try:
-            pid = int(name.rsplit(PIN_INFIX, 1)[1])
-        except ValueError:
-            pid = -1
+        if ".tmp-" in name:
+            # A temp pin is owned by its *writer*: live writer means a rename
+            # is imminent (leave it alone); dead writer means the crash
+            # orphaned it and nobody else will ever reclaim it.
+            try:
+                pid = int(name.rsplit(".tmp-", 1)[1])
+            except ValueError:
+                pid = -1
+        else:
+            try:
+                pid = int(name.rsplit(PIN_INFIX, 1)[1])
+            except ValueError:
+                pid = -1
         if pid_alive(pid):
             continue
         try:

@@ -81,7 +81,7 @@ class SPSCQueue:
                     if self._items:
                         continue
                     if deadline is None:
-                        self._not_empty.wait(None)
+                        self._not_empty.wait(None)  # repro: noqa[REP011] -- timeout=None is pop()'s documented block-forever contract; shutdown push notifies this condition
                         continue
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
@@ -578,7 +578,7 @@ class ThreadPool:
             )
         body(*own_chunk)
         if remote_chunks:
-            region.event.wait()
+            region.event.wait()  # repro: noqa[REP011] -- every pushed chunk signals task_done in a finally, even when the body raises, so the region event always fires
 
     def map(self, func: Callable[[int], object], items: Sequence) -> List[object]:
         """Apply ``func`` to every item, preserving order."""

@@ -10,6 +10,7 @@ dispatcher and the socket daemon are byte-identical to in-process
 
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
@@ -374,3 +375,206 @@ class TestServingDaemon:
             time.sleep(0.05)
         daemon.close()
         assert pin_file_owners(artifact) == []
+
+
+# --------------------------------------------------------------------------- #
+# error paths the REP009/REP011 audit surfaced (ISSUE 9)
+# --------------------------------------------------------------------------- #
+class TestServingErrorPaths:
+    """Each test forces an error path and pins the resource-cleanup fix."""
+
+    def test_client_socket_released_when_reader_thread_fails(self, monkeypatch):
+        """REP009: a post-connect failure in DaemonClient.__init__ must close
+        the socket — the caller never gets the object, so close() can't."""
+        import repro.api.daemon as daemon_mod
+
+        listener = socket.create_server(("127.0.0.1", 0))
+        created = []
+        real_create = socket.create_connection
+
+        def recording_create(*args, **kwargs):
+            sock = real_create(*args, **kwargs)
+            created.append(sock)
+            return sock
+
+        class BoomThread:
+            def __init__(self, *args, **kwargs):
+                raise RuntimeError("thread limit reached")
+
+        monkeypatch.setattr(
+            daemon_mod.socket, "create_connection", recording_create
+        )
+        monkeypatch.setattr(daemon_mod.threading, "Thread", BoomThread)
+        try:
+            host, port = listener.getsockname()[:2]
+            with pytest.raises(RuntimeError, match="thread limit"):
+                DaemonClient(host, port)
+            assert len(created) == 1
+            assert created[0].fileno() == -1, (
+                "constructor failure leaked the client socket"
+            )
+        finally:
+            listener.close()
+
+    def test_dispatcher_startup_failure_closes_every_pipe_end(
+        self, tmp_path, monkeypatch
+    ):
+        """REP009: when worker N's spawn fails, every pipe end created so far
+        (including worker N's own pair) must be closed by the constructor."""
+        import multiprocessing as real_mp
+
+        import repro.api.dispatch as dispatch_mod
+
+        class FakeProcess:
+            def __init__(self, index, **kwargs):
+                self._fail = index >= 1
+                self.pid = 0
+
+            def start(self):
+                if self._fail:
+                    raise RuntimeError("spawn failed")
+
+            def join(self, timeout=None):
+                return None
+
+            def is_alive(self):
+                return False
+
+            def terminate(self):
+                return None
+
+        class FakeCtx:
+            def __init__(self):
+                self.conns = []
+                self.spawned = 0
+
+            def Pipe(self):
+                a, b = real_mp.Pipe()
+                self.conns.extend([a, b])
+                return a, b
+
+            def Process(self, **kwargs):
+                process = FakeProcess(self.spawned, **kwargs)
+                self.spawned += 1
+                return process
+
+        ctx = FakeCtx()
+        monkeypatch.setattr(
+            dispatch_mod.mp, "get_context", lambda method=None: ctx
+        )
+        artifact = tmp_path / "m.neocpu"
+        artifact.write_bytes(b"payload")
+        with pytest.raises(RuntimeError, match="spawn failed"):
+            EngineDispatcher(artifact, num_workers=2)
+        assert len(ctx.conns) == 4
+        assert all(conn.closed for conn in ctx.conns), (
+            "dispatcher startup failure leaked pipe descriptors"
+        )
+
+    def test_accept_loop_sheds_connection_when_thread_start_fails(
+        self, repo, monkeypatch
+    ):
+        """The accept loop survives a per-connection thread-start failure:
+        the doomed connection is closed, the next one is served normally."""
+        import repro.api.daemon as daemon_mod
+
+        real_thread = threading.Thread
+        failures = {"remaining": 1}
+
+        class FlakyThread(real_thread):
+            def start(self):
+                if self.name == "repro-serve-conn" and failures["remaining"]:
+                    failures["remaining"] -= 1
+                    raise RuntimeError("thread limit reached")
+                super().start()
+
+        monkeypatch.setattr(daemon_mod.threading, "Thread", FlakyThread)
+        with ServingDaemon(
+            repo["artifact"], num_workers=1, engine_kwargs=ENGINE_KWARGS
+        ) as daemon:
+            daemon.start()
+            host, port = daemon.address
+            with socket.create_connection((host, port), timeout=30) as doomed:
+                doomed.settimeout(30)
+                assert doomed.recv(1) == b"", "shed connection was not closed"
+            assert failures["remaining"] == 0
+            with DaemonClient(host, port) as client:
+                outputs = client.run(
+                    {"data": repo["x"]}, result_timeout_s=RESULT_TIMEOUT_S
+                )
+                np.testing.assert_array_equal(outputs[0], repo["expected"][0])
+
+    def test_recv_exact_survives_timeouts_and_slow_trickle(self):
+        """REP011 fix contract: a receive loop with a socket-level timeout
+        keeps its accumulated chunks across timeout ticks — framing survives
+        a slow sender."""
+        from repro.api.daemon import _recv_frame, _send_frame
+
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(0.05)
+            import pickle
+
+            blob = pickle.dumps({"id": 7, "outputs": list(range(100))})
+            frame = len(blob).to_bytes(8, "big") + blob
+
+            def trickle():
+                third = max(1, len(frame) // 3)
+                for start in range(0, len(frame), third):
+                    left.sendall(frame[start:start + third])
+                    time.sleep(0.12)  # > the receiver's timeout: forces ticks
+
+            sender = threading.Thread(target=trickle, daemon=True)
+            sender.start()
+            message = _recv_frame(right)
+            sender.join(30)
+            assert message == {"id": 7, "outputs": list(range(100))}
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_exact_abort_hook_unparks_an_idle_receiver(self):
+        from repro.api.daemon import _recv_exact
+
+        left, right = socket.socketpair()
+        try:
+            started = time.monotonic()
+            assert _recv_exact(right, 8, should_abort=lambda: True) is None
+            assert time.monotonic() - started < 30, "abort hook never polled"
+        finally:
+            left.close()
+            right.close()
+
+    def test_write_pin_file_failure_leaves_no_tmp_litter(
+        self, tmp_path, monkeypatch
+    ):
+        """REP009: a failed fsync must not orphan the temp pin file."""
+        artifact = tmp_path / "m.neocpu"
+        artifact.write_bytes(b"payload")
+
+        def failing_fsync(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "fsync", failing_fsync)
+        with pytest.raises(OSError, match="disk full"):
+            write_pin_file(artifact)
+        litter = [p.name for p in tmp_path.iterdir() if ".tmp-" in p.name]
+        assert litter == [], "failed pin write left temp litter behind"
+        assert pin_file_owners(artifact) == []
+
+    def test_sweep_reclaims_dead_writers_orphaned_tmp_pins(self, tmp_path):
+        """A crash between the temp write and the rename orphans a ``.tmp-``
+        pin; the sweep reclaims it once the writer is dead — and never
+        touches a live writer's in-flight temp."""
+        artifact = tmp_path / "m.neocpu"
+        artifact.write_bytes(b"payload")
+        live_pin = write_pin_file(artifact)
+        dead = _certainly_dead_pid()
+        orphaned = tmp_path / f"m.neocpu.pin.4242.tmp-{dead}"
+        orphaned.write_text("4242\n")
+        in_flight = tmp_path / f"m.neocpu.pin.17.tmp-{os.getpid()}"
+        in_flight.write_text("17\n")
+        removed = sweep_stale_pin_files(tmp_path)
+        assert orphaned in removed and not orphaned.exists()
+        assert in_flight.exists(), "a live writer's temp pin was swept"
+        assert live_pin.exists()
