@@ -16,6 +16,12 @@ Gated claims, on a ResNet-50 stream at reduced resolution (32x32):
 * every response served by the fleet is **byte-identical** to the
   single-process engine's response for the same request.
 
+A second benchmark records the same stream as a trace (ISSUE 10) through a
+single uncontended worker and gates the replayer against it: the simulated
+throughput at the recorded knobs must match the measurement, and the
+replayed p99-vs-worker-count curve must be monotone-sane relative to the
+host's core budget (spare cores help the tail, oversubscription never does).
+
 The artifact bundle and tuning database persist in the session cache, so
 re-runs start warm.
 """
@@ -29,6 +35,7 @@ from conftest import write_result
 from repro.api import EngineDispatcher, build, load_engine
 from repro.graph import infer_shapes
 from repro.models.resnet import resnet50
+from repro.trace import measured_metrics, read_trace, replay, worker_sweep
 
 #: 32 requests split evenly over 2 workers give every engine full batches
 #: (4x8 single-process, 2x8 per worker): the gate compares scheduling tiers,
@@ -149,3 +156,124 @@ def test_resnet50_stream_multiprocess_serving(
         f"2-worker fleet served {count / fleet_s:.1f} req/s vs "
         f"{count / single_s:.1f} req/s single-process on {cores} core(s)"
     )
+
+
+#: The trace is recorded through a *single* worker: multiple processes
+#: timeslicing the host's cores dilate the recorded batch wall-times, which
+#: would contaminate the calibration the sweep rests on.  Record clean,
+#: predict the fleet — the canonical capacity-planning workflow.
+RECORD_WORKERS = 1
+#: Replay fidelity tolerance at the recorded knobs.  A fully saturating
+#: burst is the model's hardest regime and a loaded CI machine can make a
+#: recording unrepresentative, so the gate is generous and a noisy
+#: *recording* (not the model) is retried up to 3 times.
+REPLAY_TOLERANCE = 0.30
+#: Fleet sizes for the replayed p99 curve; 1 is the recorded point.
+WORKER_CURVE = (1, 2, 4)
+#: Within the host's core budget, adding a worker may never *worsen*
+#: predicted p99 by more than this — ResNet-class per-sample-dominated costs
+#: should parallelize monotonically while there are cores to parallelize on.
+CURVE_SLACK = 0.05
+#: Past the core budget the claim flips — oversubscribing may never
+#: materially *help* the tail.  Looser than CURVE_SLACK: splitting one
+#: stream over two schedulers changes batch shapes, which legitimately moves
+#: p99 a little either way even with zero spare cores.
+OVERSUB_SLACK = 0.25
+
+
+def test_resnet50_replayed_p99_worker_curve(
+    results_dir, tuning_cache_dir, tuning_db, tmp_path
+):
+    graph = resnet50(image_size=32)
+    infer_shapes(graph)
+    bundle = build(
+        graph,
+        ["skylake"],
+        cache_dir=tuning_cache_dir,
+        database=tuning_db,
+        jobs=1,
+    )
+    requests = build_requests(NUM_REQUESTS)
+
+    errors = []
+    for attempt in range(3):
+        trace_dir = tmp_path / f"trace-{attempt}"
+        with EngineDispatcher(
+            bundle.path,
+            num_workers=RECORD_WORKERS,
+            engine_kwargs=ENGINE_KWARGS,
+            trace_dir=str(trace_dir),
+        ) as dispatcher:
+            # Warm-up requests are recorded too: measurement and replay see
+            # the identical event stream, so the comparison stays fair.
+            _drain(dispatcher, requests[:2])
+            _timed_stream(dispatcher.submit, requests)
+        trace = read_trace(trace_dir)
+        measured = measured_metrics(trace)
+        predicted = replay(trace)
+        errors.append(
+            abs(predicted.metrics.throughput_rps - measured.throughput_rps)
+            / max(measured.throughput_rps, 1e-9)
+        )
+        if errors[-1] <= REPLAY_TOLERANCE:
+            break
+    else:
+        raise AssertionError(
+            f"replay fidelity gate: 3 recordings all predicted outside "
+            f"+-{REPLAY_TOLERANCE:.0%} "
+            f"(errors: {', '.join(f'{e:.1%}' for e in errors)})"
+        )
+
+    result = worker_sweep(trace, WORKER_CURVE)
+    by_count = {
+        report.knobs.processes: report
+        for report in [result.baseline] + result.points
+    }
+    p99 = {
+        count: by_count[count].metrics.latency_ms["p99"]
+        for count in WORKER_CURVE
+    }
+
+    lines = [
+        f"replayed p99 vs worker count (ResNet-50 32x32 trace, "
+        f"{measured.completed} requests)",
+        f"  measured  ({RECORD_WORKERS} worker(s)): "
+        f"{measured.throughput_rps:6.1f} req/s, "
+        f"p99 {measured.latency_ms['p99']:7.1f} ms",
+        f"  replayed  ({RECORD_WORKERS} worker(s)): "
+        f"{predicted.metrics.throughput_rps:6.1f} req/s, "
+        f"p99 {predicted.metrics.latency_ms['p99']:7.1f} ms "
+        f"| fidelity error {errors[-1]:.1%} (gate <= {REPLAY_TOLERANCE:.0%})",
+    ]
+    for count in WORKER_CURVE:
+        lines.append(
+            f"  predicted ({count} worker(s)): p99 {p99[count]:7.1f} ms, "
+            f"{by_count[count].metrics.throughput_rps:6.1f} req/s"
+        )
+    write_result(results_dir, "daemon_replayed_worker_curve", "\n".join(lines))
+
+    # Monotone-sane, relative to the host's core budget (the replayer's
+    # dilation model knows how many cores the trace was recorded on):
+    # while the fleet still has spare cores, a bigger fleet never predicts a
+    # materially worse tail; past the core count, oversubscription never
+    # predicts a materially *better* one.
+    cores = os.cpu_count() or 1
+    for smaller, larger in zip(WORKER_CURVE, WORKER_CURVE[1:]):
+        if larger <= cores:
+            assert p99[larger] <= p99[smaller] * (1.0 + CURVE_SLACK), (
+                f"replayed p99 got worse going {smaller} -> {larger} workers "
+                f"on {cores} core(s): "
+                f"{p99[smaller]:.1f} ms -> {p99[larger]:.1f} ms"
+            )
+        elif smaller >= cores:
+            assert p99[larger] >= p99[smaller] * (1.0 - OVERSUB_SLACK), (
+                f"replay predicts oversubscribing {cores} core(s) helps the "
+                f"tail ({smaller} -> {larger} workers: "
+                f"{p99[smaller]:.1f} ms -> {p99[larger]:.1f} ms)"
+            )
+    if cores >= WORKER_CURVE[-1]:
+        assert p99[WORKER_CURVE[-1]] < p99[WORKER_CURVE[0]], (
+            f"a {WORKER_CURVE[-1]}-worker fleet should beat a single process "
+            f"on a saturating stream with {cores} core(s), got p99 "
+            f"{p99[WORKER_CURVE[-1]]:.1f} ms vs {p99[WORKER_CURVE[0]]:.1f} ms"
+        )

@@ -22,11 +22,13 @@ authentication tier.
 
 from __future__ import annotations
 
+import itertools
 import pickle
 import select
 import socket
 import struct
 import threading
+import time
 from concurrent.futures import Future
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
@@ -34,6 +36,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from .dispatch import DispatchError, EngineDispatcher
+from .scheduler import LatencyReservoir
 
 __all__ = ["ServingDaemon", "DaemonClient"]
 
@@ -108,6 +111,14 @@ class ServingDaemon:
         host: bind address; loopback by default (the protocol is pickle).
         port: bind port; 0 picks a free one (read :attr:`address`).
         engine_kwargs: forwarded to every worker's ``load_engine``.
+        trace_dir: when given, the whole fleet records into this trace
+            directory — the daemon its socket edge (``recv``/
+            ``reply_write``), the dispatcher its routing, every worker its
+            scheduler stream (see :mod:`repro.trace`).
+        stats_interval_s: when given, a background thread logs a one-line
+            serving summary (req/s, outstanding, latency percentiles) every
+            interval via ``stats_line()`` — a daemon is observable without
+            attaching a client.
     """
 
     def __init__(
@@ -117,14 +128,27 @@ class ServingDaemon:
         host: str = "127.0.0.1",
         port: int = 0,
         engine_kwargs: Optional[Mapping[str, object]] = None,
+        trace_dir: Optional[str] = None,
+        stats_interval_s: Optional[float] = None,
     ) -> None:
         self.dispatcher = EngineDispatcher(
-            artifact_path, num_workers=num_workers, engine_kwargs=engine_kwargs
+            artifact_path,
+            num_workers=num_workers,
+            engine_kwargs=engine_kwargs,
+            trace_dir=trace_dir,
         )
+        self._recorder = None
+        if trace_dir is not None:
+            from ..trace.recorder import TraceRecorder  # deferred: no cycle
+
+            self._recorder = TraceRecorder(
+                trace_dir, role="daemon", meta={"num_workers": int(num_workers)}
+            )
         try:
             self._sock = socket.create_server((host, port))
         except BaseException:
             self.dispatcher.close()
+            self._close_recorder()
             raise
         try:
             # The listener never sends, so a socket-level timeout is safe
@@ -134,12 +158,37 @@ class ServingDaemon:
         except BaseException:
             self._sock.close()
             self.dispatcher.close()
+            self._close_recorder()
             raise
-        self._lock = threading.Lock()
-        self._closed = False
-        self._conns: List[socket.socket] = []
-        self._threads: List[threading.Thread] = []
-        self._accept_thread: Optional[threading.Thread] = None
+        try:
+            self._lock = threading.Lock()
+            self._closed = False
+            self._conns: List[socket.socket] = []
+            self._threads: List[threading.Thread] = []
+            self._accept_thread: Optional[threading.Thread] = None
+            self._conn_ids = itertools.count()
+            # Parent-side serving stats: worker scheduler counters live in
+            # other processes, so the daemon tracks what it can observe end
+            # to end — dispatch-submit to reply-callback latency,
+            # served/error counts.
+            self.stats_interval_s = stats_interval_s
+            self._stats_lock = threading.Lock()
+            self._served = 0
+            self._errored = 0
+            self._latency_reservoir = LatencyReservoir()
+            self._stats_stop = threading.Event()
+            self._stats_thread: Optional[threading.Thread] = None
+        except BaseException:
+            # The caller never receives the object, so close() is
+            # unreachable: release everything acquired so far.
+            self._sock.close()
+            self.dispatcher.close()
+            self._close_recorder()
+            raise
+
+    def _close_recorder(self) -> None:
+        if self._recorder is not None:
+            self._recorder.close()
 
     # -- lifecycle --------------------------------------------------------- #
     def start(self) -> "ServingDaemon":
@@ -154,10 +203,12 @@ class ServingDaemon:
                 return self
             self._accept_thread = thread
         thread.start()
+        self._start_stats_thread()
         return self
 
     def serve_forever(self) -> None:
         """Run the accept loop on the calling thread (what the CLI does)."""
+        self._start_stats_thread()
         self._accept_loop()
 
     def _accept_loop(self) -> None:
@@ -196,6 +247,45 @@ class ServingDaemon:
             with self._lock:
                 self._threads.append(thread)
 
+    # -- observability ------------------------------------------------------ #
+    def _start_stats_thread(self) -> None:
+        if self.stats_interval_s is None or self.stats_interval_s <= 0:
+            return
+        thread = threading.Thread(
+            target=self._stats_loop,
+            args=(float(self.stats_interval_s),),
+            daemon=True,
+            name="repro-serve-stats",
+        )
+        with self._lock:
+            if self._stats_thread is not None or self._closed:
+                return
+            self._stats_thread = thread
+        thread.start()
+
+    def stats_line(self) -> str:
+        """A one-line serving summary (totals, outstanding, percentiles)."""
+        with self._stats_lock:
+            served = self._served
+            errored = self._errored
+            percentiles = self._latency_reservoir.percentiles_ms()
+        outstanding = self.dispatcher.outstanding()
+        return (
+            f"served {served} (errors {errored}) | outstanding {outstanding} | "
+            f"latency ms p50/p95/p99 {percentiles['p50']:.2f}/"
+            f"{percentiles['p95']:.2f}/{percentiles['p99']:.2f}"
+        )
+
+    def _stats_loop(self, interval_s: float) -> None:
+        """Log :meth:`stats_line` every ``interval_s`` until close()."""
+        last_served = 0
+        while not self._stats_stop.wait(interval_s):
+            with self._stats_lock:
+                served = self._served
+            rate = (served - last_served) / interval_s
+            last_served = served
+            print(f"[serve] {rate:.1f} req/s | {self.stats_line()}", flush=True)
+
     # -- per-connection service -------------------------------------------- #
     def _should_abort(self) -> bool:
         with self._lock:
@@ -203,18 +293,32 @@ class ServingDaemon:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         send_lock = threading.Lock()
+        conn_id = next(self._conn_ids)
 
-        def _reply(request_id: int, future: "Future") -> None:
+        def _reply(request_id: int, submitted_at: float, future: "Future") -> None:
             error = future.exception()
             if error is not None:
                 message = {"id": request_id, "error": error}
             else:
                 message = {"id": request_id, "outputs": future.result()}  # repro: noqa[REP011] -- done-callback: the future is already resolved here
+            with self._stats_lock:
+                if error is None:
+                    self._served += 1
+                    self._latency_reservoir.observe(
+                        max(0.0, time.monotonic() - submitted_at)
+                    )
+                else:
+                    self._errored += 1
             with send_lock:
                 try:
                     _send_frame(conn, message)
                 except (OSError, ValueError, pickle.PicklingError):
                     conn.close()  # client gone mid-reply: drop the stream
+                    return
+            if self._recorder is not None:
+                self._recorder.record(
+                    "reply_write", conn=conn_id, req=request_id, ok=error is None
+                )
 
         try:
             while True:
@@ -225,6 +329,9 @@ class ServingDaemon:
                 if request is None:
                     return  # client closed its end
                 request_id = request.get("id")
+                if self._recorder is not None:
+                    self._recorder.record("recv", conn=conn_id, req=request_id)
+                submitted_at = time.monotonic()
                 try:
                     future = self.dispatcher.submit(
                         request["inputs"],
@@ -232,11 +339,15 @@ class ServingDaemon:
                         priority=request.get("priority"),
                     )
                 except BaseException as exc:  # reported to the client, not dropped
+                    with self._stats_lock:
+                        self._errored += 1
                     with send_lock:
                         _send_frame(conn, {"id": request_id, "error": exc})
                     continue
                 future.add_done_callback(
-                    lambda f, request_id=request_id: _reply(request_id, f)
+                    lambda f, request_id=request_id, submitted_at=submitted_at: _reply(
+                        request_id, submitted_at, f
+                    )
                 )
         finally:
             conn.close()
@@ -250,12 +361,18 @@ class ServingDaemon:
             self._closed = True
             conns = list(self._conns)
             accept_thread = self._accept_thread
+            stats_thread = self._stats_thread
+        self._stats_stop.set()
         self._sock.close()
         for conn in conns:
             conn.close()
         if accept_thread is not None:
             accept_thread.join(5.0)
+        if stats_thread is not None:
+            stats_thread.join(5.0)
         self.dispatcher.close()
+        # After the dispatcher drained: every reply_write has fired.
+        self._close_recorder()
 
     def __enter__(self) -> "ServingDaemon":
         return self

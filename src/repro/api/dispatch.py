@@ -181,6 +181,12 @@ class EngineDispatcher:
         engine_kwargs: forwarded to each worker's
             :func:`~repro.api.load_engine` call (scheduler knobs:
             ``max_batch_size``, ``priority_weights``, ...).
+        trace_dir: when given, record routing/reply events from this parent
+            process *and* inject ``trace_dir`` into every worker's
+            ``engine_kwargs`` so each worker engine records its scheduler
+            stream into the same trace directory.  Only the path string
+            crosses the process boundary (REP010); each process opens its
+            own recorder.
     """
 
     def __init__(
@@ -189,6 +195,7 @@ class EngineDispatcher:
         num_workers: int = 2,
         start_method: Optional[str] = None,
         engine_kwargs: Optional[Mapping[str, object]] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -197,6 +204,19 @@ class EngineDispatcher:
             raise FileNotFoundError(f"artifact not found: {self.artifact_path}")
         self.num_workers = int(num_workers)
         self._engine_kwargs = dict(engine_kwargs or {})
+        self._recorder = None
+        if trace_dir is not None:
+            from ..trace.recorder import TraceRecorder  # deferred: no cycle
+
+            self._engine_kwargs.setdefault("trace_dir", str(trace_dir))
+            self._recorder = TraceRecorder(
+                trace_dir,
+                role="dispatch",
+                meta={
+                    "artifact": str(self.artifact_path),
+                    "num_workers": self.num_workers,
+                },
+            )
         weights = self._engine_kwargs.get("priority_weights") or DEFAULT_PRIORITY_WEIGHTS
         self._priority_classes = frozenset(weights)
         self._default_priority = str(
@@ -258,6 +278,10 @@ class EngineDispatcher:
                     handle.outstanding -= 1
             if future is None:
                 continue  # cancelled/failed elsewhere; reply is moot
+            if self._recorder is not None:
+                self._recorder.record(
+                    "reply", req=request_id, worker=handle.index, ok=error is None
+                )
             if error is not None:
                 future.set_exception(error)
             else:
@@ -307,6 +331,10 @@ class EngineDispatcher:
             self._next_id += 1
             handle.inflight[request_id] = future
             handle.outstanding += 1
+        if self._recorder is not None:
+            self._recorder.record(
+                "route", req=request_id, worker=handle.index, pri=priority
+            )
         try:
             with handle.send_lock:
                 handle.conn.send((request_id, payload, priority, timeout_ms))
@@ -381,6 +409,10 @@ class EngineDispatcher:
             # the original exception.
             if handle.reader is not None and handle.reader.ident is not None:
                 handle.reader.join(5.0)
+        if self._recorder is not None:
+            # After the readers joined: every reply that will ever arrive has
+            # been recorded, so the final segment is complete.
+            self._recorder.close()
 
     def __enter__(self) -> "EngineDispatcher":
         return self

@@ -29,7 +29,14 @@ from ..graph.graph import Graph
 from ..runtime.module import CompiledModule
 from ..runtime.threadpool import BufferPool
 from ..tensor.tensor import Tensor
-from .scheduler import AdaptiveTimeout, RequestScheduler, SchedulerStats, _attach_index
+from .scheduler import (
+    DEFAULT_PRIORITY,
+    DEFAULT_PRIORITY_WEIGHTS,
+    AdaptiveTimeout,
+    RequestScheduler,
+    SchedulerStats,
+    _attach_index,
+)
 
 __all__ = ["InferenceEngine", "batchability_report"]
 
@@ -151,6 +158,11 @@ class InferenceEngine:
             weighted-fair and never share a batch.
         default_priority: the class of requests submitted without an
             explicit ``priority=``.
+        trace_dir: when given, attach a :class:`repro.trace.TraceRecorder`
+            and record the full per-request event stream (arrival, queue
+            enter/exit, batch membership, executor start/end, resolution)
+            into this directory for trace-driven replay.  None records
+            nothing.
     """
 
     def __init__(
@@ -165,6 +177,7 @@ class InferenceEngine:
         num_workers: Optional[int] = None,
         priority_weights: Optional[Mapping[str, float]] = None,
         default_priority: Optional[str] = None,
+        trace_dir: Optional[str] = None,
     ) -> None:
         self.module = module
         self._executor = module.create_executor(params, seed)
@@ -202,6 +215,8 @@ class InferenceEngine:
         self.num_workers = num_workers
         self.priority_weights = priority_weights
         self.default_priority = default_priority
+        self.trace_dir = trace_dir
+        self._recorder = None
         self._buffers = BufferPool()
         self._scheduler: Optional[RequestScheduler] = None
         self._scheduler_lock = threading.Lock()
@@ -235,8 +250,60 @@ class InferenceEngine:
                         default_priority=self.default_priority,
                         signature=self._request_signature,
                         name=f"neocpu-{self.module.graph.name}",
+                        recorder=self._make_recorder(),
                     )
         return self._scheduler
+
+    def _make_recorder(self):
+        """Open the scheduler's trace recorder (None when tracing is off).
+
+        The recorder's manifest carries everything the replayer needs to
+        rebuild this configuration: the resolved scheduler knobs, the model,
+        and (under adaptive batching) the AdaptiveTimeout parameters.
+        """
+        if self.trace_dir is None:
+            return None
+        from ..trace.recorder import TraceRecorder  # deferred: no import cycle
+
+        timeout = self.batch_timeout_ms
+        adaptive = None
+        if isinstance(timeout, AdaptiveTimeout):
+            adaptive = {
+                "alpha": timeout.alpha,
+                "multiplier": timeout.multiplier,
+                "min_ms": timeout.min_s * 1e3,
+                "max_ms": timeout.max_s * 1e3,
+                "initial_ms": timeout.initial_s * 1e3,
+            }
+            timeout = "auto"
+        elif timeout == "auto":
+            adaptive = {}  # AdaptiveTimeout defaults
+        weights = dict(
+            DEFAULT_PRIORITY_WEIGHTS
+            if self.priority_weights is None
+            else self.priority_weights
+        )
+        knobs = {
+            "max_batch_size": self.max_batch_size,
+            "batch_timeout_ms": timeout,
+            "queue_depth": self.queue_depth,
+            "num_workers": self.num_workers,
+            "priority_weights": weights,
+            "default_priority": self.default_priority
+            or (DEFAULT_PRIORITY if DEFAULT_PRIORITY in weights else next(iter(weights))),
+        }
+        if adaptive is not None:
+            knobs["adaptive"] = adaptive
+        self._recorder = TraceRecorder(
+            self.trace_dir,
+            role="scheduler",
+            meta={
+                "model": self.module.graph.name,
+                "target": self.module.cpu.name,
+                "knobs": knobs,
+            },
+        )
+        return self._recorder
 
     def _comparable_shape(self, shape: Sequence[int]) -> Tuple[int, ...]:
         """Normalize a shape to the engine's leading-extent convention.
@@ -471,6 +538,10 @@ class InferenceEngine:
             if self._scheduler is not None:
                 self._scheduler.close(wait=wait)
         finally:
+            # The trace recorder closes after the scheduler drained so the
+            # final done/exec_end events land in the last segment.
+            if self._recorder is not None:
+                self._recorder.close()
             # Hooks release artifact pins: they must fire even if scheduler
             # shutdown raises, or the pinned file is GC-exempt forever.
             # The test-and-set is atomic under _close_lock so concurrent
@@ -533,10 +604,22 @@ class InferenceEngine:
                 )
         with self._scheduler_lock:
             num_workers = self.num_workers
+            queue_depth = self.queue_depth
         lines.append(
             f"  scheduler: batch_timeout_ms={timeout}, "
-            f"queue_depth={self.queue_depth}, num_workers={num_workers}"
+            f"queue_depth={queue_depth}, num_workers={num_workers}"
         )
+        if self.trace_dir is not None:
+            lines.append(f"  tracing: {self.trace_dir}")
+        stats = self.stats()
+        if stats.completed:
+            latency = stats.latency_ms
+            wait = stats.queue_wait_ms
+            lines.append(
+                f"  latency ms p50/p95/p99: {latency.get('p50', 0.0):.2f} / "
+                f"{latency.get('p95', 0.0):.2f} / {latency.get('p99', 0.0):.2f} "
+                f"(queue wait p99 {wait.get('p99', 0.0):.2f})"
+            )
         return "\n".join(lines)
 
     def summary(self) -> str:

@@ -38,6 +38,7 @@ inputs along the batch axis and splits the outputs back — see
 from __future__ import annotations
 
 import itertools
+import random
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
@@ -53,6 +54,7 @@ __all__ = [
     "DEFAULT_PRIORITY",
     "DEFAULT_PRIORITY_WEIGHTS",
     "DeadlineExceeded",
+    "LatencyReservoir",
     "RequestScheduler",
     "SchedulerStats",
     "request_signature",
@@ -182,6 +184,55 @@ def request_signature(inputs: Mapping[str, object]) -> Tuple:
     return tuple(items)
 
 
+class LatencyReservoir:
+    """A bounded uniform sample of latency observations (Algorithm R).
+
+    Percentiles over an unbounded stream need either the full stream or a
+    sketch; a fixed-size uniform reservoir is the simplest sketch whose
+    quantiles are unbiased.  Capacity is small (a few thousand floats), so a
+    long-running daemon's stats stay O(1) in memory no matter how many
+    requests it served.  The replacement RNG is seeded: two schedulers fed
+    the same stream report the same percentiles (REP001 — no unseeded
+    randomness in anything a test asserts on).
+
+    Not thread-safe by itself; the scheduler observes under its stats lock.
+    """
+
+    def __init__(self, capacity: int = 2048, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._samples: List[float] = []
+        self._count = 0
+
+    def observe(self, value_s: float) -> None:
+        """Add one observation (seconds)."""
+        self._count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value_s)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.capacity:
+                self._samples[slot] = value_s
+
+    def __len__(self) -> int:
+        return self._count
+
+    def percentiles_ms(self) -> Dict[str, float]:
+        """``{"p50", "p95", "p99", "mean"}`` in milliseconds (zeros when
+        nothing was observed yet)."""
+        if not self._samples:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0}
+        array = np.sort(np.asarray(self._samples, dtype=np.float64)) * 1e3
+        return {
+            "p50": float(np.percentile(array, 50)),
+            "p95": float(np.percentile(array, 95)),
+            "p99": float(np.percentile(array, 99)),
+            "mean": float(np.mean(array)),
+        }
+
+
 @dataclass
 class SchedulerStats:
     """Counters exposed through :meth:`RequestScheduler.stats`.
@@ -192,6 +243,11 @@ class SchedulerStats:
     requests that shared an executor pass with at least one other request,
     and ``mean_batch_size`` is requests-per-executor-pass (1.0 means the
     scheduler never managed to coalesce anything).
+
+    ``queue_wait_ms`` and ``latency_ms`` are percentile summaries
+    (p50/p95/p99/mean) from bounded reservoirs: queue wait is submission to
+    executor start, latency is submission to completion (successful requests
+    only).
     """
 
     queued: int = 0
@@ -205,6 +261,10 @@ class SchedulerStats:
     #: requests handed to the runner, per priority class (coalescing quality
     #: and fairness are judged per class).
     executed_by_priority: Dict[str, int] = field(default_factory=dict)
+    #: submission -> executor-start percentiles, ms (p50/p95/p99/mean).
+    queue_wait_ms: Dict[str, float] = field(default_factory=dict)
+    #: submission -> completion percentiles, ms (p50/p95/p99/mean).
+    latency_ms: Dict[str, float] = field(default_factory=dict)
 
     @property
     def in_flight(self) -> int:
@@ -218,15 +278,26 @@ class SchedulerStats:
 
 
 class _Request:
-    __slots__ = ("inputs", "future", "deadline", "index", "signature", "priority")
+    __slots__ = (
+        "inputs",
+        "future",
+        "deadline",
+        "index",
+        "signature",
+        "priority",
+        "arrival",
+    )
 
-    def __init__(self, inputs, future, deadline, index, signature, priority) -> None:
+    def __init__(
+        self, inputs, future, deadline, index, signature, priority, arrival
+    ) -> None:
         self.inputs = inputs
         self.future = future
         self.deadline = deadline
         self.index = index
         self.signature = signature
         self.priority = priority
+        self.arrival = arrival  # monotonic submit time: queue-wait/latency base
 
 
 def _attach_index(error: BaseException, index: int) -> BaseException:
@@ -266,6 +337,13 @@ class RequestScheduler:
         default_priority: the class of requests submitted without an
             explicit ``priority=`` (must be a ``priority_weights`` key).
         name: thread-name prefix, for debuggability of stress-test dumps.
+        recorder: optional :class:`repro.trace.TraceRecorder` — when given,
+            the scheduler records the full per-request event stream
+            (arrival/enqueue/dequeue/exec_start/exec_end/done) for
+            trace-driven replay.  None (the default) records nothing and
+            costs nothing.
+        reservoir_size: capacity of the queue-wait and latency percentile
+            reservoirs reported by :meth:`stats`.
     """
 
     def __init__(
@@ -280,6 +358,8 @@ class RequestScheduler:
         default_priority: Optional[str] = None,
         signature: Callable[[Mapping[str, object]], Tuple] = request_signature,
         name: str = "neocpu-scheduler",
+        recorder: Optional["object"] = None,
+        reservoir_size: int = 2048,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -322,6 +402,14 @@ class RequestScheduler:
         self._stats = SchedulerStats()
         self._stats_lock = threading.Lock()
         self._counter = itertools.count()
+        self._batch_counter = itertools.count()
+        self._wait_reservoir = LatencyReservoir(reservoir_size)
+        self._latency_reservoir = LatencyReservoir(reservoir_size)
+        self._recorder = recorder
+        if recorder is not None:
+            from ..trace.recorder import signature_hash  # deferred: no cycle
+
+            self._signature_hash = signature_hash
         self._closed = False
         self._workers = ThreadPoolExecutor(
             max_workers=num_workers, thread_name_prefix=f"{name}-worker"
@@ -392,9 +480,19 @@ class RequestScheduler:
             next(self._counter),
             self._signature(inputs),
             priority,
+            now,
         )
         with self._stats_lock:
             self._stats.queued += 1
+        if self._recorder is not None:
+            self._recorder.record_at(
+                "arrival",
+                now,
+                req=request.index,
+                pri=priority,
+                sig=self._signature_hash(request.signature),
+                deadline_ms=timeout_ms,
+            )
         queue_timeout = None if deadline is None else max(0.0, deadline - now)
         if not self._queue.put(request, priority, timeout=queue_timeout):
             if self._queue.closed:
@@ -403,6 +501,8 @@ class RequestScheduler:
                 )
             else:
                 self._resolve_deadline(request, "request queue stayed full")
+        elif self._recorder is not None:
+            self._recorder.record("enqueue", req=request.index)
         return future
 
     def submit_all(
@@ -433,6 +533,8 @@ class RequestScheduler:
             # replace() copies shallowly: snapshot the per-class dict too, or
             # the caller's "snapshot" keeps mutating under later dispatches.
             snapshot.executed_by_priority = dict(self._stats.executed_by_priority)
+            snapshot.queue_wait_ms = self._wait_reservoir.percentiles_ms()
+            snapshot.latency_ms = self._latency_reservoir.percentiles_ms()
             return snapshot
 
     # ------------------------------------------------------------------ #
@@ -448,6 +550,8 @@ class RequestScheduler:
                 if self._queue.closed and not len(self._queue):
                     return
                 continue
+            if self._recorder is not None:
+                self._recorder.record("dequeue", req=request.index)
             batch = [request]
             # Gather only when more requests are already queued: a lone
             # synchronous caller must not pay batch_timeout_ms of latency
@@ -480,6 +584,8 @@ class RequestScheduler:
                 timeout=max(0.0, remaining),
             )
             if request is not None:
+                if self._recorder is not None:
+                    self._recorder.record("dequeue", req=request.index)
                 batch.append(request)
                 continue
             if status == "mismatch" or remaining <= 0 or self._closed:
@@ -498,7 +604,15 @@ class RequestScheduler:
                     self._stats.failed += 1
         if not live:
             return
-        self._count_dispatch(live)
+        self._count_dispatch(live, now)
+        batch_id = next(self._batch_counter)
+        if self._recorder is not None:
+            self._recorder.record(
+                "exec_start",
+                batch=batch_id,
+                reqs=[request.index for request in live],
+                pri=live[0].priority,
+            )
         try:
             outputs = self._runner([request.inputs for request in live])
             if len(outputs) != len(live):
@@ -506,6 +620,8 @@ class RequestScheduler:
                     f"runner returned {len(outputs)} results for {len(live)} requests"
                 )
         except BaseException as error:
+            if self._recorder is not None:
+                self._recorder.record("exec_end", batch=batch_id, ok=False)
             # BaseException, not Exception: a KeyboardInterrupt/SystemExit
             # raised into a worker must still resolve the futures, or every
             # caller blocked on result() hangs forever.
@@ -523,10 +639,12 @@ class RequestScheduler:
                 for request in live:
                     self._execute_single(request)
         else:
+            if self._recorder is not None:
+                self._recorder.record("exec_end", batch=batch_id, ok=True)
             for request, out in zip(live, outputs):
                 self._resolve_ok(request, out)
 
-    def _count_dispatch(self, live: List[_Request]) -> None:
+    def _count_dispatch(self, live: List[_Request], now: float) -> None:
         """Account one runner dispatch of ``live`` in the stats."""
         with self._stats_lock:
             self._stats.batches += 1
@@ -539,28 +657,42 @@ class RequestScheduler:
                     self._stats.executed_by_priority.get(request.priority, 0)
                     + 1
                 )
+                self._wait_reservoir.observe(max(0.0, now - request.arrival))
 
     def _execute_single(self, request: _Request) -> None:
         # A serial re-run after a batch failure is a real runner dispatch:
         # count it, or ``executed``/``mean_batch_size`` under-report actual
         # runner calls (the failed batch counted once, then N re-runs ran
         # invisibly).
-        self._count_dispatch([request])
+        self._count_dispatch([request], time.monotonic())
+        batch_id = next(self._batch_counter)
+        if self._recorder is not None:
+            self._recorder.record(
+                "exec_start", batch=batch_id, reqs=[request.index], pri=request.priority
+            )
         try:
             outputs = self._runner([request.inputs])
         except BaseException as error:
+            if self._recorder is not None:
+                self._recorder.record("exec_end", batch=batch_id, ok=False)
             self._resolve_error(request, error)
             if not isinstance(error, Exception):
                 raise
         else:
+            if self._recorder is not None:
+                self._recorder.record("exec_end", batch=batch_id, ok=True)
             self._resolve_ok(request, outputs[0])
 
     # ------------------------------------------------------------------ #
     # resolution helpers
     # ------------------------------------------------------------------ #
     def _resolve_ok(self, request: _Request, outputs: List[np.ndarray]) -> None:
+        now = time.monotonic()
         with self._stats_lock:
             self._stats.completed += 1
+            self._latency_reservoir.observe(max(0.0, now - request.arrival))
+        if self._recorder is not None:
+            self._recorder.record_at("done", now, req=request.index, status="ok")
         try:
             request.future.set_result(outputs)
         except InvalidStateError:  # pragma: no cover - cancelled mid-flight
@@ -569,6 +701,8 @@ class RequestScheduler:
     def _resolve_error(self, request: _Request, error: BaseException) -> None:
         with self._stats_lock:
             self._stats.failed += 1
+        if self._recorder is not None:
+            self._recorder.record("done", req=request.index, status="error")
         try:
             request.future.set_exception(_attach_index(error, request.index))
         except InvalidStateError:  # pragma: no cover - cancelled mid-flight
@@ -577,6 +711,8 @@ class RequestScheduler:
     def _resolve_deadline(self, request: _Request, reason: str) -> None:
         with self._stats_lock:
             self._stats.deadline_misses += 1
+        if self._recorder is not None:
+            self._recorder.record("done", req=request.index, status="deadline")
         try:
             request.future.set_exception(
                 _attach_index(

@@ -1,0 +1,794 @@
+"""Trace-driven replay: a deterministic discrete-event serving simulator.
+
+:func:`replay` re-runs a recorded request stream (see
+:mod:`repro.trace.recorder`) through faithful models of the serving stack's
+moving parts — the weighted-fair queue (stride scheduling, idle classes earn
+no credit), the batching collector (lone requests dispatch immediately;
+gathering waits up to the window, stops on a signature mismatch, and the
+window itself may be the real :class:`~repro.api.scheduler.AdaptiveTimeout`
+policy), per-request deadlines (checked at execution, exactly where the real
+scheduler checks them), the scheduler's executor thread slots, and the
+multi-process dispatcher's least-outstanding routing.
+
+Execution cost comes from the trace itself: every recorded runner dispatch
+contributes one ``(batch size, duration)`` sample, and
+:class:`CalibratedCostModel` fits ``duration = base + per_sample * n`` over
+them.  Replaying a trace under the knobs it was recorded with therefore
+predicts the measured throughput to within the fidelity gate — and replaying
+it under *different* knobs (``max_batch_size``, ``batch_timeout_ms``, worker
+count, queue depth, priority weights) predicts what those knobs would have
+done to the same traffic, without touching hardware.
+
+Worker-count scaling model: a fleet of ``W`` worker processes on ``C`` cores
+runs each executor dispatch at the recorded speed while ``W <= C`` and
+dilates it by ``W / C`` beyond that (every process shares the cores
+fairly).  Predicted throughput with more workers is therefore linear until
+the core count and flat after it — a capacity *model*, optimistic about
+memory bandwidth, honest about core count, and exact at the recorded point
+(where the dilation factor is 1 by construction).
+
+Everything here is a pure function of ``(trace, knobs)``: no clock reads, no
+RNG, stable tie-breaking everywhere — the same trace and knobs produce
+byte-identical reports across runs and across processes, which is what makes
+a replay a regression *gate* rather than an estimate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..api.scheduler import AdaptiveTimeout
+from .format import Trace, TraceFormatError
+
+__all__ = [
+    "CalibratedCostModel",
+    "RecordedRequest",
+    "ReplayKnobs",
+    "ReplayMetrics",
+    "ReplayReport",
+    "calibrate",
+    "extract_requests",
+    "knobs_from_trace",
+    "measured_metrics",
+    "replay",
+]
+
+#: Simulated collector wake-up latency, seconds.  The real collector is a
+#: thread: between a request landing in an empty queue and the collector's
+#: blocking ``get`` returning lies one OS wake-up (tens of microseconds).
+#: During a burst that latency is what lets the queue accumulate so the
+#: collector finds stragglers to coalesce; a zero-latency simulated collector
+#: would drain every arrival instantly and predict no batching at all.
+#:
+#: The second half of the model: while every executor slot in a process is
+#: busy, the collector thread is starved (the executor threads hold the GIL
+#: for most of each dispatch), so it stops forming batches until a dispatch
+#: completes.  The simulator mirrors that by suspending a saturated worker's
+#: collector and waking it from ``exec_end`` — which is exactly the
+#: accumulation that produces the large recorded batches under load.
+COLLECTOR_WAKE_S = 1e-4
+
+
+# --------------------------------------------------------------------------- #
+# trace extraction
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RecordedRequest:
+    """One request of the recorded stream, normalized to trace-relative time."""
+
+    rid: Tuple[int, int]  #: (recording pid, scheduler-local request id)
+    arrival: float  #: seconds since the first recorded arrival
+    priority: str
+    sig: str  #: batching-signature digest; only equal digests may coalesce
+    deadline_ms: Optional[float]
+
+
+def extract_requests(trace: Trace) -> List[RecordedRequest]:
+    """The offered load: every scheduler-level arrival, time-normalized.
+
+    Arrivals from every worker process are merged into one stream sorted by
+    ``(arrival, pid, id)`` — that stream is what stays invariant when the
+    replayer re-routes it over a different worker count.
+    """
+    arrivals = [
+        event for event in trace.events
+        if event.role == "scheduler" and event.kind == "arrival"
+    ]
+    if not arrivals:
+        raise TraceFormatError(
+            f"trace {trace.path} has no scheduler arrival events to replay"
+        )
+    t0 = min(event.t for event in arrivals)
+    requests = [
+        RecordedRequest(
+            rid=(event.pid, int(event.field("req", 0))),
+            arrival=event.t - t0,
+            priority=str(event.field("pri", "normal")),
+            sig=str(event.field("sig", "")),
+            deadline_ms=(
+                None
+                if event.field("deadline_ms") is None
+                else float(event.field("deadline_ms"))
+            ),
+        )
+        for event in arrivals
+    ]
+    requests.sort(key=lambda r: (r.arrival, r.rid))
+    return requests
+
+
+class CalibratedCostModel:
+    """Runner-dispatch duration as a function of batch size, fit from a trace.
+
+    Samples are the trace's own ``exec_start``/``exec_end`` pairs.  The model
+    is affine — ``duration(n) = base + per_sample * n`` — which matches the
+    batch-vectorized kernels (one pass over the stacked batch amortizes a
+    fixed per-dispatch overhead).  With only one distinct batch size in the
+    trace the slope is unidentifiable and the model degrades to proportional
+    scaling through the observed point.  Coefficients are clamped
+    non-negative: a fit that extrapolates *negative* time for small batches
+    would corrupt every what-if downstream.
+    """
+
+    def __init__(self, samples: Sequence[Tuple[int, float]]) -> None:
+        if not samples:
+            raise TraceFormatError(
+                "no executor samples in trace (exec_start/exec_end pairs); "
+                "cannot calibrate a cost model"
+            )
+        self.samples = sorted((int(n), float(d)) for n, d in samples)
+        by_size: Dict[int, List[float]] = {}
+        for size, duration in self.samples:
+            by_size.setdefault(size, []).append(duration)
+        sizes = np.array(sorted(by_size), dtype=np.float64)
+        means = np.array(
+            [float(np.mean(by_size[int(size)])) for size in sizes], dtype=np.float64
+        )
+        if len(sizes) == 1:
+            self.base = 0.0
+            self.per_sample = float(means[0] / max(1.0, sizes[0]))
+        else:
+            slope, intercept = np.polyfit(sizes, means, 1)
+            if slope < 0.0:
+                # Larger batches measured *faster* (noise / warm-up): the
+                # affine form cannot hold — fall back to the mean duration.
+                self.base = float(np.mean(means))
+                self.per_sample = 0.0
+            elif intercept < 0.0:
+                self.base = 0.0
+                self.per_sample = float(np.sum(sizes * means) / np.sum(sizes * sizes))
+            else:
+                self.base = float(intercept)
+                self.per_sample = float(slope)
+
+    def predict_s(self, batch_size: int) -> float:
+        """Predicted runner-dispatch duration for a batch of ``batch_size``."""
+        return self.base + self.per_sample * max(1, int(batch_size))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CalibratedCostModel(base={self.base * 1e3:.3f}ms, "
+            f"per_sample={self.per_sample * 1e3:.3f}ms, "
+            f"samples={len(self.samples)})"
+        )
+
+
+def calibrate(trace: Trace) -> CalibratedCostModel:
+    """Fit the executor cost model from a trace's recorded dispatches."""
+    starts: Dict[Tuple[int, int], Tuple[float, int]] = {}
+    samples: List[Tuple[int, float]] = []
+    for event in trace.events:
+        if event.role != "scheduler":
+            continue
+        if event.kind == "exec_start":
+            key = (event.pid, int(event.field("batch", 0)))
+            starts[key] = (event.t, len(event.field("reqs", []) or []))
+        elif event.kind == "exec_end":
+            key = (event.pid, int(event.field("batch", 0)))
+            started = starts.pop(key, None)
+            if started is not None and event.field("ok", True):
+                t_start, size = started
+                if size > 0:
+                    samples.append((size, max(0.0, event.t - t_start)))
+    return CalibratedCostModel(samples)
+
+
+# --------------------------------------------------------------------------- #
+# knobs
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ReplayKnobs:
+    """The serving configuration a replay simulates.
+
+    ``knobs_from_trace`` reproduces the recorded configuration;
+    ``dataclasses.replace`` (or keyword overrides on
+    :func:`~repro.trace.whatif.sweep`) derives what-if variants.
+    """
+
+    max_batch_size: int = 8
+    batch_timeout_ms: "float | str" = 2.0  #: a number, or ``"auto"``
+    queue_depth: int = 256
+    scheduler_workers: int = 2  #: executor threads per worker process
+    processes: int = 1  #: worker-process count
+    priority_weights: Tuple[Tuple[str, float], ...] = (
+        ("interactive", 8.0),
+        ("normal", 4.0),
+        ("bulk", 1.0),
+    )
+    cores: int = 1  #: host cores, for the worker-count scaling model
+    #: AdaptiveTimeout constructor kwargs used when ``batch_timeout_ms`` is
+    #: ``"auto"`` (recorded by the scheduler's recorder).
+    adaptive: Tuple[Tuple[str, float], ...] = ()
+
+    def weights(self) -> Dict[str, float]:
+        return {key: float(value) for key, value in self.priority_weights}
+
+    def describe(self) -> str:
+        timeout = (
+            self.batch_timeout_ms
+            if isinstance(self.batch_timeout_ms, str)
+            else f"{self.batch_timeout_ms:g}ms"
+        )
+        return (
+            f"workers={self.processes} max_batch={self.max_batch_size} "
+            f"timeout={timeout} queue_depth={self.queue_depth}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "max_batch_size": self.max_batch_size,
+            "batch_timeout_ms": self.batch_timeout_ms,
+            "queue_depth": self.queue_depth,
+            "scheduler_workers": self.scheduler_workers,
+            "processes": self.processes,
+            "priority_weights": dict(self.priority_weights),
+            "cores": self.cores,
+            "adaptive": dict(self.adaptive),
+        }
+
+
+def _as_items(mapping: Optional[Mapping[str, float]]) -> Tuple[Tuple[str, float], ...]:
+    if not mapping:
+        return ()
+    return tuple(sorted((str(k), float(v)) for k, v in mapping.items()))
+
+
+def knobs_from_trace(trace: Trace) -> ReplayKnobs:
+    """The configuration the trace was recorded under (the fidelity baseline)."""
+    meta = trace.scheduler_meta()
+    knobs = meta.get("knobs") or {}
+    timeout = knobs.get("batch_timeout_ms", 2.0)
+    if not isinstance(timeout, str):
+        timeout = float(timeout)
+    weights = _as_items(knobs.get("priority_weights"))
+    if not weights:
+        weights = ReplayKnobs().priority_weights
+    return ReplayKnobs(
+        max_batch_size=int(knobs.get("max_batch_size", 8)),
+        batch_timeout_ms=timeout,
+        queue_depth=int(knobs.get("queue_depth", 256)),
+        scheduler_workers=int(knobs.get("num_workers", 2)),
+        processes=max(1, len(trace.scheduler_pids())),
+        priority_weights=weights,
+        cores=int(meta.get("cpu_count", 1) or 1),
+        adaptive=_as_items(knobs.get("adaptive")),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------------- #
+def _percentiles_ms(values_s: Sequence[float]) -> Dict[str, float]:
+    if not values_s:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0}
+    array = np.sort(np.asarray(values_s, dtype=np.float64)) * 1e3
+    return {
+        "p50": float(np.percentile(array, 50)),
+        "p95": float(np.percentile(array, 95)),
+        "p99": float(np.percentile(array, 99)),
+        "mean": float(np.mean(array)),
+    }
+
+
+@dataclass
+class ReplayMetrics:
+    """Aggregate serving metrics, identical in shape for measured and
+    predicted so the two can be diffed field by field."""
+
+    requests: int = 0
+    completed: int = 0
+    deadline_misses: int = 0
+    duration_s: float = 0.0
+    throughput_rps: float = 0.0
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    queue_wait_ms: Dict[str, float] = field(default_factory=dict)
+    batches: int = 0
+    mean_batch_size: float = 0.0
+    by_priority: Dict[str, int] = field(default_factory=dict)
+    peak_queue_depth: int = 0
+    #: arrivals that found the queue at ``queue_depth`` (the replayer cannot
+    #: delay an open-loop client, so these are accounted, not simulated).
+    backpressure_events: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "deadline_misses": self.deadline_misses,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": dict(self.latency_ms),
+            "queue_wait_ms": dict(self.queue_wait_ms),
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "by_priority": dict(self.by_priority),
+            "peak_queue_depth": self.peak_queue_depth,
+            "backpressure_events": self.backpressure_events,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """A replay's prediction, plus everything needed to judge it."""
+
+    source: str  #: ``"replay"`` or ``"measured"``
+    knobs: ReplayKnobs
+    metrics: ReplayMetrics
+    cost_model: Optional[Dict[str, float]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "source": self.source,
+            "knobs": self.knobs.to_dict(),
+            "metrics": self.metrics.to_dict(),
+        }
+        if self.cost_model is not None:
+            payload["cost_model"] = dict(self.cost_model)
+        return payload
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace variance.  Replay is
+        deterministic, so equal ``(trace, knobs)`` means byte-equal output —
+        across runs and across processes."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def describe(self) -> str:
+        m = self.metrics
+        lines = [
+            f"{self.source}: {self.knobs.describe()}",
+            f"  requests {m.requests} (completed {m.completed}, "
+            f"deadline misses {m.deadline_misses}, "
+            f"backpressure {m.backpressure_events})",
+            f"  throughput {m.throughput_rps:.1f} req/s over {m.duration_s * 1e3:.1f} ms",
+            f"  latency ms p50/p95/p99: {m.latency_ms.get('p50', 0.0):.2f} / "
+            f"{m.latency_ms.get('p95', 0.0):.2f} / {m.latency_ms.get('p99', 0.0):.2f}",
+            f"  queue wait ms p50/p95/p99: {m.queue_wait_ms.get('p50', 0.0):.2f} / "
+            f"{m.queue_wait_ms.get('p95', 0.0):.2f} / "
+            f"{m.queue_wait_ms.get('p99', 0.0):.2f}",
+            f"  batches {m.batches} (mean size {m.mean_batch_size:.2f}), "
+            f"peak queue depth {m.peak_queue_depth}",
+        ]
+        return "\n".join(lines)
+
+
+def measured_metrics(trace: Trace) -> ReplayMetrics:
+    """What the recorded run actually delivered, from the trace's own events.
+
+    Uses the same definitions as the replayer — queue wait is arrival to
+    ``exec_start``, latency is arrival to ``done``, throughput is completions
+    over the first-arrival-to-last-completion span — so measured and
+    predicted reports diff cleanly.
+    """
+    arrivals: Dict[Tuple[int, int], Tuple[float, str]] = {}
+    waits: List[float] = []
+    latencies: List[float] = []
+    metrics = ReplayMetrics()
+    batch_sizes: List[int] = []
+    depth = 0
+    last_done = None
+    for event in trace.events:
+        if event.role != "scheduler":
+            continue
+        rid = (event.pid, int(event.field("req", 0)))
+        if event.kind == "arrival":
+            arrivals[rid] = (event.t, str(event.field("pri", "normal")))
+            metrics.requests += 1
+        elif event.kind == "enqueue":
+            depth += 1
+            metrics.peak_queue_depth = max(metrics.peak_queue_depth, depth)
+        elif event.kind == "dequeue":
+            depth = max(0, depth - 1)
+        elif event.kind == "exec_start":
+            members = event.field("reqs", []) or []
+            batch_sizes.append(len(members))
+            for member in members:
+                arrived = arrivals.get((event.pid, int(member)))
+                if arrived is not None:
+                    waits.append(max(0.0, event.t - arrived[0]))
+        elif event.kind == "done":
+            arrived = arrivals.get(rid)
+            status = str(event.field("status", "ok"))
+            if status == "ok":
+                metrics.completed += 1
+                if arrived is not None:
+                    latencies.append(max(0.0, event.t - arrived[0]))
+                    metrics.by_priority[arrived[1]] = (
+                        metrics.by_priority.get(arrived[1], 0) + 1
+                    )
+                last_done = event.t
+            elif status == "deadline":
+                metrics.deadline_misses += 1
+    if arrivals and last_done is not None:
+        t0 = min(t for t, _ in arrivals.values())
+        metrics.duration_s = max(0.0, last_done - t0)
+    if metrics.duration_s > 0:
+        metrics.throughput_rps = metrics.completed / metrics.duration_s
+    metrics.latency_ms = _percentiles_ms(latencies)
+    metrics.queue_wait_ms = _percentiles_ms(waits)
+    metrics.batches = len(batch_sizes)
+    if batch_sizes:
+        metrics.mean_batch_size = float(sum(batch_sizes)) / len(batch_sizes)
+    metrics.by_priority = dict(sorted(metrics.by_priority.items()))
+    return metrics
+
+
+# --------------------------------------------------------------------------- #
+# the simulator
+# --------------------------------------------------------------------------- #
+class _SimProcess:
+    """One simulated worker process: WFQ + collector + executor slots."""
+
+    __slots__ = (
+        "index",
+        "queues",
+        "service_pass",
+        "vtime",
+        "qsize",
+        "gather",
+        "gather_token",
+        "wake_pending",
+        "free_slots",
+        "backlog",
+        "outstanding",
+        "adaptive",
+    )
+
+    def __init__(self, index: int, classes: Sequence[str], slots: int, adaptive) -> None:
+        self.index = index
+        self.queues: Dict[str, Deque[RecordedRequest]] = {
+            key: deque() for key in classes
+        }
+        self.service_pass: Dict[str, float] = {key: 0.0 for key in classes}
+        self.vtime = 0.0
+        self.qsize = 0
+        #: active gather state: (token, batch, class, sig) — None when idle.
+        self.gather: Optional[Tuple[int, List[RecordedRequest], str, str]] = None
+        self.gather_token = 0
+        self.wake_pending = False
+        self.free_slots = slots
+        self.backlog: Deque[List[RecordedRequest]] = deque()
+        self.outstanding = 0
+        self.adaptive = adaptive
+
+
+class _Replayer:
+    def __init__(
+        self,
+        requests: Sequence[RecordedRequest],
+        cost_model: CalibratedCostModel,
+        knobs: ReplayKnobs,
+        recorded_processes: int,
+    ) -> None:
+        self.requests = requests
+        self.cost = cost_model
+        self.knobs = knobs
+        weights = knobs.weights()
+        self.classes = sorted(weights)
+        self.weights = weights
+        cores = max(1, knobs.cores)
+        # Capacity scaling: executor dispatches dilate once processes
+        # oversubscribe the cores, relative to the recorded configuration.
+        self.dilation = max(1.0, knobs.processes / cores) / max(
+            1.0, max(1, recorded_processes) / cores
+        )
+        self.workers = [
+            _SimProcess(
+                index,
+                self.classes,
+                max(1, knobs.scheduler_workers),
+                self._make_adaptive(),
+            )
+            for index in range(max(1, knobs.processes))
+        ]
+        self.metrics = ReplayMetrics(requests=len(requests))
+        self._waits: List[float] = []
+        self._latencies: List[float] = []
+        self._batch_sizes: List[int] = []
+        self._first_arrival: Optional[float] = None
+        self._last_completion: Optional[float] = None
+        self._heap: List[Tuple[float, int, int, object]] = []
+        self._seq = 0
+
+    def _make_adaptive(self) -> Optional[AdaptiveTimeout]:
+        if self.knobs.batch_timeout_ms != "auto":
+            return None
+        return AdaptiveTimeout(**dict(self.knobs.adaptive))
+
+    # -- event plumbing ---------------------------------------------------- #
+    _ARRIVAL, _GATHER_DEADLINE, _EXEC_END, _WAKE = 0, 1, 2, 3
+
+    def _push(self, t: float, kind: int, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (t, self._seq, kind, payload))
+
+    def run(self) -> ReplayMetrics:
+        for request in self.requests:
+            self._push(request.arrival, self._ARRIVAL, request)
+        while self._heap:
+            t, _, kind, payload = heapq.heappop(self._heap)
+            if kind == self._ARRIVAL:
+                self._on_arrival(t, payload)
+            elif kind == self._GATHER_DEADLINE:
+                self._on_gather_deadline(t, payload)
+            elif kind == self._EXEC_END:
+                self._on_exec_end(t, payload)
+            else:
+                self._on_wake(t, payload)
+        return self._finish()
+
+    # -- arrival / routing -------------------------------------------------- #
+    def _on_arrival(self, t: float, request: RecordedRequest) -> None:
+        if self._first_arrival is None:
+            self._first_arrival = t
+        worker = min(self.workers, key=lambda w: (w.outstanding, w.index))
+        worker.outstanding += 1
+        if worker.adaptive is not None:
+            worker.adaptive.observe(t)
+        if worker.qsize >= self.knobs.queue_depth:
+            # A real submitter would block here (backpressure); an open-loop
+            # replay cannot delay the recorded client, so account it and
+            # admit the request — the queue-depth what-if reads this counter.
+            self.metrics.backpressure_events += 1
+        cls = request.priority if request.priority in self.weights else self.classes[0]
+        queue = worker.queues[cls]
+        if not queue:
+            worker.service_pass[cls] = max(worker.service_pass[cls], worker.vtime)
+        queue.append(request)
+        worker.qsize += 1
+        self.metrics.peak_queue_depth = max(self.metrics.peak_queue_depth, worker.qsize)
+        if worker.gather is not None:
+            self._feed_gather(worker, t)
+        elif worker.free_slots > 0 and not worker.wake_pending:
+            # The collector is parked in its blocking get: it sees this
+            # request one wake-up latency from now (by which time a burst
+            # may have stacked more arrivals behind it — that accumulation
+            # is where real coalescing comes from).  A saturated worker
+            # (no free slots) gets no wake at all: its GIL-starved collector
+            # resumes from ``_free_slot`` when a dispatch completes.
+            worker.wake_pending = True
+            self._push(t + COLLECTOR_WAKE_S, self._WAKE, worker)
+
+    def _on_wake(self, t: float, worker: _SimProcess) -> None:
+        worker.wake_pending = False
+        if worker.gather is None:
+            self._collector_cycle(worker, t)
+
+    # -- collector --------------------------------------------------------- #
+    def _window_s(self, worker: _SimProcess) -> float:
+        if worker.adaptive is not None:
+            return worker.adaptive.window_s
+        return float(self.knobs.batch_timeout_ms) / 1e3
+
+    def _select_class(self, worker: _SimProcess) -> str:
+        best = None
+        for key in self.classes:
+            if worker.queues[key] and (
+                best is None or worker.service_pass[key] < worker.service_pass[best]
+            ):
+                best = key
+        assert best is not None
+        return best
+
+    def _pop_class(self, worker: _SimProcess, cls: str) -> RecordedRequest:
+        request = worker.queues[cls].popleft()
+        worker.qsize -= 1
+        worker.vtime = worker.service_pass[cls]
+        worker.service_pass[cls] += 1.0 / self.weights[cls]
+        return request
+
+    def _collector_cycle(self, worker: _SimProcess, t: float) -> None:
+        """Mirror of ``RequestScheduler._collect_loop``: pop, maybe gather,
+        dispatch, repeat — all instantaneous except the gather wait.  The
+        loop stops while the worker is saturated (no free slot): the real
+        collector is GIL-starved then, and the queue it leaves untouched is
+        what the next cycle coalesces into a batch."""
+        while worker.gather is None and worker.qsize > 0 and worker.free_slots > 0:
+            cls = self._select_class(worker)
+            head = self._pop_class(worker, cls)
+            batch = [head]
+            if self.knobs.max_batch_size > 1 and worker.qsize > 0:
+                if self._gather_drain(worker, batch, cls, t):
+                    continue  # batch dispatched synchronously
+                # Head-of-class queue is empty (or batch not yet full): park
+                # the collector until the window expires or a compatible
+                # arrival lands.
+                worker.gather_token += 1
+                worker.gather = (worker.gather_token, batch, cls, head.sig)
+                deadline = t + self._window_s(worker)
+                self._push(
+                    deadline,
+                    self._GATHER_DEADLINE,
+                    (worker, worker.gather_token),
+                )
+                return
+            self._dispatch(worker, batch, t)
+
+    def _gather_drain(
+        self,
+        worker: _SimProcess,
+        batch: List[RecordedRequest],
+        cls: str,
+        t: float,
+    ) -> bool:
+        """Pop already-queued compatible requests (the zero-wait part of the
+        gather loop).  Returns True when the batch was dispatched."""
+        sig = batch[0].sig
+        queue = worker.queues[cls]
+        while len(batch) < self.knobs.max_batch_size and queue:
+            if queue[0].sig != sig:
+                self._dispatch(worker, batch, t)  # mismatch: stop gathering
+                return True
+            batch.append(self._pop_class(worker, cls))
+        if len(batch) >= self.knobs.max_batch_size:
+            self._dispatch(worker, batch, t)
+            return True
+        return False
+
+    def _feed_gather(self, worker: _SimProcess, t: float) -> None:
+        """An arrival landed while this worker's collector was gathering."""
+        token, batch, cls, sig = worker.gather
+        queue = worker.queues[cls]
+        if not queue:
+            return  # other-class arrival: gathering continues undisturbed
+        if queue[0].sig != sig:
+            # Incompatible head of the batch's own class: the real
+            # pop_matching returns "mismatch" and the batch dispatches now.
+            worker.gather = None
+            self._dispatch(worker, batch, t)
+            self._collector_cycle(worker, t)
+            return
+        batch.append(self._pop_class(worker, cls))
+        if len(batch) >= self.knobs.max_batch_size:
+            worker.gather = None
+            self._dispatch(worker, batch, t)
+            self._collector_cycle(worker, t)
+
+    def _on_gather_deadline(self, t: float, payload) -> None:
+        worker, token = payload
+        if worker.gather is None or worker.gather[0] != token:
+            return  # the batch already dispatched; stale timer
+        _, batch, _, _ = worker.gather
+        worker.gather = None
+        self._dispatch(worker, batch, t)
+        self._collector_cycle(worker, t)
+
+    # -- execution ---------------------------------------------------------- #
+    def _dispatch(self, worker: _SimProcess, batch: List[RecordedRequest], t: float) -> None:
+        if worker.free_slots > 0:
+            worker.free_slots -= 1
+            self._exec_start(worker, batch, t)
+        else:
+            worker.backlog.append(batch)
+
+    def _exec_start(self, worker: _SimProcess, batch: List[RecordedRequest], t: float) -> None:
+        live: List[RecordedRequest] = []
+        for request in batch:
+            if (
+                request.deadline_ms is not None
+                and t > request.arrival + request.deadline_ms / 1e3
+            ):
+                self.metrics.deadline_misses += 1
+                worker.outstanding -= 1
+            else:
+                live.append(request)
+        if not live:
+            self._free_slot(worker, t)
+            return
+        for request in live:
+            self._waits.append(max(0.0, t - request.arrival))
+        self._batch_sizes.append(len(live))
+        for request in live:
+            self.metrics.by_priority[request.priority] = (
+                self.metrics.by_priority.get(request.priority, 0) + 1
+            )
+        duration = self.cost.predict_s(len(live)) * self.dilation
+        self._push(t + duration, self._EXEC_END, (worker, live))
+
+    def _on_exec_end(self, t: float, payload) -> None:
+        worker, live = payload
+        for request in live:
+            self.metrics.completed += 1
+            worker.outstanding -= 1
+            self._latencies.append(max(0.0, t - request.arrival))
+        self._last_completion = t
+        self._free_slot(worker, t)
+
+    def _free_slot(self, worker: _SimProcess, t: float) -> None:
+        if worker.backlog:
+            self._exec_start(worker, worker.backlog.popleft(), t)
+            return
+        worker.free_slots += 1
+        if worker.qsize > 0 and worker.gather is None and not worker.wake_pending:
+            # The dispatch that just completed un-starves the collector:
+            # everything that queued up while the worker was saturated is
+            # coalesced one wake-up later.
+            worker.wake_pending = True
+            self._push(t + COLLECTOR_WAKE_S, self._WAKE, worker)
+
+    # -- results ------------------------------------------------------------ #
+    def _finish(self) -> ReplayMetrics:
+        metrics = self.metrics
+        if self._first_arrival is not None and self._last_completion is not None:
+            metrics.duration_s = max(0.0, self._last_completion - self._first_arrival)
+        if metrics.duration_s > 0:
+            metrics.throughput_rps = metrics.completed / metrics.duration_s
+        metrics.latency_ms = _percentiles_ms(self._latencies)
+        metrics.queue_wait_ms = _percentiles_ms(self._waits)
+        metrics.batches = len(self._batch_sizes)
+        if self._batch_sizes:
+            metrics.mean_batch_size = float(sum(self._batch_sizes)) / len(
+                self._batch_sizes
+            )
+        metrics.by_priority = dict(sorted(metrics.by_priority.items()))
+        return metrics
+
+
+def replay(
+    trace: Trace,
+    knobs: Optional[ReplayKnobs] = None,
+    cost_model: Optional[CalibratedCostModel] = None,
+    **overrides,
+) -> ReplayReport:
+    """Re-run a recorded trace through the serving simulator.
+
+    Args:
+        trace: a :func:`~repro.trace.read_trace` result.
+        knobs: the configuration to simulate; defaults to the trace's own
+            recorded knobs (:func:`knobs_from_trace`).
+        cost_model: reuse a calibration across many replays of one trace
+            (the what-if sweep does); calibrated from ``trace`` when omitted.
+        overrides: field overrides applied on top of ``knobs`` via
+            ``dataclasses.replace`` — e.g. ``processes=4``,
+            ``batch_timeout_ms=0.5``.
+
+    Returns:
+        A :class:`ReplayReport` whose metrics are a pure, deterministic
+        function of ``(trace, knobs)``.
+    """
+    base = knobs_from_trace(trace)
+    resolved = knobs if knobs is not None else base
+    if overrides:
+        if "priority_weights" in overrides:
+            overrides["priority_weights"] = _as_items(overrides["priority_weights"])
+        resolved = replace(resolved, **overrides)
+    model = cost_model if cost_model is not None else calibrate(trace)
+    simulator = _Replayer(
+        extract_requests(trace), model, resolved, recorded_processes=base.processes
+    )
+    metrics = simulator.run()
+    return ReplayReport(
+        source="replay",
+        knobs=resolved,
+        metrics=metrics,
+        cost_model={
+            "base_ms": model.base * 1e3,
+            "per_sample_ms": model.per_sample * 1e3,
+            "samples": float(len(model.samples)),
+        },
+    )
